@@ -1,0 +1,159 @@
+// Command echowrite is the end-to-end demo: it simulates a user writing a
+// phrase in the air next to a phone, synthesizes the microphone stream the
+// phone would record, runs the full EchoWrite pipeline, and prints the
+// recognized text with its candidate lists.
+//
+//	echowrite -phrase "the people" -env resting -participant 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/acoustic"
+	"repro/internal/audio"
+	"repro/internal/capture"
+	"repro/internal/core"
+	"repro/internal/participant"
+)
+
+func main() {
+	var (
+		phrase = flag.String("phrase", "the people", "phrase to write (dictionary words)")
+		env    = flag.String("env", "meeting", "environment: meeting, lab, resting")
+		part   = flag.Int("participant", 1, "participant model 1..6")
+		watch  = flag.Bool("watch", false, "use the smartwatch front-end instead of the phone")
+		seed   = flag.Uint64("seed", 1, "simulation seed")
+		wav    = flag.String("wav", "", "recognize a 44.1 kHz mono WAV file (e.g. from ewsynth) instead of simulating")
+	)
+	flag.Parse()
+	var err error
+	if *wav != "" {
+		err = runWAV(*wav)
+	} else {
+		err = run(*phrase, *env, *part, *watch, *seed)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "echowrite:", err)
+		os.Exit(1)
+	}
+}
+
+// runWAV recognizes one word's strokes from a recorded file — the
+// file-based entry point for audio produced outside the simulator.
+func runWAV(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sig, err := audio.DecodeWAV(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("EchoWrite — recognizing %s (%.2f s at %.0f Hz)\n", path, sig.Duration(), sig.Rate)
+	sys, err := core.New(core.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	res, err := sys.RecognizeWords(sig)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("strokes: %v\n", res.Strokes)
+	for _, d := range res.Recognition.Detections {
+		flag := ""
+		if d.Contaminated {
+			flag = "  [burst-contaminated: rewrite suggested]"
+		}
+		fmt.Printf("  frames [%d,%d] → %v%s\n", d.Segment.Start, d.Segment.End, d.Stroke, flag)
+	}
+	if len(res.Candidates) > 0 {
+		fmt.Printf("candidates:")
+		for _, c := range res.Candidates {
+			fmt.Printf(" %s", c.Word)
+		}
+		fmt.Println()
+	} else if len(res.Strokes) > 0 {
+		fmt.Println("no dictionary match for this stroke sequence")
+	}
+	return nil
+}
+
+func environment(name string) (acoustic.Environment, error) {
+	switch name {
+	case "meeting":
+		return acoustic.StandardEnvironment(acoustic.MeetingRoom), nil
+	case "lab":
+		return acoustic.StandardEnvironment(acoustic.LabArea), nil
+	case "resting":
+		return acoustic.StandardEnvironment(acoustic.RestingZone), nil
+	default:
+		return acoustic.Environment{}, fmt.Errorf("unknown environment %q", name)
+	}
+}
+
+func run(phrase, envName string, part int, watch bool, seed uint64) error {
+	env, err := environment(envName)
+	if err != nil {
+		return err
+	}
+	roster := participant.SixParticipants()
+	if part < 1 || part > len(roster) {
+		return fmt.Errorf("participant must be 1..%d", len(roster))
+	}
+	dev := acoustic.Mate9()
+	if watch {
+		dev = acoustic.Watch2()
+	}
+	fmt.Printf("EchoWrite demo — %s, %s, %s\n", dev.Name, env.Kind, roster[part-1].Name)
+	fmt.Println("calibrating templates (training-free: derived from the gestures themselves)...")
+	sys, err := core.New(core.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	sess := participant.NewSession(roster[part-1], seed)
+	var entered []string
+	for i, word := range strings.Fields(strings.ToLower(phrase)) {
+		rec, err := capture.PerformWord(sess, sys.Dictionary().Scheme(), word, dev, env, seed+uint64(i))
+		if err != nil {
+			return err
+		}
+		truth, err := sys.Dictionary().Scheme().Encode(word)
+		if err != nil {
+			return err
+		}
+		res, wr, err := sys.EnterWord(word, rec.Signal)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nword %d: %q  (%.1fs of audio)\n", i+1, word, rec.Signal.Duration())
+		fmt.Printf("  intended strokes:   %v\n", truth)
+		fmt.Printf("  recognized strokes: %v\n", wr.Strokes)
+		if res.Predicted {
+			fmt.Printf("  accepted from next-word prediction\n")
+		} else if len(wr.Candidates) > 0 {
+			fmt.Printf("  candidates:")
+			for _, c := range wr.Candidates {
+				marker := ""
+				if c.Word == word {
+					marker = "*"
+				}
+				fmt.Printf(" %s%s", c.Word, marker)
+			}
+			fmt.Println()
+		} else {
+			fmt.Printf("  no dictionary match\n")
+		}
+		chosen := res.Chosen
+		if chosen == "" {
+			chosen = "∅"
+		}
+		entered = append(entered, chosen)
+		fmt.Printf("  entered: %q\n", chosen)
+	}
+	fmt.Printf("\nfinal text: %q\n", strings.Join(entered, " "))
+	return nil
+}

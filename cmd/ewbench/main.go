@@ -1,0 +1,88 @@
+// Command ewbench regenerates the paper's tables and figures. Without
+// arguments it runs the full suite at a moderate protocol size; -full
+// uses the paper's 30-repetition protocol, -quick a minimal one, and
+// -run selects experiments by name (comma-separated).
+//
+//	ewbench -run fig12,fig14 -reps 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		full  = flag.Bool("full", false, "paper-scale protocol (30 reps, 6 participants)")
+		quick = flag.Bool("quick", false, "minimal protocol (3 reps, 3 participants)")
+		reps  = flag.Int("reps", 0, "override repetition count")
+		seed  = flag.Uint64("seed", 1, "experiment seed")
+		run   = flag.String("run", "", "comma-separated experiment names (default: all)")
+		list  = flag.Bool("list", false, "list experiment names and exit")
+		md    = flag.Bool("md", false, "emit GitHub-flavored Markdown instead of plain tables")
+	)
+	flag.Parse()
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Println(e.Name)
+		}
+		return
+	}
+	cfg := experiments.Config{Reps: 10, Participants: 6, Seed: *seed}
+	if *quick {
+		cfg = experiments.Quick()
+		cfg.Seed = *seed
+	}
+	if *full {
+		cfg = experiments.Full()
+		cfg.Seed = *seed
+	}
+	if *reps > 0 {
+		cfg.Reps = *reps
+	}
+	if err := runAll(cfg, *run, *md); err != nil {
+		fmt.Fprintln(os.Stderr, "ewbench:", err)
+		os.Exit(1)
+	}
+}
+
+func runAll(cfg experiments.Config, names string, md bool) error {
+	var selected []experiments.Experiment
+	if names == "" {
+		selected = experiments.All()
+	} else {
+		for _, n := range strings.Split(names, ",") {
+			n = strings.TrimSpace(n)
+			e := experiments.Find(n)
+			if e == nil {
+				return fmt.Errorf("unknown experiment %q (use -list)", n)
+			}
+			selected = append(selected, *e)
+		}
+	}
+	if md {
+		fmt.Printf("Protocol: reps=%d, participants=%d, seed=%d.\n\n", cfg.Reps, cfg.Participants, cfg.Seed)
+	} else {
+		fmt.Printf("EchoWrite reproduction — %d experiments, reps=%d participants=%d seed=%d\n\n",
+			len(selected), cfg.Reps, cfg.Participants, cfg.Seed)
+	}
+	for _, e := range selected {
+		start := time.Now()
+		table, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.Name, err)
+		}
+		if md {
+			fmt.Print(table.RenderMarkdown())
+		} else {
+			fmt.Print(table.Render())
+			fmt.Printf("   (%s in %.1fs)\n\n", e.Name, time.Since(start).Seconds())
+		}
+	}
+	return nil
+}

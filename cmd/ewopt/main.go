@@ -1,0 +1,109 @@
+// Command ewopt is the §VII-C self-adjusting toolchain: it checks whether
+// a letter→stroke scheme (and the gesture templates behind it) is usable,
+// and optionally optimizes the letter grouping for lower dictionary
+// ambiguity.
+//
+//	ewopt -check                         # validate the default scheme
+//	ewopt -scheme "EFTZ,HIKLMN,AVWXY,BDPR,CGOQS,JU" -check
+//	ewopt -optimize -moves 8             # greedy grouping improvement
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lexicon"
+	"repro/internal/schemeopt"
+	"repro/internal/stroke"
+)
+
+func main() {
+	var (
+		schemeSpec = flag.String("scheme", "", "six comma-separated letter groups for S1..S6 (default: the built-in scheme)")
+		check      = flag.Bool("check", false, "run the gesture/ambiguity acceptance check")
+		optimize   = flag.Bool("optimize", false, "greedily improve the letter grouping")
+		moves      = flag.Int("moves", 8, "maximum optimizer moves")
+		expanded   = flag.Bool("expanded", false, "use the 5000-word expanded vocabulary")
+	)
+	flag.Parse()
+	if err := run(*schemeSpec, *check, *optimize, *moves, *expanded); err != nil {
+		fmt.Fprintln(os.Stderr, "ewopt:", err)
+		os.Exit(1)
+	}
+}
+
+func parseScheme(spec string) (*stroke.Scheme, error) {
+	if spec == "" {
+		return stroke.DefaultScheme(), nil
+	}
+	parts := strings.Split(spec, ",")
+	if len(parts) != stroke.NumStrokes {
+		return nil, fmt.Errorf("scheme needs %d comma-separated groups, got %d", stroke.NumStrokes, len(parts))
+	}
+	groups := make(map[stroke.Stroke]string, stroke.NumStrokes)
+	for i, p := range parts {
+		groups[stroke.Stroke(i+1)] = strings.TrimSpace(p)
+	}
+	return stroke.NewScheme(groups)
+}
+
+func run(schemeSpec string, check, optimize bool, moves int, expanded bool) error {
+	if !check && !optimize {
+		return fmt.Errorf("nothing to do: pass -check and/or -optimize")
+	}
+	scheme, err := parseScheme(schemeSpec)
+	if err != nil {
+		return err
+	}
+	words := lexicon.DefaultWords()
+	if expanded {
+		words = lexicon.ExpandedWords()
+	}
+	printGroups := func(sc *stroke.Scheme) {
+		for _, st := range stroke.AllStrokes() {
+			fmt.Printf("  %v: %s\n", st, string(sc.Letters(st)))
+		}
+	}
+	fmt.Println("scheme under test:")
+	printGroups(scheme)
+
+	if check {
+		templates, err := stroke.NewTemplateSet(stroke.DefaultTemplateConfig())
+		if err != nil {
+			return err
+		}
+		rep, err := schemeopt.Check(scheme, words, templates, schemeopt.Thresholds{})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nacceptance check (%d-word vocabulary):\n", len(words))
+		fmt.Printf("  min template distance: %.1f Hz/frame (%s)\n", rep.MinTemplateDistance, rep.TightestPair)
+		fmt.Printf("  mean collisions:       %.2f (max %d)\n", rep.MeanCollisions, rep.MaxCollisions)
+		fmt.Printf("  top-5 coverage:        %.1f%%\n", 100*rep.TopKCoverage)
+		if rep.OK {
+			fmt.Println("  verdict: ACCEPTED")
+		} else {
+			fmt.Println("  verdict: REJECTED")
+			for _, r := range rep.Reasons {
+				fmt.Println("   -", r)
+			}
+		}
+	}
+
+	if optimize {
+		before, err := schemeopt.AmbiguityCost(scheme, words)
+		if err != nil {
+			return err
+		}
+		opt, after, err := schemeopt.Optimize(scheme, words, moves)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\noptimizer: ambiguity cost %.4f → %.4f (%d max moves)\n", before, after, moves)
+		fmt.Println("optimized grouping:")
+		printGroups(opt)
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+// Command ewspec renders the paper's Fig. 8 pipeline stages as PNG
+// images: the raw band-cropped spectrogram, the denoised spectrogram, the
+// binarized image, and the extracted 1-D Doppler profile, for a simulated
+// writing of a stroke or a word.
+//
+//	ewspec -word water -o out/
+//	ewspec -stroke S5 -env resting -o out/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/acoustic"
+	"repro/internal/calibrate"
+	"repro/internal/capture"
+	"repro/internal/imgproc"
+	"repro/internal/participant"
+	"repro/internal/pipeline"
+	"repro/internal/stroke"
+)
+
+func main() {
+	var (
+		word   = flag.String("word", "", "word to write")
+		st     = flag.String("stroke", "", "single stroke S1..S6")
+		outDir = flag.String("o", ".", "output directory for PNGs")
+		env    = flag.String("env", "meeting", "environment: meeting, lab, resting")
+		seed   = flag.Uint64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+	if err := run(*word, *st, *outDir, *env, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "ewspec:", err)
+		os.Exit(1)
+	}
+}
+
+func run(word, strokeName, outDir, envName string, seed uint64) error {
+	if (word == "") == (strokeName == "") {
+		return fmt.Errorf("specify exactly one of -word or -stroke")
+	}
+	var env acoustic.Environment
+	switch envName {
+	case "meeting":
+		env = acoustic.StandardEnvironment(acoustic.MeetingRoom)
+	case "lab":
+		env = acoustic.StandardEnvironment(acoustic.LabArea)
+	case "resting":
+		env = acoustic.StandardEnvironment(acoustic.RestingZone)
+	default:
+		return fmt.Errorf("unknown environment %q", envName)
+	}
+	sess := participant.NewSession(participant.SixParticipants()[0], seed)
+	var (
+		rec *capture.Recording
+		err error
+	)
+	if word != "" {
+		rec, err = capture.PerformWord(sess, stroke.DefaultScheme(), word, acoustic.Mate9(), env, seed)
+	} else {
+		key := map[string]string{"S1": "1", "S2": "2", "S3": "3", "S4": "4", "S5": "5", "S6": "6"}[strokeName]
+		var seq stroke.Sequence
+		seq, err = stroke.ParseSequenceKey(key)
+		if err != nil || len(seq) == 0 {
+			return fmt.Errorf("unknown stroke %q", strokeName)
+		}
+		rec, err = capture.Perform(sess, seq, acoustic.Mate9(), env, seed)
+	}
+	if err != nil {
+		return err
+	}
+
+	eng, err := calibrate.NewCalibratedEngine(pipeline.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	eng.KeepStages = true
+	out, err := eng.Recognize(rec.Signal)
+	if err != nil {
+		return err
+	}
+	if out.Stages == nil {
+		return fmt.Errorf("stages not captured")
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+
+	write := func(name string, render func(*os.File) error) error {
+		path := filepath.Join(outDir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := render(f); err != nil {
+			f.Close()
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Println("wrote", path)
+		return nil
+	}
+
+	opts := imgproc.RenderOptions{ZoomX: 3, ZoomY: 3}
+	if err := write("1_raw_spectrogram.png", func(f *os.File) error {
+		return imgproc.RenderMatrixPNG(f, out.Stages.Raw.Data, opts)
+	}); err != nil {
+		return err
+	}
+	if err := write("2_denoised.png", func(f *os.File) error {
+		return imgproc.RenderMatrixPNG(f, out.Stages.Denoised, opts)
+	}); err != nil {
+		return err
+	}
+	if err := write("3_binary.png", func(f *os.File) error {
+		return imgproc.RenderBinaryPNG(f, out.Stages.Binary, opts)
+	}); err != nil {
+		return err
+	}
+	if err := write("4_profile.png", func(f *os.File) error {
+		return imgproc.RenderProfilePNG(f, out.Profile, 240, imgproc.RenderOptions{ZoomX: 3})
+	}); err != nil {
+		return err
+	}
+	fmt.Printf("recognized: %v  segments: %v\n", out.Sequence, out.Segments)
+	return nil
+}

@@ -1,0 +1,97 @@
+// Command ewsynth synthesizes the microphone recording of a stroke or a
+// word being written in the air and saves it as a 16-bit mono WAV file —
+// useful for inspecting the simulated signals in any audio tool.
+//
+//	ewsynth -word water -env lab -o water.wav
+//	ewsynth -stroke S4 -o s4.wav
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/acoustic"
+	"repro/internal/audio"
+	"repro/internal/capture"
+	"repro/internal/participant"
+	"repro/internal/stroke"
+)
+
+func main() {
+	var (
+		word   = flag.String("word", "", "word to write (letters only)")
+		st     = flag.String("stroke", "", "single stroke to write (S1..S6)")
+		out    = flag.String("o", "echowrite.wav", "output WAV path")
+		env    = flag.String("env", "meeting", "environment: meeting, lab, resting")
+		part   = flag.Int("participant", 1, "participant model 1..6")
+		seed   = flag.Uint64("seed", 1, "simulation seed")
+		silent = flag.Bool("q", false, "suppress the summary line")
+	)
+	flag.Parse()
+	if err := run(*word, *st, *out, *env, *part, *seed, *silent); err != nil {
+		fmt.Fprintln(os.Stderr, "ewsynth:", err)
+		os.Exit(1)
+	}
+}
+
+func run(word, strokeName, out, envName string, part int, seed uint64, silent bool) error {
+	if (word == "") == (strokeName == "") {
+		return fmt.Errorf("specify exactly one of -word or -stroke")
+	}
+	var env acoustic.Environment
+	switch envName {
+	case "meeting":
+		env = acoustic.StandardEnvironment(acoustic.MeetingRoom)
+	case "lab":
+		env = acoustic.StandardEnvironment(acoustic.LabArea)
+	case "resting":
+		env = acoustic.StandardEnvironment(acoustic.RestingZone)
+	default:
+		return fmt.Errorf("unknown environment %q", envName)
+	}
+	roster := participant.SixParticipants()
+	if part < 1 || part > len(roster) {
+		return fmt.Errorf("participant must be 1..%d", len(roster))
+	}
+	sess := participant.NewSession(roster[part-1], seed)
+
+	var (
+		rec *capture.Recording
+		err error
+	)
+	if word != "" {
+		rec, err = capture.PerformWord(sess, stroke.DefaultScheme(), word, acoustic.Mate9(), env, seed)
+	} else {
+		var seq stroke.Sequence
+		seq, err = stroke.ParseSequenceKey(map[string]string{
+			"S1": "1", "S2": "2", "S3": "3", "S4": "4", "S5": "5", "S6": "6",
+		}[strokeName])
+		if err != nil || len(seq) == 0 {
+			return fmt.Errorf("unknown stroke %q (want S1..S6)", strokeName)
+		}
+		rec, err = capture.Perform(sess, seq, acoustic.Mate9(), env, seed)
+	}
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return fmt.Errorf("creating %s: %w", out, err)
+	}
+	defer f.Close()
+	if err := audio.EncodeWAV(f, rec.Signal); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("closing %s: %w", out, err)
+	}
+	if !silent {
+		fmt.Printf("wrote %s: %.2f s at %.0f Hz, %d ground-truth strokes\n",
+			out, rec.Signal.Duration(), rec.Signal.Rate, len(rec.Performance.Spans))
+		for _, sp := range rec.Performance.Spans {
+			fmt.Printf("  %v at [%.2f, %.2f] s\n", sp.Stroke, sp.Start, sp.End)
+		}
+	}
+	return nil
+}

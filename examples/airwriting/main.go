@@ -1,0 +1,77 @@
+// Airwriting: an interactive-style text-entry session.
+//
+// A trained user writes a short message word by word. The example shows
+// the candidate list the UI would display for each word, the next-word
+// predictions that let frequent continuations be accepted without
+// writing, and the session's throughput in WPM/LPM — the workflow behind
+// the paper's Figs. 16–18.
+//
+//	go run ./examples/airwriting
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"repro/internal/acoustic"
+	"repro/internal/capture"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/participant"
+)
+
+func main() {
+	sys, err := core.New(core.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A practiced user: proficiency shortens strokes and pauses.
+	trained := participant.SixParticipants()[0].WithProficiency(0.9)
+	user := participant.NewSession(trained, 7)
+	env := acoustic.StandardEnvironment(acoustic.LabArea)
+
+	message := "the people like the water"
+	fmt.Printf("entering: %q\n\n", message)
+
+	var speed metrics.Speed
+	var entered []string
+	for i, word := range strings.Fields(message) {
+		// Next-word predictions may let us skip writing entirely.
+		if len(entered) > 0 {
+			preds := sys.Predict(entered[len(entered)-1])
+			if len(preds) > 0 {
+				fmt.Printf("predictions after %q: %v\n", entered[len(entered)-1], preds)
+			}
+		}
+		start := time.Now()
+		rec, err := capture.PerformWord(user, sys.Dictionary().Scheme(), word,
+			acoustic.Mate9(), env, uint64(100+i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, wr, err := sys.EnterWord(word, rec.Signal)
+		if err != nil {
+			log.Fatal(err)
+		}
+		switch {
+		case res.Predicted:
+			fmt.Printf("%q accepted from prediction (no writing needed)\n", word)
+		default:
+			var shown []string
+			for _, c := range wr.Candidates {
+				shown = append(shown, c.Word)
+			}
+			fmt.Printf("%q written as %v → candidates %v, rank %d\n",
+				word, wr.Strokes, shown, res.Rank)
+		}
+		entered = append(entered, res.Chosen)
+		// Writing time is simulated time (audio duration), not wall time.
+		_ = start
+		speed.Add(len(word), rec.Signal.Duration())
+	}
+	fmt.Printf("\nfinal text: %q\n", strings.Join(entered, " "))
+	fmt.Printf("raw writing speed: %.1f WPM / %.1f LPM (motion time only)\n",
+		speed.WPM(), speed.LPM())
+}

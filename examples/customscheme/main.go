@@ -1,0 +1,102 @@
+// Customscheme: user-defined input schemes — the paper's §VII-C future
+// work, implemented.
+//
+// A custom letter→stroke grouping is validated, its T9-style ambiguity is
+// compared against the default scheme's, and the profile-collision checker
+// verifies that the gesture set's Doppler templates remain mutually
+// distinguishable (the module the paper says a self-adjusting EchoWrite
+// would need).
+//
+//	go run ./examples/customscheme
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/dtw"
+	"repro/internal/lexicon"
+	"repro/internal/stroke"
+)
+
+func main() {
+	// A plausible alternative: group letters alphabetically instead of by
+	// writing shape (worse for memorability, interesting for ambiguity).
+	alpha := map[stroke.Stroke]string{
+		stroke.S1: "ABCDE",
+		stroke.S2: "FGHIJ",
+		stroke.S3: "KLMNO",
+		stroke.S4: "PQRST",
+		stroke.S5: "UVWXY",
+		stroke.S6: "Z",
+	}
+	custom, err := stroke.NewScheme(alpha)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Compare dictionary ambiguity under both schemes.
+	words := lexicon.DefaultWords()
+	for _, tc := range []struct {
+		name   string
+		scheme *stroke.Scheme
+	}{
+		{"default (by writing shape)", stroke.DefaultScheme()},
+		{"alphabetical blocks", custom},
+	} {
+		dict, err := lexicon.NewDictionary(tc.scheme, words)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := dict.Ambiguity()
+		fmt.Printf("%-28s sequences=%d  mean collisions=%.2f  max=%d  unique=%.0f%%\n",
+			tc.name, st.Sequences, st.MeanCollisions, st.MaxCollisions, 100*st.UniqueFraction)
+	}
+
+	// The collision checker: are the six gesture templates mutually
+	// distinguishable? (Any redefined gesture set must pass this before
+	// being accepted — the auto-check module of §VII-C.)
+	ts, err := stroke.NewTemplateSet(stroke.DefaultTemplateConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\npairwise DTW distances between stroke templates (higher = safer):")
+	minD, minPair := 1e18, ""
+	for _, a := range stroke.AllStrokes() {
+		for _, b := range stroke.AllStrokes() {
+			if b <= a {
+				continue
+			}
+			d, err := dtw.Distance(ts.Profile(a), ts.Profile(b), dtw.Options{Window: 4, Normalize: true})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %v-%v: %6.1f", a, b, d)
+			if d < minD {
+				minD, minPair = d, fmt.Sprintf("%v-%v", a, b)
+			}
+		}
+		fmt.Println()
+	}
+	const safetyFloor = 8 // Hz of mean per-frame separation
+	fmt.Printf("\ntightest pair: %s at %.1f (floor %d) — ", minPair, minD, safetyFloor)
+	if minD >= safetyFloor {
+		fmt.Println("gesture set accepted")
+	} else {
+		fmt.Println("gesture set REJECTED: redefine one of the pair")
+	}
+
+	// Custom schemes plug straight into the full system.
+	opts := core.DefaultOptions()
+	opts.Scheme = custom
+	sys, err := core.New(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	seq, err := sys.Dictionary().Scheme().Encode("hello")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n\"hello\" under the custom scheme: %v\n", seq)
+}

@@ -1,0 +1,53 @@
+// Quickstart: the smallest complete EchoWrite program.
+//
+// It builds the recognition system (templates are derived from the gesture
+// definitions — no training data), synthesizes the audio a phone would
+// record while a user air-writes the word "water", and recognizes it.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/acoustic"
+	"repro/internal/capture"
+	"repro/internal/core"
+	"repro/internal/participant"
+)
+
+func main() {
+	// 1. Build the system with the paper's default configuration.
+	sys, err := core.New(core.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Simulate a user writing "water" next to a phone in a meeting
+	//    room. In a real deployment this signal would come from the
+	//    microphone; here the physics simulator stands in for it.
+	user := participant.NewSession(participant.SixParticipants()[0], 42)
+	rec, err := capture.PerformWord(
+		user,
+		sys.Dictionary().Scheme(),
+		"water",
+		acoustic.Mate9(),
+		acoustic.StandardEnvironment(acoustic.MeetingRoom),
+		42,
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Recognize: audio in, ranked word candidates out.
+	result, err := sys.RecognizeWords(rec.Signal)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("strokes: %v\n", result.Strokes)
+	fmt.Printf("top candidate: %q\n", result.Top())
+	for i, c := range result.Candidates {
+		fmt.Printf("  %d. %s (score %.3g)\n", i+1, c.Word, c.Score)
+	}
+}

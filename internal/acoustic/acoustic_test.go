@@ -1,0 +1,309 @@
+package acoustic
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestDeviceProfiles(t *testing.T) {
+	phone := Mate9()
+	watch := Watch2()
+	if phone.SampleRate != 44100 || watch.SampleRate != 44100 {
+		t.Error("both devices record at 44.1 kHz in the paper")
+	}
+	if phone.CarrierHz != 20000 || watch.CarrierHz != 20000 {
+		t.Error("both devices emit 20 kHz")
+	}
+	// The watch front-end is strictly weaker.
+	if watch.ReflectionGain >= phone.ReflectionGain {
+		t.Error("watch echoes should be weaker than phone's")
+	}
+	if watch.NoiseFloorRMS <= phone.NoiseFloorRMS {
+		t.Error("watch mic should be noisier")
+	}
+}
+
+func TestStandardEnvironments(t *testing.T) {
+	meeting := StandardEnvironment(MeetingRoom)
+	lab := StandardEnvironment(LabArea)
+	resting := StandardEnvironment(RestingZone)
+	if meeting.Kind != MeetingRoom || lab.Kind != LabArea || resting.Kind != RestingZone {
+		t.Error("Kind not set")
+	}
+	if lab.KeyboardClicksPerSecond <= 0 {
+		t.Error("lab should have typing noise")
+	}
+	if resting.Walker == nil {
+		t.Fatal("resting zone should have a walker")
+	}
+	if resting.Walker.Distance < 0.3 || resting.Walker.Distance > 0.4 {
+		t.Errorf("walker distance %g outside the paper's 30–40 cm", resting.Walker.Distance)
+	}
+	if resting.BurstRate <= lab.BurstRate {
+		t.Error("resting zone should have the most bursting noise")
+	}
+	unknown := StandardEnvironment(EnvironmentKind(9))
+	if unknown.AmbientRMS != 0 {
+		t.Error("unknown environment should be silent")
+	}
+	for _, k := range []EnvironmentKind{MeetingRoom, LabArea, RestingZone, EnvironmentKind(9)} {
+		if k.String() == "" {
+			t.Error("empty String()")
+		}
+	}
+}
+
+func TestSceneValidation(t *testing.T) {
+	sc := &Scene{Device: Mate9(), Duration: 0}
+	if _, err := sc.Synthesize(); err == nil {
+		t.Error("zero duration accepted")
+	}
+	dev := Mate9()
+	dev.SampleRate = 0
+	sc = &Scene{Device: dev, Duration: 1}
+	if _, err := sc.Synthesize(); err == nil {
+		t.Error("zero sample rate accepted")
+	}
+}
+
+func TestSynthesizeStaticSceneSpectrum(t *testing.T) {
+	// A scene with no movement: energy should concentrate at the carrier.
+	dev := Mate9()
+	dev.NoiseFloorRMS = 0
+	dev.HardwareBurstRate = 0
+	sc := &Scene{
+		Device:   dev,
+		Env:      Environment{},
+		Duration: 0.5,
+		Seed:     1,
+	}
+	sig, err := sc.Synthesize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := int(sig.Rate); got != 44100 {
+		t.Errorf("rate = %d", got)
+	}
+	if len(sig.Samples) != 22050 {
+		t.Errorf("samples = %d", len(sig.Samples))
+	}
+	// Correlate against the carrier and an off-band tone.
+	corr := func(f float64) float64 {
+		re, im := 0.0, 0.0
+		w := 2 * math.Pi * f / sig.Rate
+		for i, v := range sig.Samples {
+			re += v * math.Cos(w*float64(i))
+			im += v * math.Sin(w*float64(i))
+		}
+		return math.Hypot(re, im)
+	}
+	if carrier, off := corr(20000), corr(15000); carrier < 100*off {
+		t.Errorf("carrier %g not dominant over off-band %g", carrier, off)
+	}
+}
+
+func TestSynthesizeDeterministicPerSeed(t *testing.T) {
+	mk := func(seed uint64) []float64 {
+		sc := &Scene{
+			Device:   Mate9(),
+			Env:      StandardEnvironment(LabArea),
+			Duration: 0.2,
+			Seed:     seed,
+		}
+		sig, err := sc.Synthesize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sig.Samples
+	}
+	a, b, c := mk(5), mk(5), mk(6)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed differs")
+		}
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds identical")
+	}
+}
+
+func TestMovingReflectorCreatesDopplerSidebands(t *testing.T) {
+	// A reflector approaching at ~0.7 m/s should add energy ≈82 Hz above
+	// the carrier (2·f0·v/c) that a static scene lacks.
+	dev := Mate9()
+	dev.NoiseFloorRMS = 0
+	dev.HardwareBurstRate = 0
+	traj, err := geom.NewPolyTrajectory([]geom.Waypoint{
+		{T: 0, Pos: geom.Vec3{Y: 0.30}},
+		{T: 0.6, Pos: geom.Vec3{Y: 0.05}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	moving := &Scene{
+		Device:     dev,
+		Duration:   0.6,
+		Seed:       1,
+		Reflectors: []Reflector{{Traj: traj, BaseGain: 0.05}},
+	}
+	still := &Scene{Device: dev, Duration: 0.6, Seed: 1}
+	sigM, err := moving.Synthesize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigS, err := still.Synthesize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	corr := func(s []float64, f float64) float64 {
+		re, im := 0.0, 0.0
+		w := 2 * math.Pi * f / 44100
+		for i, v := range s {
+			re += v * math.Cos(w*float64(i))
+			im += v * math.Sin(w*float64(i))
+		}
+		return math.Hypot(re, im)
+	}
+	// Mid-stroke shift ≈ 2·20000·(1.875·0.25/0.6)/340 ≈ 92 Hz; probe a
+	// band around it.
+	side := 0.0
+	for _, df := range []float64{60, 80, 100} {
+		side += corr(sigM.Samples, 20000+df)
+	}
+	base := 0.0
+	for _, df := range []float64{60, 80, 100} {
+		base += corr(sigS.Samples, 20000+df)
+	}
+	if side < 3*base {
+		t.Errorf("no Doppler sideband: moving %g vs static %g", side, base)
+	}
+}
+
+func TestQuantizeClampsAndRounds(t *testing.T) {
+	dev := Mate9()
+	dev.TxAmplitude = 2.0 // force overload
+	dev.DirectPathGain = 1.0
+	sc := &Scene{Device: dev, Duration: 0.01, Seed: 1}
+	sig, err := sc.Synthesize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range sig.Samples {
+		if v > 1 || v < -1 {
+			t.Fatalf("sample %d = %g outside [-1,1]", i, v)
+		}
+	}
+}
+
+func TestHandReflectors(t *testing.T) {
+	traj := &geom.StaticTrajectory{Pos: geom.Vec3{Y: 0.15}, Dur: 1}
+	refs := HandReflectors(traj)
+	if len(refs) != 2 {
+		t.Fatalf("got %d reflectors, want finger+arm", len(refs))
+	}
+	arm, ok := refs[1].Traj.(*ArmTrajectory)
+	if !ok {
+		t.Fatal("second reflector is not the arm")
+	}
+	if arm.Ratio <= 0 || arm.Ratio >= 1 {
+		t.Errorf("arm ratio %g outside (0,1)", arm.Ratio)
+	}
+	// The arm moves less than the finger for the same finger displacement.
+	f0 := geom.Vec3{Y: 0.15}
+	f1 := geom.Vec3{Y: 0.25}
+	armTr := &ArmTrajectory{Finger: traj, Pivot: DefaultArmPivot, Ratio: 0.45}
+	a0 := armTr.At(0)
+	armTr2 := &ArmTrajectory{
+		Finger: &geom.StaticTrajectory{Pos: f1, Dur: 1},
+		Pivot:  DefaultArmPivot, Ratio: 0.45,
+	}
+	a1 := armTr2.At(0)
+	if a0.Dist(a1) >= f0.Dist(f1) {
+		t.Error("arm displacement not scaled down")
+	}
+	if armTr.Duration() != 1 {
+		t.Error("arm duration mismatch")
+	}
+}
+
+func TestWalkerReflectorPaces(t *testing.T) {
+	r := walkerReflector(WalkerSpec{Distance: 0.35, Speed: 0.8, Gain: 0.02}, 10)
+	if r.Traj.Duration() != 10 {
+		t.Errorf("walker duration = %g", r.Traj.Duration())
+	}
+	// The walker stays at the configured lateral distance.
+	for _, tt := range []float64{0, 1, 3, 7} {
+		p := r.Traj.At(tt)
+		if p.Y != 0.35 {
+			t.Errorf("walker Y = %g at t=%g", p.Y, tt)
+		}
+	}
+	// And actually moves along X.
+	if r.Traj.At(0).Dist(r.Traj.At(1.5)) < 0.1 {
+		t.Error("walker barely moves")
+	}
+}
+
+func TestReverbSpecPaths(t *testing.T) {
+	var nilSpec *ReverbSpec
+	if nilSpec.paths(1, 340) != nil {
+		t.Error("nil spec produced paths")
+	}
+	spec := &ReverbSpec{RT60: 0.5, Density: 40, Gain: 0.02}
+	paths := spec.paths(7, 340)
+	if len(paths) != 40 {
+		t.Fatalf("got %d paths, want 40", len(paths))
+	}
+	for _, p := range paths {
+		if p.Gain <= 0 || p.Gain > 0.02+1e-12 {
+			t.Errorf("path gain %g outside (0, 0.02]", p.Gain)
+		}
+		if p.Distance <= 0 || p.Distance > 0.52*340/2+1 {
+			t.Errorf("path distance %g implausible", p.Distance)
+		}
+	}
+	// Deterministic per seed, different across seeds.
+	again := spec.paths(7, 340)
+	if again[5] != paths[5] {
+		t.Error("reverb paths not deterministic")
+	}
+	other := spec.paths(8, 340)
+	if other[5] == paths[5] {
+		t.Error("reverb paths identical across seeds")
+	}
+}
+
+func TestReverbDoesNotBreakRecognitionSpectrum(t *testing.T) {
+	// A reverberant static scene still concentrates energy at the
+	// carrier; the tail only adds static components.
+	dev := Mate9()
+	dev.NoiseFloorRMS = 0
+	dev.HardwareBurstRate = 0
+	env := Environment{Reverb: &ReverbSpec{RT60: 0.6, Density: 60, Gain: 0.03}}
+	sc := &Scene{Device: dev, Env: env, Duration: 0.4, Seed: 3}
+	sig, err := sc.Synthesize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	corr := func(f float64) float64 {
+		re, im := 0.0, 0.0
+		w := 2 * math.Pi * f / sig.Rate
+		for i, v := range sig.Samples {
+			re += v * math.Cos(w*float64(i))
+			im += v * math.Sin(w*float64(i))
+		}
+		return math.Hypot(re, im)
+	}
+	if carrier, off := corr(20000), corr(12000); carrier < 50*off {
+		t.Errorf("reverb destroyed carrier dominance: %g vs %g", carrier, off)
+	}
+}

@@ -1,0 +1,47 @@
+package acoustic
+
+import "repro/internal/geom"
+
+// ArmTrajectory derives the hand/arm secondary reflector from a finger
+// trajectory: the arm follows the finger at a fraction of its displacement
+// about a shoulder-side pivot, so it moves slower and produces the
+// lower-shift multipath band the paper's Fig. 10 marks with a green square.
+type ArmTrajectory struct {
+	// Finger is the primary trajectory.
+	Finger geom.Trajectory
+	// Pivot approximates the elbow/shoulder position.
+	Pivot geom.Vec3
+	// Ratio is the displacement fraction (0.4–0.6 is realistic).
+	Ratio float64
+}
+
+// At implements geom.Trajectory.
+func (a *ArmTrajectory) At(t float64) geom.Vec3 {
+	f := a.Finger.At(t)
+	return a.Pivot.Add(f.Sub(a.Pivot).Scale(a.Ratio))
+}
+
+// Duration implements geom.Trajectory.
+func (a *ArmTrajectory) Duration() float64 { return a.Finger.Duration() }
+
+var _ geom.Trajectory = (*ArmTrajectory)(nil)
+
+// DefaultArmPivot is the nominal elbow position for a right-handed user
+// writing in front of the device.
+var DefaultArmPivot = geom.Vec3{X: 0.28, Y: 0.38, Z: -0.12}
+
+// HandReflectors builds the standard reflector pair for a writing hand: a
+// finger (primary) and the hand/arm mass behind it (secondary, slower,
+// stronger). The finger trajectory should span the whole scene (rests
+// included).
+func HandReflectors(finger geom.Trajectory) []Reflector {
+	return []Reflector{
+		{Traj: finger, BaseGain: 0.050},
+		{
+			Traj:     &ArmTrajectory{Finger: finger, Pivot: DefaultArmPivot, Ratio: 0.45},
+			BaseGain: 0.040,
+			// The arm's bulk is calibrated at its typical hover distance.
+			RefDistance: 0.28,
+		},
+	}
+}

@@ -1,0 +1,78 @@
+// Package acoustic is the physics simulator substituting for the paper's
+// phone-in-a-room testbed. It synthesizes the microphone stream a device
+// would record while its speaker emits the 20 kHz probe tone and a finger
+// writes strokes nearby: direct path, static multipath, moving reflectors
+// with time-varying propagation delay (which is what physically produces
+// Doppler), environment noise, and front-end imperfections.
+//
+// The DSP pipeline consumes the synthesized stream exactly as it would a
+// real recording, so every downstream algorithm (STFT, enhancement, MVCE,
+// segmentation, DTW, inference) is exercised on its real input format.
+package acoustic
+
+// DeviceProfile models one acoustic front-end: a speaker-microphone pair
+// plus converter characteristics. Two concrete profiles reproduce the
+// paper's hardware: a Huawei Mate 9 class smartphone and a Huawei Watch 2
+// class smartwatch (Fig. 11 compares them).
+type DeviceProfile struct {
+	// Name labels the device in reports.
+	Name string
+	// SampleRate in Hz (both paper devices record at 44.1 kHz).
+	SampleRate float64
+	// CarrierHz is the emitted probe frequency (20 kHz).
+	CarrierHz float64
+	// TxAmplitude is the emitted tone amplitude at the speaker, in
+	// full-scale units referenced to the ADC (the direct path arrives at
+	// DirectPathGain × TxAmplitude).
+	TxAmplitude float64
+	// DirectPathGain is the speaker→mic leakage gain (the strong static
+	// component spectral subtraction must remove).
+	DirectPathGain float64
+	// ReflectionGain scales all echo amplitudes; it folds in speaker SPL,
+	// mic sensitivity and the device's baffle. Watches are weaker.
+	ReflectionGain float64
+	// NoiseFloorRMS is the mic self-noise RMS in full-scale units.
+	NoiseFloorRMS float64
+	// HardwareBurstRate is the expected number of bursting hardware-noise
+	// events per second (§III-A's "bursting hardware noise").
+	HardwareBurstRate float64
+	// HardwareBurstAmp is the amplitude of those bursts.
+	HardwareBurstAmp float64
+	// ADCBits is the converter resolution used for quantization.
+	ADCBits int
+}
+
+// Mate9 returns the smartphone front-end profile (the paper's primary
+// prototype device).
+func Mate9() DeviceProfile {
+	return DeviceProfile{
+		Name:              "Huawei Mate 9",
+		SampleRate:        44100,
+		CarrierHz:         20000,
+		TxAmplitude:       0.9,
+		DirectPathGain:    0.30,
+		ReflectionGain:    1.0,
+		NoiseFloorRMS:     0.0015,
+		HardwareBurstRate: 0.8,
+		HardwareBurstAmp:  0.02,
+		ADCBits:           16,
+	}
+}
+
+// Watch2 returns the smartwatch front-end profile: smaller speaker (lower
+// SPL, so weaker echoes), noisier mic, the same sample rate. Fig. 11 shows
+// its offline accuracy trails the phone by only ~0.3 %.
+func Watch2() DeviceProfile {
+	return DeviceProfile{
+		Name:              "Huawei Watch 2",
+		SampleRate:        44100,
+		CarrierHz:         20000,
+		TxAmplitude:       0.8,
+		DirectPathGain:    0.32,
+		ReflectionGain:    0.75,
+		NoiseFloorRMS:     0.0040,
+		HardwareBurstRate: 1.1,
+		HardwareBurstAmp:  0.035,
+		ADCBits:           16,
+	}
+}

@@ -1,0 +1,221 @@
+package acoustic
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/audio"
+	"repro/internal/geom"
+)
+
+// Reflector is one moving sound reflector in the scene: a trajectory plus
+// a reflection strength. The echo it contributes is the probe tone delayed
+// by the time-varying round-trip 2·|p(t)|/c and attenuated by inverse
+// square of distance — the time-varying delay is what physically produces
+// the Doppler shift the pipeline measures.
+type Reflector struct {
+	// Traj is the reflector's path; positions are relative to the device
+	// at the origin.
+	Traj geom.Trajectory
+	// BaseGain is the echo amplitude when the reflector sits at
+	// RefDistance.
+	BaseGain float64
+	// RefDistance is the distance (m) at which BaseGain applies. Zero
+	// means the default 0.15 m.
+	RefDistance float64
+	// Start delays the trajectory's local time origin within the scene
+	// (seconds). Before Start and after Start+Traj.Duration() the
+	// reflector holds its endpoint positions (a hand at rest still
+	// reflects).
+	Start float64
+}
+
+func (r Reflector) positionAt(t float64) geom.Vec3 {
+	return r.Traj.At(t - r.Start)
+}
+
+// Scene is a complete acoustic situation to synthesize: a device, an
+// environment, and moving reflectors (the writing finger, the hand/arm
+// behind it, bystanders).
+type Scene struct {
+	// Device is the acoustic front-end.
+	Device DeviceProfile
+	// Env is the ambient environment.
+	Env Environment
+	// Reflectors are the moving bodies.
+	Reflectors []Reflector
+	// Duration is the scene length in seconds.
+	Duration float64
+	// Seed drives all stochastic components (noise, bursts) so scenes are
+	// reproducible.
+	Seed uint64
+	// SoundSpeed in m/s; zero means 340 (the paper's value).
+	SoundSpeed float64
+}
+
+// Synthesize renders the microphone stream the device would record.
+func (sc *Scene) Synthesize() (*audio.Signal, error) {
+	if sc.Duration <= 0 {
+		return nil, fmt.Errorf("acoustic: scene duration must be positive, got %g", sc.Duration)
+	}
+	if sc.Device.SampleRate <= 0 {
+		return nil, fmt.Errorf("acoustic: device sample rate must be positive, got %g", sc.Device.SampleRate)
+	}
+	c := sc.SoundSpeed
+	if c == 0 {
+		c = 340
+	}
+	rate := sc.Device.SampleRate
+	n := int(rate*sc.Duration + 0.5)
+	out := &audio.Signal{Samples: make([]float64, n), Rate: rate}
+
+	omega := 2 * math.Pi * sc.Device.CarrierHz
+	amp := sc.Device.TxAmplitude
+
+	// Assemble all echo paths: static reflectors from the environment
+	// (plus the diffuse reverberation tail) and the walker plus the
+	// scene's moving reflectors.
+	staticPaths := append([]StaticPath(nil), sc.Env.StaticReflectors...)
+	staticPaths = append(staticPaths, sc.Env.Reverb.paths(sc.Seed, c)...)
+	reflectors := append([]Reflector(nil), sc.Reflectors...)
+	if w := sc.Env.Walker; w != nil {
+		reflectors = append(reflectors, walkerReflector(*w, sc.Duration))
+	}
+
+	for i := 0; i < n; i++ {
+		t := float64(i) / rate
+		// Direct speaker→mic leakage (fixed minimal delay, modeled as a
+		// 1 cm path).
+		v := sc.Device.DirectPathGain * amp * math.Sin(omega*(t-0.01/c))
+		// Static environment multipath (discrete paths + reverb tail).
+		for _, p := range staticPaths {
+			v += p.Gain * amp * math.Sin(omega*(t-2*p.Distance/c))
+		}
+		// Moving reflectors with time-varying delay.
+		for _, r := range reflectors {
+			d := r.positionAt(t).Norm()
+			if d < 0.02 {
+				d = 0.02
+			}
+			ref := r.RefDistance
+			if ref == 0 {
+				ref = 0.15
+			}
+			g := sc.Device.ReflectionGain * r.BaseGain * (ref / d) * (ref / d)
+			v += g * amp * math.Sin(omega*(t-2*d/c))
+		}
+		out.Samples[i] = v
+	}
+
+	if err := sc.addNoise(out); err != nil {
+		return nil, err
+	}
+	quantize(out, sc.Device.ADCBits)
+	return out, nil
+}
+
+// addNoise mixes in ambient, babble, typing, environmental bursts, mic
+// self-noise and hardware bursts.
+func (sc *Scene) addNoise(out *audio.Signal) error {
+	ns := audio.NewNoiseSource(sc.Seed)
+	rate := out.Rate
+	dur := sc.Duration
+
+	mix := func(s *audio.Signal, err error) error {
+		if err != nil {
+			return err
+		}
+		return out.AddInPlace(s, 1)
+	}
+
+	if sc.Device.NoiseFloorRMS > 0 {
+		if err := mix(ns.White(rate, sc.Device.NoiseFloorRMS, dur)); err != nil {
+			return fmt.Errorf("acoustic: mic noise: %w", err)
+		}
+	}
+	if sc.Env.AmbientRMS > 0 {
+		if err := mix(ns.Pink(rate, sc.Env.AmbientRMS, dur)); err != nil {
+			return fmt.Errorf("acoustic: ambient noise: %w", err)
+		}
+	}
+	if sc.Env.BabbleRMS > 0 {
+		if err := mix(ns.Babble(rate, sc.Env.BabbleRMS, dur)); err != nil {
+			return fmt.Errorf("acoustic: babble noise: %w", err)
+		}
+	}
+	if sc.Env.KeyboardClicksPerSecond > 0 {
+		if err := mix(ns.KeyboardClicks(rate, dur, sc.Env.KeyboardClicksPerSecond, sc.Env.KeyboardClickAmp)); err != nil {
+			return fmt.Errorf("acoustic: keyboard noise: %w", err)
+		}
+	}
+	if sc.Env.BurstRate > 0 {
+		count := int(sc.Env.BurstRate*dur + 0.5)
+		if count > 0 {
+			if err := mix(ns.RandomBursts(rate, dur, count, sc.Env.BurstAmp/2, sc.Env.BurstAmp, 0.02, 0.12)); err != nil {
+				return fmt.Errorf("acoustic: environment bursts: %w", err)
+			}
+		}
+	}
+	if sc.Device.HardwareBurstRate > 0 {
+		count := int(sc.Device.HardwareBurstRate*dur + 0.5)
+		if count > 0 {
+			if err := mix(ns.RandomBursts(rate, dur, count, sc.Device.HardwareBurstAmp/2, sc.Device.HardwareBurstAmp, 0.002, 0.01)); err != nil {
+				return fmt.Errorf("acoustic: hardware bursts: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// walkerReflector models a bystander pacing past the device: a large slow
+// reflector oscillating along a line parallel to the device at the given
+// closest distance. Its Doppler signature is a slowly varying shift with
+// low acceleration — the interference class the paper's segmentation gate
+// rejects.
+func walkerReflector(w WalkerSpec, duration float64) Reflector {
+	span := 1.2 // pacing half-length in meters
+	period := 4 * span / w.Speed
+	return Reflector{
+		Traj:     &pacingTrajectory{distance: w.Distance, span: span, period: period, dur: duration},
+		BaseGain: w.Gain,
+		// A torso is calibrated at a larger reference distance: its gain
+		// is specified at the walking distance itself.
+		RefDistance: w.Distance,
+	}
+}
+
+// pacingTrajectory oscillates sinusoidally along x at constant y.
+type pacingTrajectory struct {
+	distance float64
+	span     float64
+	period   float64
+	dur      float64
+}
+
+// At implements geom.Trajectory.
+func (p *pacingTrajectory) At(t float64) geom.Vec3 {
+	x := p.span * math.Sin(2*math.Pi*t/p.period)
+	return geom.Vec3{X: x, Y: p.distance, Z: 0}
+}
+
+// Duration implements geom.Trajectory.
+func (p *pacingTrajectory) Duration() float64 { return p.dur }
+
+var _ geom.Trajectory = (*pacingTrajectory)(nil)
+
+// quantize rounds samples to the device's ADC resolution.
+func quantize(s *audio.Signal, bits int) {
+	if bits <= 0 || bits >= 32 {
+		return
+	}
+	scale := float64(int64(1) << (bits - 1))
+	for i, v := range s.Samples {
+		q := math.Round(v*scale) / scale
+		if q > 1 {
+			q = 1
+		} else if q < -1 {
+			q = -1
+		}
+		s.Samples[i] = q
+	}
+}

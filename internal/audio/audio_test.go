@@ -1,0 +1,232 @@
+package audio
+
+import (
+	"bytes"
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSignal(t *testing.T) {
+	s, err := NewSignal(44100, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Samples) != 22050 {
+		t.Errorf("len = %d, want 22050", len(s.Samples))
+	}
+	if math.Abs(s.Duration()-0.5) > 1e-3 {
+		t.Errorf("Duration() = %g, want 0.5", s.Duration())
+	}
+	if _, err := NewSignal(0, 1); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := NewSignal(44100, -1); err == nil {
+		t.Error("negative duration accepted")
+	}
+}
+
+func TestToneProperties(t *testing.T) {
+	s, err := Tone(44100, 20000, 0.8, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := s.Peak(); p > 0.8+1e-9 || p < 0.79 {
+		t.Errorf("peak = %g, want ≈0.8", p)
+	}
+	// RMS of a sine is amplitude/√2.
+	if r := s.RMS(); math.Abs(r-0.8/math.Sqrt2) > 1e-3 {
+		t.Errorf("RMS = %g, want %g", r, 0.8/math.Sqrt2)
+	}
+	if _, err := Tone(44100, 0, 1, 1); err == nil {
+		t.Error("zero frequency accepted")
+	}
+	if _, err := Tone(44100, 23000, 1, 1); err == nil {
+		t.Error("above-Nyquist frequency accepted")
+	}
+}
+
+func TestAddInPlaceAndScale(t *testing.T) {
+	a := &Signal{Samples: []float64{1, 2, 3}, Rate: 44100}
+	b := &Signal{Samples: []float64{1, 1}, Rate: 44100}
+	if err := a.AddInPlace(b, 2); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 4, 3}
+	for i := range want {
+		if a.Samples[i] != want[i] {
+			t.Errorf("a[%d] = %g, want %g", i, a.Samples[i], want[i])
+		}
+	}
+	c := &Signal{Samples: []float64{1}, Rate: 48000}
+	if err := a.AddInPlace(c, 1); err == nil {
+		t.Error("rate mismatch accepted")
+	}
+	a.Scale(0.5)
+	if a.Samples[0] != 1.5 {
+		t.Errorf("Scale: got %g, want 1.5", a.Samples[0])
+	}
+}
+
+func TestClamp(t *testing.T) {
+	s := &Signal{Samples: []float64{-2, 0.5, 3}, Rate: 1}
+	s.Clamp(1)
+	want := []float64{-1, 0.5, 1}
+	for i := range want {
+		if s.Samples[i] != want[i] {
+			t.Errorf("sample %d = %g, want %g", i, s.Samples[i], want[i])
+		}
+	}
+}
+
+func TestEmptySignalStats(t *testing.T) {
+	s := &Signal{Rate: 44100}
+	if s.RMS() != 0 || s.Peak() != 0 || s.Duration() != 0 {
+		t.Error("empty signal stats should be zero")
+	}
+}
+
+func TestSNRdB(t *testing.T) {
+	sig, err := Tone(44100, 1000, 1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noise, err := Tone(44100, 2000, 0.1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snr := SNRdB(sig, noise); math.Abs(snr-20) > 0.1 {
+		t.Errorf("SNR = %g dB, want ≈20", snr)
+	}
+	silent := &Signal{Rate: 44100, Samples: make([]float64, 10)}
+	if !math.IsInf(SNRdB(sig, silent), 1) {
+		t.Error("zero noise should give +Inf")
+	}
+	if !math.IsInf(SNRdB(silent, noise), -1) {
+		t.Error("zero signal should give -Inf")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	s := &Signal{Samples: []float64{1, 2}, Rate: 44100}
+	c := s.Clone()
+	c.Samples[0] = 9
+	if s.Samples[0] == 9 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestWAVRoundTrip(t *testing.T) {
+	orig, err := Tone(44100, 5000, 0.7, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := EncodeWAV(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	// Header sanity: 44-byte header + 2 bytes per sample.
+	if buf.Len() != 44+2*len(orig.Samples) {
+		t.Errorf("encoded %d bytes, want %d", buf.Len(), 44+2*len(orig.Samples))
+	}
+	dec, err := DecodeWAV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Rate != 44100 {
+		t.Errorf("decoded rate = %g, want 44100", dec.Rate)
+	}
+	if len(dec.Samples) != len(orig.Samples) {
+		t.Fatalf("decoded %d samples, want %d", len(dec.Samples), len(orig.Samples))
+	}
+	for i := range orig.Samples {
+		if math.Abs(dec.Samples[i]-orig.Samples[i]) > 1.0/32767+1e-9 {
+			t.Fatalf("sample %d = %g, want %g (±1 LSB)", i, dec.Samples[i], orig.Samples[i])
+		}
+	}
+}
+
+func TestWAVRoundTripProperty(t *testing.T) {
+	// Property: encode→decode reproduces int16-quantized samples exactly.
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 11))
+		s := &Signal{Rate: 44100, Samples: make([]float64, 64)}
+		for i := range s.Samples {
+			// Pre-quantize so the round trip is exact.
+			q := int16(rng.IntN(65535) - 32767)
+			s.Samples[i] = float64(q) / 32767
+		}
+		var buf bytes.Buffer
+		if err := EncodeWAV(&buf, s); err != nil {
+			return false
+		}
+		dec, err := DecodeWAV(&buf)
+		if err != nil {
+			return false
+		}
+		for i := range s.Samples {
+			if math.Abs(dec.Samples[i]-s.Samples[i]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWAVEncodeClips(t *testing.T) {
+	s := &Signal{Samples: []float64{2.0, -2.0}, Rate: 44100}
+	var buf bytes.Buffer
+	if err := EncodeWAV(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeWAV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Samples[0] != 1 || dec.Samples[1] != -1 {
+		t.Errorf("clipping wrong: %v", dec.Samples)
+	}
+}
+
+func TestDecodeWAVRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":     {},
+		"truncated": []byte("RIFF"),
+		"not riff":  append([]byte("JUNK0000JUNK"), make([]byte, 64)...),
+	}
+	for name, data := range cases {
+		if _, err := DecodeWAV(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestDecodeWAVSkipsUnknownChunks(t *testing.T) {
+	orig, err := Tone(44100, 1000, 0.5, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := EncodeWAV(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Splice a LIST chunk between fmt and data (offset 36).
+	var spliced bytes.Buffer
+	spliced.Write(raw[:36])
+	spliced.WriteString("LIST")
+	spliced.Write([]byte{4, 0, 0, 0})
+	spliced.WriteString("INFO")
+	spliced.Write(raw[36:])
+	dec, err := DecodeWAV(&spliced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Samples) != len(orig.Samples) {
+		t.Errorf("decoded %d samples, want %d", len(dec.Samples), len(orig.Samples))
+	}
+}

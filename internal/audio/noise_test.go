@@ -1,0 +1,165 @@
+package audio
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWhiteNoiseStats(t *testing.T) {
+	ns := NewNoiseSource(1)
+	s, err := ns.White(44100, 0.1, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := s.RMS(); math.Abs(r-0.1) > 0.01 {
+		t.Errorf("white RMS = %g, want ≈0.1", r)
+	}
+	// Mean should be near zero.
+	sum := 0.0
+	for _, v := range s.Samples {
+		sum += v
+	}
+	if mean := sum / float64(len(s.Samples)); math.Abs(mean) > 0.005 {
+		t.Errorf("white mean = %g, want ≈0", mean)
+	}
+}
+
+func TestNoiseDeterminism(t *testing.T) {
+	a, err := NewNoiseSource(42).White(44100, 0.1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewNoiseSource(42).White(44100, 0.1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Samples {
+		if a.Samples[i] != b.Samples[i] {
+			t.Fatal("same seed produced different noise")
+		}
+	}
+	c, err := NewNoiseSource(43).White(44100, 0.1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Samples {
+		if a.Samples[i] != c.Samples[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical noise")
+	}
+}
+
+func TestPinkNoiseSpectrumSlopes(t *testing.T) {
+	ns := NewNoiseSource(7)
+	s, err := ns.Pink(44100, 0.1, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := s.RMS(); math.Abs(r-0.1) > 0.02 {
+		t.Errorf("pink RMS = %g, want ≈0.1", r)
+	}
+	// Pink noise has more low-frequency than high-frequency energy.
+	// Compare energy in two bands via Goertzel-style correlation.
+	bandEnergy := func(f float64) float64 {
+		w := 2 * math.Pi * f / 44100
+		re, im := 0.0, 0.0
+		for i, v := range s.Samples {
+			re += v * math.Cos(w*float64(i))
+			im += v * math.Sin(w*float64(i))
+		}
+		return re*re + im*im
+	}
+	low := bandEnergy(100) + bandEnergy(200) + bandEnergy(400)
+	high := bandEnergy(8000) + bandEnergy(12000) + bandEnergy(16000)
+	if low <= high {
+		t.Errorf("pink noise not low-heavy: low=%g high=%g", low, high)
+	}
+}
+
+func TestBabbleIsBandLimited(t *testing.T) {
+	ns := NewNoiseSource(9)
+	s, err := ns.Babble(44100, 0.1, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bandEnergy := func(f float64) float64 {
+		w := 2 * math.Pi * f / 44100
+		re, im := 0.0, 0.0
+		for i, v := range s.Samples {
+			re += v * math.Cos(w*float64(i))
+			im += v * math.Sin(w*float64(i))
+		}
+		return re*re + im*im
+	}
+	speech := bandEnergy(300) + bandEnergy(800) + bandEnergy(2000)
+	probe := bandEnergy(19800) + bandEnergy(20000) + bandEnergy(20200)
+	if speech < 100*probe {
+		t.Errorf("babble leaks into probe band: speech=%g probe=%g", speech, probe)
+	}
+}
+
+func TestBurstsPlacement(t *testing.T) {
+	ns := NewNoiseSource(3)
+	s, err := ns.Bursts(44100, 1.0, []BurstSpec{{Start: 0.5, Duration: 0.05, Amplitude: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quiet before the burst.
+	pre := 0.0
+	for _, v := range s.Samples[:22000] {
+		pre += v * v
+	}
+	if pre != 0 {
+		t.Error("energy before burst onset")
+	}
+	// Energy inside the burst.
+	mid := 0.0
+	for _, v := range s.Samples[22050:24255] {
+		mid += v * v
+	}
+	if mid == 0 {
+		t.Error("no energy inside burst")
+	}
+}
+
+func TestBurstsRejectNonPositiveDuration(t *testing.T) {
+	ns := NewNoiseSource(3)
+	if _, err := ns.Bursts(44100, 1, []BurstSpec{{Start: 0, Duration: 0, Amplitude: 1}}); err == nil {
+		t.Error("zero-duration burst accepted")
+	}
+}
+
+func TestRandomBurstsCount(t *testing.T) {
+	ns := NewNoiseSource(5)
+	s, err := ns.RandomBursts(44100, 2.0, 5, 0.1, 0.2, 0.01, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.RMS() == 0 {
+		t.Error("random bursts produced silence")
+	}
+}
+
+func TestKeyboardClicks(t *testing.T) {
+	ns := NewNoiseSource(6)
+	s, err := ns.KeyboardClicks(44100, 2.0, 4, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.RMS() == 0 {
+		t.Error("keyboard clicks produced silence")
+	}
+	// Zero rate yields silence.
+	quietSig, err := ns.KeyboardClicks(44100, 1.0, 0, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quietSig.RMS() != 0 {
+		t.Error("zero click rate produced sound")
+	}
+}

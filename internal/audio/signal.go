@@ -1,0 +1,136 @@
+// Package audio provides the raw-audio substrate: mono PCM signal
+// containers, the 20 kHz probe-tone generator, WAV (RIFF) encoding and
+// decoding, and the noise generators used to model the paper's three
+// experimental environments.
+package audio
+
+import (
+	"fmt"
+	"math"
+)
+
+// Signal is a mono PCM stream of float64 samples, nominally in [-1, 1].
+type Signal struct {
+	// Samples holds the waveform.
+	Samples []float64
+	// Rate is the sample rate in Hz.
+	Rate float64
+}
+
+// NewSignal allocates a silent signal of the given duration.
+func NewSignal(rate float64, duration float64) (*Signal, error) {
+	if rate <= 0 {
+		return nil, fmt.Errorf("audio: sample rate must be positive, got %g", rate)
+	}
+	if duration < 0 {
+		return nil, fmt.Errorf("audio: duration must be non-negative, got %g", duration)
+	}
+	return &Signal{
+		Samples: make([]float64, int(rate*duration+0.5)),
+		Rate:    rate,
+	}, nil
+}
+
+// Duration returns the signal length in seconds.
+func (s *Signal) Duration() float64 {
+	if s.Rate == 0 {
+		return 0
+	}
+	return float64(len(s.Samples)) / s.Rate
+}
+
+// Clone deep-copies the signal.
+func (s *Signal) Clone() *Signal {
+	return &Signal{Samples: append([]float64(nil), s.Samples...), Rate: s.Rate}
+}
+
+// AddInPlace mixes other into s sample-by-sample with the given gain,
+// truncating at the shorter of the two. Sample rates must match.
+func (s *Signal) AddInPlace(other *Signal, gain float64) error {
+	if s.Rate != other.Rate {
+		return fmt.Errorf("audio: sample-rate mismatch %g vs %g", s.Rate, other.Rate)
+	}
+	n := len(s.Samples)
+	if len(other.Samples) < n {
+		n = len(other.Samples)
+	}
+	for i := 0; i < n; i++ {
+		s.Samples[i] += gain * other.Samples[i]
+	}
+	return nil
+}
+
+// Scale multiplies every sample by gain, in place.
+func (s *Signal) Scale(gain float64) {
+	for i := range s.Samples {
+		s.Samples[i] *= gain
+	}
+}
+
+// RMS returns the root-mean-square amplitude, or 0 for an empty signal.
+func (s *Signal) RMS() float64 {
+	if len(s.Samples) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.Samples {
+		sum += v * v
+	}
+	return math.Sqrt(sum / float64(len(s.Samples)))
+}
+
+// Peak returns the maximum absolute sample value.
+func (s *Signal) Peak() float64 {
+	p := 0.0
+	for _, v := range s.Samples {
+		if a := math.Abs(v); a > p {
+			p = a
+		}
+	}
+	return p
+}
+
+// Clamp limits all samples to [-limit, limit] in place, modeling converter
+// saturation.
+func (s *Signal) Clamp(limit float64) {
+	for i, v := range s.Samples {
+		if v > limit {
+			s.Samples[i] = limit
+		} else if v < -limit {
+			s.Samples[i] = -limit
+		}
+	}
+}
+
+// Tone synthesizes a continuous sinusoid of the given frequency, amplitude
+// and duration — the probe signal EchoWrite's speaker emits (20 kHz in the
+// paper).
+func Tone(rate, freq, amplitude, duration float64) (*Signal, error) {
+	s, err := NewSignal(rate, duration)
+	if err != nil {
+		return nil, err
+	}
+	if freq <= 0 || freq >= rate/2 {
+		return nil, fmt.Errorf("audio: tone frequency %g outside (0, %g)", freq, rate/2)
+	}
+	w := 2 * math.Pi * freq / rate
+	for i := range s.Samples {
+		s.Samples[i] = amplitude * math.Sin(w*float64(i))
+	}
+	return s, nil
+}
+
+// SNRdB computes the signal-to-noise ratio in decibels between a signal and
+// a noise floor, based on RMS power. It returns +Inf for zero noise and
+// -Inf for zero signal.
+func SNRdB(signal, noise *Signal) float64 {
+	sr := signal.RMS()
+	nr := noise.RMS()
+	if nr == 0 {
+		return math.Inf(1)
+	}
+	if sr == 0 {
+		return math.Inf(-1)
+	}
+	return 20 * math.Log10(sr/nr)
+}

@@ -1,0 +1,142 @@
+package audio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// WAV encoding constants for 16-bit mono PCM, the only format the tooling
+// needs (the paper's prototype records 44.1 kHz mono).
+const (
+	wavFormatPCM   = 1
+	wavBitsPerSamp = 16
+)
+
+// EncodeWAV writes s as a 16-bit mono PCM RIFF/WAVE stream. Samples are
+// clipped to [-1, 1] before quantization.
+func EncodeWAV(w io.Writer, s *Signal) error {
+	if s.Rate <= 0 {
+		return fmt.Errorf("audio: cannot encode WAV with sample rate %g", s.Rate)
+	}
+	dataLen := uint32(len(s.Samples) * 2)
+	var hdr [44]byte
+	copy(hdr[0:4], "RIFF")
+	binary.LittleEndian.PutUint32(hdr[4:8], 36+dataLen)
+	copy(hdr[8:12], "WAVE")
+	copy(hdr[12:16], "fmt ")
+	binary.LittleEndian.PutUint32(hdr[16:20], 16)
+	binary.LittleEndian.PutUint16(hdr[20:22], wavFormatPCM)
+	binary.LittleEndian.PutUint16(hdr[22:24], 1) // channels
+	rate := uint32(s.Rate + 0.5)
+	binary.LittleEndian.PutUint32(hdr[24:28], rate)
+	binary.LittleEndian.PutUint32(hdr[28:32], rate*2) // byte rate
+	binary.LittleEndian.PutUint16(hdr[32:34], 2)      // block align
+	binary.LittleEndian.PutUint16(hdr[34:36], wavBitsPerSamp)
+	copy(hdr[36:40], "data")
+	binary.LittleEndian.PutUint32(hdr[40:44], dataLen)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("audio: writing WAV header: %w", err)
+	}
+	buf := make([]byte, 0, 4096)
+	for _, v := range s.Samples {
+		if v > 1 {
+			v = 1
+		} else if v < -1 {
+			v = -1
+		}
+		q := int16(math.Round(v * 32767))
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(q))
+		if len(buf) >= 4096 {
+			if _, err := w.Write(buf); err != nil {
+				return fmt.Errorf("audio: writing WAV data: %w", err)
+			}
+			buf = buf[:0]
+		}
+	}
+	if len(buf) > 0 {
+		if _, err := w.Write(buf); err != nil {
+			return fmt.Errorf("audio: writing WAV data: %w", err)
+		}
+	}
+	return nil
+}
+
+// DecodeWAV parses a 16-bit mono PCM RIFF/WAVE stream produced by
+// EncodeWAV (or any compatible writer). Unknown chunks are skipped.
+func DecodeWAV(r io.Reader) (*Signal, error) {
+	var riff [12]byte
+	if _, err := io.ReadFull(r, riff[:]); err != nil {
+		return nil, fmt.Errorf("audio: reading RIFF header: %w", err)
+	}
+	if string(riff[0:4]) != "RIFF" || string(riff[8:12]) != "WAVE" {
+		return nil, fmt.Errorf("audio: not a RIFF/WAVE stream")
+	}
+	var (
+		rate     uint32
+		channels uint16
+		bits     uint16
+		haveFmt  bool
+	)
+	for {
+		var chunk [8]byte
+		if _, err := io.ReadFull(r, chunk[:]); err != nil {
+			if err == io.EOF {
+				return nil, fmt.Errorf("audio: WAV stream has no data chunk")
+			}
+			return nil, fmt.Errorf("audio: reading chunk header: %w", err)
+		}
+		id := string(chunk[0:4])
+		size := binary.LittleEndian.Uint32(chunk[4:8])
+		switch id {
+		case "fmt ":
+			body := make([]byte, size)
+			if _, err := io.ReadFull(r, body); err != nil {
+				return nil, fmt.Errorf("audio: reading fmt chunk: %w", err)
+			}
+			if len(body) < 16 {
+				return nil, fmt.Errorf("audio: fmt chunk too short (%d bytes)", len(body))
+			}
+			format := binary.LittleEndian.Uint16(body[0:2])
+			channels = binary.LittleEndian.Uint16(body[2:4])
+			rate = binary.LittleEndian.Uint32(body[4:8])
+			bits = binary.LittleEndian.Uint16(body[14:16])
+			if format != wavFormatPCM {
+				return nil, fmt.Errorf("audio: unsupported WAV format %d (want PCM)", format)
+			}
+			if channels != 1 {
+				return nil, fmt.Errorf("audio: unsupported channel count %d (want mono)", channels)
+			}
+			if bits != wavBitsPerSamp {
+				return nil, fmt.Errorf("audio: unsupported bit depth %d (want 16)", bits)
+			}
+			haveFmt = true
+		case "data":
+			if !haveFmt {
+				return nil, fmt.Errorf("audio: data chunk before fmt chunk")
+			}
+			body := make([]byte, size)
+			if _, err := io.ReadFull(r, body); err != nil {
+				return nil, fmt.Errorf("audio: reading data chunk: %w", err)
+			}
+			n := int(size) / 2
+			s := &Signal{Samples: make([]float64, n), Rate: float64(rate)}
+			for i := 0; i < n; i++ {
+				q := int16(binary.LittleEndian.Uint16(body[2*i : 2*i+2]))
+				s.Samples[i] = float64(q) / 32767
+			}
+			return s, nil
+		default:
+			if _, err := io.CopyN(io.Discard, r, int64(size)); err != nil {
+				return nil, fmt.Errorf("audio: skipping chunk %q: %w", id, err)
+			}
+		}
+		// Chunks are word-aligned; skip the pad byte of odd-size chunks.
+		if size%2 == 1 {
+			if _, err := io.CopyN(io.Discard, r, 1); err != nil && err != io.EOF {
+				return nil, fmt.Errorf("audio: skipping pad byte: %w", err)
+			}
+		}
+	}
+}

@@ -1,0 +1,69 @@
+// Package capture glues the behavioural and physical models together: it
+// turns a participant's writing performance into the audio stream a device
+// would record in a given environment. Experiments, examples and tests all
+// synthesize their recordings through this package so scene construction
+// stays consistent.
+package capture
+
+import (
+	"fmt"
+
+	"repro/internal/acoustic"
+	"repro/internal/audio"
+	"repro/internal/participant"
+	"repro/internal/stroke"
+)
+
+// Recording bundles the synthesized audio with its ground truth.
+type Recording struct {
+	// Signal is the microphone stream.
+	Signal *audio.Signal
+	// Performance carries the finger trajectory and true stroke spans.
+	Performance *participant.Performance
+}
+
+// Perform writes seq with the given session and records it on dev in env.
+// The seed controls the scene's stochastic components (noise, bursts)
+// independently of the participant's motor randomness.
+func Perform(sess *participant.Session, seq stroke.Sequence, dev acoustic.DeviceProfile, env acoustic.Environment, seed uint64) (*Recording, error) {
+	perf, err := sess.Perform(seq)
+	if err != nil {
+		return nil, fmt.Errorf("capture: %w", err)
+	}
+	return record(perf, dev, env, seed)
+}
+
+// PerformRecalled is Perform with scheme-recall errors applied at the
+// given accuracy (learnability experiments).
+func PerformRecalled(sess *participant.Session, intended stroke.Sequence, recallAcc float64, dev acoustic.DeviceProfile, env acoustic.Environment, seed uint64) (*Recording, error) {
+	perf, err := sess.PerformRecalled(intended, recallAcc)
+	if err != nil {
+		return nil, fmt.Errorf("capture: %w", err)
+	}
+	return record(perf, dev, env, seed)
+}
+
+// PerformWord encodes word under the session scheme and records its
+// writing.
+func PerformWord(sess *participant.Session, scheme *stroke.Scheme, word string, dev acoustic.DeviceProfile, env acoustic.Environment, seed uint64) (*Recording, error) {
+	seq, err := scheme.Encode(word)
+	if err != nil {
+		return nil, fmt.Errorf("capture: %w", err)
+	}
+	return Perform(sess, seq, dev, env, seed)
+}
+
+func record(perf *participant.Performance, dev acoustic.DeviceProfile, env acoustic.Environment, seed uint64) (*Recording, error) {
+	scene := &acoustic.Scene{
+		Device:     dev,
+		Env:        env,
+		Reflectors: acoustic.HandReflectors(perf.Finger),
+		Duration:   perf.Finger.Duration(),
+		Seed:       seed,
+	}
+	sig, err := scene.Synthesize()
+	if err != nil {
+		return nil, fmt.Errorf("capture: %w", err)
+	}
+	return &Recording{Signal: sig, Performance: perf}, nil
+}

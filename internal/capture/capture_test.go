@@ -1,0 +1,66 @@
+package capture
+
+import (
+	"testing"
+
+	"repro/internal/acoustic"
+	"repro/internal/participant"
+	"repro/internal/stroke"
+)
+
+func session(seed uint64) *participant.Session {
+	return participant.NewSession(participant.SixParticipants()[0], seed)
+}
+
+func TestPerform(t *testing.T) {
+	rec, err := Perform(session(1), stroke.Sequence{stroke.S2, stroke.S3},
+		acoustic.Mate9(), acoustic.StandardEnvironment(acoustic.MeetingRoom), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Signal == nil || rec.Performance == nil {
+		t.Fatal("nil recording fields")
+	}
+	if rec.Signal.Rate != 44100 {
+		t.Errorf("rate = %g", rec.Signal.Rate)
+	}
+	if got, want := rec.Signal.Duration(), rec.Performance.Finger.Duration(); got < want-0.1 {
+		t.Errorf("signal %gs shorter than trajectory %gs", got, want)
+	}
+	if len(rec.Performance.Spans) != 2 {
+		t.Errorf("spans = %d", len(rec.Performance.Spans))
+	}
+}
+
+func TestPerformEmptySequence(t *testing.T) {
+	if _, err := Perform(session(1), nil, acoustic.Mate9(), acoustic.Environment{}, 1); err == nil {
+		t.Error("empty sequence accepted")
+	}
+}
+
+func TestPerformWord(t *testing.T) {
+	rec, err := PerformWord(session(2), stroke.DefaultScheme(), "hi",
+		acoustic.Mate9(), acoustic.Environment{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Performance.Performed) != 2 {
+		t.Errorf("performed = %v", rec.Performance.Performed)
+	}
+	if _, err := PerformWord(session(2), stroke.DefaultScheme(), "h1",
+		acoustic.Mate9(), acoustic.Environment{}, 2); err == nil {
+		t.Error("non-letter word accepted")
+	}
+}
+
+func TestPerformRecalledInjectsErrors(t *testing.T) {
+	intended := stroke.Sequence{stroke.S1, stroke.S2, stroke.S3, stroke.S4, stroke.S5, stroke.S6}
+	rec, err := PerformRecalled(session(3), intended, 0,
+		acoustic.Watch2(), acoustic.Environment{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Performance.Performed.Equal(intended) {
+		t.Error("zero recall accuracy left sequence intact")
+	}
+}

@@ -1,0 +1,202 @@
+// Package core assembles EchoWrite's end-to-end system — the paper's
+// primary contribution — behind one facade: a System that takes raw
+// microphone audio and produces ranked word candidates.
+//
+//	sys, _ := core.New(core.DefaultOptions())
+//	result, _ := sys.RecognizeWords(signal)
+//
+// Internally a System owns the recognition pipeline (STFT → enhancement →
+// MVCE → segmentation → DTW; see internal/pipeline), the word-inference
+// layer (Bayesian scoring with stroke correction; see internal/infer) and
+// the dictionary/bigram substrate (internal/lexicon). Templates are
+// pipeline-calibrated at construction, preserving the paper's
+// training-free property: no user data is ever recorded.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/audio"
+	"repro/internal/calibrate"
+	"repro/internal/infer"
+	"repro/internal/lexicon"
+	"repro/internal/pipeline"
+	"repro/internal/stroke"
+)
+
+// Options configure a System. Zero-valued fields take paper defaults.
+type Options struct {
+	// Pipeline is the signal-chain configuration.
+	Pipeline pipeline.Config
+	// Inference configures word recognition (top-k, correction scope).
+	Inference infer.Config
+	// Scheme maps letters to strokes; nil means the default scheme.
+	Scheme *stroke.Scheme
+	// Words optionally overrides the vocabulary (ordered by descending
+	// frequency). Empty means the embedded dictionary.
+	Words []string
+	// Confusion optionally overrides the stroke confusion model; nil
+	// means the calibrated default.
+	Confusion *infer.Confusion
+	// DisablePrediction turns off bigram next-word prediction.
+	DisablePrediction bool
+	// AnalyticTemplates skips pipeline calibration and matches against
+	// the pure analytic profiles (ablation use).
+	AnalyticTemplates bool
+	// LikelihoodScoring scores word candidates with the per-detection DTW
+	// likelihoods instead of the global confusion matrix (an extension
+	// beyond the paper; see infer.RecognizeWithLikelihoods).
+	LikelihoodScoring bool
+}
+
+// DefaultOptions returns the paper's configuration end to end.
+func DefaultOptions() Options {
+	return Options{
+		Pipeline:  pipeline.DefaultConfig(),
+		Inference: infer.DefaultConfig(),
+	}
+}
+
+// System is a ready-to-use EchoWrite recognizer. It is not safe for
+// concurrent use; construct one per goroutine.
+type System struct {
+	engine            *pipeline.Engine
+	recognizer        *infer.Recognizer
+	dict              *lexicon.Dictionary
+	session           *infer.Session
+	likelihoodScoring bool
+}
+
+// New builds a System: generates (or calibrates) stroke templates, loads
+// the dictionary, and wires the inference layer.
+func New(opts Options) (*System, error) {
+	scheme := opts.Scheme
+	if scheme == nil {
+		scheme = stroke.DefaultScheme()
+	}
+	words := opts.Words
+	if len(words) == 0 {
+		words = lexicon.DefaultWords()
+	}
+	dict, err := lexicon.NewDictionary(scheme, words)
+	if err != nil {
+		return nil, fmt.Errorf("core: building dictionary: %w", err)
+	}
+
+	var eng *pipeline.Engine
+	if opts.AnalyticTemplates {
+		eng, err = pipeline.NewEngine(opts.Pipeline)
+	} else {
+		eng, err = calibrate.NewCalibratedEngine(opts.Pipeline)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: building pipeline: %w", err)
+	}
+
+	confusion := opts.Confusion
+	if confusion == nil {
+		confusion = infer.DefaultConfusion()
+	}
+	var bigram *lexicon.Bigram
+	if !opts.DisablePrediction {
+		bigram = lexicon.DefaultBigram()
+	}
+	rec, err := infer.NewRecognizer(dict, confusion, bigram, opts.Inference)
+	if err != nil {
+		return nil, fmt.Errorf("core: building recognizer: %w", err)
+	}
+	sys := &System{engine: eng, recognizer: rec, dict: dict, likelihoodScoring: opts.LikelihoodScoring}
+	sys.session = infer.NewSession(rec)
+	return sys, nil
+}
+
+// Engine exposes the underlying signal pipeline (for experiments and
+// diagnostics).
+func (s *System) Engine() *pipeline.Engine { return s.engine }
+
+// Recognizer exposes the word-inference layer.
+func (s *System) Recognizer() *infer.Recognizer { return s.recognizer }
+
+// Dictionary exposes the vocabulary.
+func (s *System) Dictionary() *lexicon.Dictionary { return s.dict }
+
+// WordResult is the outcome of recognizing one word's audio.
+type WordResult struct {
+	// Strokes is the recognized stroke sequence.
+	Strokes stroke.Sequence
+	// Candidates are the ranked word suggestions (up to TopK).
+	Candidates []infer.Candidate
+	// Recognition carries the pipeline-level details (profile, segments,
+	// timings).
+	Recognition *pipeline.Recognition
+}
+
+// Top returns the best word suggestion, or "" when none matched.
+func (r *WordResult) Top() string {
+	if len(r.Candidates) == 0 {
+		return ""
+	}
+	return r.Candidates[0].Word
+}
+
+// RecognizeWords runs the full chain over one recording containing the
+// strokes of a single word.
+func (s *System) RecognizeWords(sig *audio.Signal) (*WordResult, error) {
+	rec, err := s.engine.Recognize(sig)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	out := &WordResult{Strokes: rec.Sequence, Recognition: rec}
+	if len(rec.Sequence) == 0 {
+		return out, nil
+	}
+	var cands []infer.Candidate
+	if s.likelihoodScoring {
+		rows := make([][stroke.NumStrokes]float64, len(rec.Detections))
+		for i, d := range rec.Detections {
+			rows[i] = d.Likelihoods
+		}
+		cands, err = s.recognizer.RecognizeWithLikelihoods(rec.Sequence, rows)
+	} else {
+		cands, err = s.recognizer.Recognize(rec.Sequence)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	out.Candidates = cands
+	return out, nil
+}
+
+// RecognizeStrokes runs only the signal chain, returning the pipeline
+// recognition (for callers doing their own inference).
+func (s *System) RecognizeStrokes(sig *audio.Signal) (*pipeline.Recognition, error) {
+	rec, err := s.engine.Recognize(sig)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return rec, nil
+}
+
+// Predict suggests next words after prev (empty without a bigram model).
+func (s *System) Predict(prev string) []string {
+	return s.recognizer.Predict(prev)
+}
+
+// EnterWord advances the interactive session: recognize the audio of one
+// intended word, consult predictions, and account the choice the way the
+// paper's UI does (intended word picked when visible in top-k, else
+// auto-accept of the top candidate after 1 s).
+func (s *System) EnterWord(intended string, sig *audio.Signal) (*infer.SessionResult, *WordResult, error) {
+	wr, err := s.RecognizeWords(sig)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := s.session.EnterWord(intended, wr.Strokes)
+	if err != nil {
+		return nil, wr, fmt.Errorf("core: %w", err)
+	}
+	return res, wr, nil
+}
+
+// ResetSession clears sentence context (start of a new phrase).
+func (s *System) ResetSession() { s.session = infer.NewSession(s.recognizer) }

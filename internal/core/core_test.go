@@ -1,0 +1,194 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/acoustic"
+	"repro/internal/capture"
+	"repro/internal/infer"
+	"repro/internal/participant"
+	"repro/internal/stroke"
+)
+
+// newSystem builds a default System once; calibration synthesizes six
+// scenes so construction is not free.
+func newSystem(t *testing.T) *System {
+	t.Helper()
+	sys, err := New(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func recordWord(t *testing.T, word string, seed uint64) *capture.Recording {
+	t.Helper()
+	return recordWordOn(t, word, seed, acoustic.Mate9())
+}
+
+func recordWordOn(t *testing.T, word string, seed uint64, dev acoustic.DeviceProfile) *capture.Recording {
+	t.Helper()
+	sess := participant.NewSession(participant.SixParticipants()[0], seed)
+	rec, err := capture.PerformWord(sess, stroke.DefaultScheme(), word,
+		dev, acoustic.StandardEnvironment(acoustic.MeetingRoom), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+func TestSystemEndToEndWord(t *testing.T) {
+	sys := newSystem(t)
+	rec := recordWord(t, "me", 42)
+	res, err := sys.RecognizeWords(rec.Signal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Strokes) != 2 {
+		t.Fatalf("recognized %d strokes, want 2 (%v)", len(res.Strokes), res.Strokes)
+	}
+	found := false
+	for _, c := range res.Candidates {
+		if c.Word == "me" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf(`"me" not among candidates: %v`, res.Candidates)
+	}
+}
+
+func TestSystemRecognizeStrokesOnly(t *testing.T) {
+	sys := newSystem(t)
+	rec := recordWord(t, "to", 7)
+	out, err := sys.RecognizeStrokes(rec.Signal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Segments) != 2 {
+		t.Errorf("segments = %d, want 2", len(out.Segments))
+	}
+}
+
+func TestSystemEnterWordSession(t *testing.T) {
+	sys := newSystem(t)
+	rec := recordWord(t, "the", 9)
+	res, wr, err := sys.EnterWord("the", rec.Signal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wr == nil || res == nil {
+		t.Fatal("nil results")
+	}
+	if res.Chosen == "" {
+		t.Error("no word chosen")
+	}
+	sys.ResetSession()
+}
+
+func TestWordResultTop(t *testing.T) {
+	empty := &WordResult{}
+	if empty.Top() != "" {
+		t.Error("empty Top should be empty string")
+	}
+	wr := &WordResult{Candidates: []infer.Candidate{{Word: "hi"}}}
+	if wr.Top() != "hi" {
+		t.Error("Top wrong")
+	}
+}
+
+func TestNewValidatesOptions(t *testing.T) {
+	bad := DefaultOptions()
+	bad.Pipeline.CarrierHz = 5 // outside band
+	if _, err := New(bad); err == nil {
+		t.Error("invalid pipeline config accepted")
+	}
+	bad = DefaultOptions()
+	bad.Inference.TopK = -1
+	if _, err := New(bad); err == nil {
+		t.Error("invalid inference config accepted")
+	}
+	bad = DefaultOptions()
+	bad.Words = []string{"not-a-word-1"}
+	if _, err := New(bad); err == nil {
+		t.Error("invalid vocabulary accepted")
+	}
+}
+
+func TestNewWithCustomVocabulary(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Words = []string{"go", "run", "stop"}
+	opts.AnalyticTemplates = true // skip calibration for speed
+	sys, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Dictionary().Size() != 3 {
+		t.Errorf("dictionary size = %d, want 3", sys.Dictionary().Size())
+	}
+}
+
+func TestNewWithCustomScheme(t *testing.T) {
+	// A custom scheme (swap two groups) must still cover the alphabet
+	// and build cleanly.
+	groups := map[stroke.Stroke]string{}
+	for st, letters := range stroke.DefaultSchemeGroups {
+		groups[st] = letters
+	}
+	groups[stroke.S1], groups[stroke.S2] = groups[stroke.S2], groups[stroke.S1]
+	scheme, err := stroke.NewScheme(groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Scheme = scheme
+	opts.AnalyticTemplates = true
+	sys, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := sys.Dictionary().Scheme().Encode("hi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// H and I were in S2's group; under the swapped scheme they are S1.
+	if seq[0] != stroke.S1 {
+		t.Errorf("custom scheme not honored: %v", seq)
+	}
+}
+
+func TestPredictDisabled(t *testing.T) {
+	opts := DefaultOptions()
+	opts.DisablePrediction = true
+	opts.AnalyticTemplates = true
+	sys, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Predict("the") != nil {
+		t.Error("prediction should be disabled")
+	}
+}
+
+func TestLikelihoodScoringMode(t *testing.T) {
+	opts := DefaultOptions()
+	opts.LikelihoodScoring = true
+	sys, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := recordWord(t, "water", 21)
+	res, err := sys.RecognizeWords(rec.Signal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range res.Candidates {
+		if c.Word == "water" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf(`likelihood scoring lost "water": %v`, res.Candidates)
+	}
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/audio"
+	"repro/internal/infer"
+	"repro/internal/pipeline"
+	"repro/internal/stroke"
+)
+
+// Phrase-level recognition is an extension beyond the paper: its prototype
+// has the user confirm each word on screen, but a continuous writer
+// naturally leaves a longer dwell between words than between strokes, so
+// word boundaries are recoverable from inter-stroke gap statistics alone.
+// Gaps are clustered with a one-dimensional 2-means split; when the split
+// is ambiguous (a single word's worth of uniform gaps) the whole sequence
+// is treated as one word.
+
+// PhraseWord is one decoded word of a phrase recognition.
+type PhraseWord struct {
+	// Strokes is the recognized stroke sequence of this word.
+	Strokes stroke.Sequence
+	// Candidates are the ranked suggestions for this word.
+	Candidates []infer.Candidate
+}
+
+// Top returns the word's best suggestion ("" if none).
+func (w *PhraseWord) Top() string {
+	if len(w.Candidates) == 0 {
+		return ""
+	}
+	return w.Candidates[0].Word
+}
+
+// PhraseResult is the outcome of RecognizePhrase.
+type PhraseResult struct {
+	// Words are the decoded words in writing order.
+	Words []PhraseWord
+	// Recognition carries the pipeline-level details.
+	Recognition *pipeline.Recognition
+}
+
+// Text joins the top candidates with spaces (missing words become "?").
+func (r *PhraseResult) Text() string {
+	out := ""
+	for i := range r.Words {
+		w := r.Words[i].Top()
+		if w == "" {
+			w = "?"
+		}
+		if i > 0 {
+			out += " "
+		}
+		out += w
+	}
+	return out
+}
+
+// minWordGapRatio is how much larger a between-word gap must be than a
+// within-word gap for the 2-means split to be trusted.
+const minWordGapRatio = 1.6
+
+// RecognizePhrase runs the signal chain once over a recording containing
+// several words and decodes each word separately, finding boundaries from
+// inter-stroke gaps.
+func (s *System) RecognizePhrase(sig *audio.Signal) (*PhraseResult, error) {
+	rec, err := s.engine.Recognize(sig)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	res := &PhraseResult{Recognition: rec}
+	if len(rec.Detections) == 0 {
+		return res, nil
+	}
+	groups := splitByGaps(rec.Detections)
+	for _, g := range groups {
+		word := PhraseWord{}
+		for _, d := range g {
+			word.Strokes = append(word.Strokes, d.Stroke)
+		}
+		cands, err := s.recognizer.Recognize(word.Strokes)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		word.Candidates = cands
+		res.Words = append(res.Words, word)
+	}
+	return res, nil
+}
+
+// splitByGaps groups consecutive detections into words using a 2-means
+// clustering of the inter-segment gaps.
+func splitByGaps(dets []pipeline.Detection) [][]pipeline.Detection {
+	if len(dets) <= 1 {
+		return [][]pipeline.Detection{dets}
+	}
+	gaps := make([]float64, len(dets)-1)
+	for i := 1; i < len(dets); i++ {
+		gaps[i-1] = float64(dets[i].Segment.Start - dets[i-1].Segment.End)
+	}
+	threshold, ok := twoMeansThreshold(gaps)
+	if !ok {
+		return [][]pipeline.Detection{dets}
+	}
+	var groups [][]pipeline.Detection
+	cur := []pipeline.Detection{dets[0]}
+	for i := 1; i < len(dets); i++ {
+		if gaps[i-1] > threshold {
+			groups = append(groups, cur)
+			cur = nil
+		}
+		cur = append(cur, dets[i])
+	}
+	groups = append(groups, cur)
+	return groups
+}
+
+// twoMeansThreshold splits values into small/large clusters and returns
+// the midpoint between cluster means, or ok=false when the clusters are
+// not separated enough to be meaningful.
+func twoMeansThreshold(values []float64) (float64, bool) {
+	if len(values) < 2 {
+		return 0, false
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	// Initialize centers at the extremes, run a few Lloyd iterations.
+	lo, hi := sorted[0], sorted[len(sorted)-1]
+	if hi <= 0 {
+		return 0, false
+	}
+	for iter := 0; iter < 16; iter++ {
+		var sumLo, sumHi float64
+		var nLo, nHi int
+		mid := (lo + hi) / 2
+		for _, v := range sorted {
+			if v <= mid {
+				sumLo += v
+				nLo++
+			} else {
+				sumHi += v
+				nHi++
+			}
+		}
+		if nLo == 0 || nHi == 0 {
+			return 0, false
+		}
+		newLo, newHi := sumLo/float64(nLo), sumHi/float64(nHi)
+		if newLo == lo && newHi == hi {
+			break
+		}
+		lo, hi = newLo, newHi
+	}
+	if hi < lo*minWordGapRatio {
+		return 0, false // unimodal gaps: a single word
+	}
+	return (lo + hi) / 2, true
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/acoustic"
+	"repro/internal/participant"
+	"repro/internal/pipeline"
+	"repro/internal/segment"
+	"repro/internal/stroke"
+)
+
+func TestTwoMeansThreshold(t *testing.T) {
+	// Clearly bimodal gaps.
+	th, ok := twoMeansThreshold([]float64{10, 12, 11, 60, 10, 58})
+	if !ok {
+		t.Fatal("bimodal gaps not split")
+	}
+	if th < 12 || th > 58 {
+		t.Errorf("threshold %g outside the gap valley", th)
+	}
+	// Unimodal gaps: no split.
+	if _, ok := twoMeansThreshold([]float64{10, 11, 12, 10, 11}); ok {
+		t.Error("unimodal gaps split")
+	}
+	if _, ok := twoMeansThreshold([]float64{10}); ok {
+		t.Error("single gap split")
+	}
+	if _, ok := twoMeansThreshold([]float64{0, 0}); ok {
+		t.Error("zero gaps split")
+	}
+}
+
+func TestSplitByGaps(t *testing.T) {
+	det := func(start, end int) pipeline.Detection {
+		return pipeline.Detection{Segment: segment.Segment{Start: start, End: end}}
+	}
+	dets := []pipeline.Detection{
+		det(0, 10), det(20, 30), det(40, 50), // word 1: gaps 10
+		det(120, 130), det(140, 150), // word 2 after a 70-frame gap
+	}
+	groups := splitByGaps(dets)
+	if len(groups) != 2 {
+		t.Fatalf("got %d groups, want 2", len(groups))
+	}
+	if len(groups[0]) != 3 || len(groups[1]) != 2 {
+		t.Errorf("group sizes %d, %d", len(groups[0]), len(groups[1]))
+	}
+	// Single detection: one group.
+	if g := splitByGaps(dets[:1]); len(g) != 1 {
+		t.Errorf("single detection grouped into %d", len(g))
+	}
+}
+
+func TestRecognizePhraseEndToEnd(t *testing.T) {
+	sys := newSystem(t)
+	sess := participant.NewSession(participant.SixParticipants()[0], 19)
+	scheme := sys.Dictionary().Scheme()
+	words := []string{"the", "water"}
+	var seqs []stroke.Sequence
+	for _, w := range words {
+		q, err := scheme.Encode(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqs = append(seqs, q)
+	}
+	perf, counts, err := sess.PerformWords(seqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[0] != 3 || counts[1] != 5 {
+		t.Fatalf("counts = %v", counts)
+	}
+	sc := &acoustic.Scene{
+		Device:     acoustic.Mate9(),
+		Env:        acoustic.StandardEnvironment(acoustic.MeetingRoom),
+		Reflectors: acoustic.HandReflectors(perf.Finger),
+		Duration:   perf.Finger.Duration(),
+		Seed:       19,
+	}
+	sig, err := sc.Synthesize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.RecognizePhrase(sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Words) != 2 {
+		t.Fatalf("decoded %d words, want 2 (%q)", len(res.Words), res.Text())
+	}
+	if got := res.Text(); got != "the water" {
+		t.Errorf("Text() = %q, want \"the water\"", got)
+	}
+}
+
+func TestRecognizePhraseSingleWord(t *testing.T) {
+	sys := newSystem(t)
+	rec := recordWord(t, "good", 23)
+	res, err := sys.RecognizePhrase(rec.Signal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Words) != 1 {
+		t.Fatalf("single word split into %d (%q)", len(res.Words), res.Text())
+	}
+	if res.Words[0].Top() != "good" {
+		t.Errorf("top = %q", res.Words[0].Top())
+	}
+}
+
+func TestRecognizePhraseSilence(t *testing.T) {
+	sys := newSystem(t)
+	sc := &acoustic.Scene{
+		Device:   acoustic.Mate9(),
+		Env:      acoustic.Environment{},
+		Duration: 1.5,
+		Seed:     2,
+	}
+	sig, err := sc.Synthesize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.RecognizePhrase(sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Words) != 0 || res.Text() != "" {
+		t.Errorf("silence decoded to %q", res.Text())
+	}
+}

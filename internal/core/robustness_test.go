@@ -1,0 +1,172 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/acoustic"
+	"repro/internal/audio"
+)
+
+// Robustness / failure-injection suite: the system must degrade
+// gracefully — returning empty results or errors, never panicking or
+// hallucinating strokes — under malformed or hostile inputs.
+
+func TestRobustnessWrongSampleRate(t *testing.T) {
+	sys := newSystem(t)
+	sig := &audio.Signal{Samples: make([]float64, 48000), Rate: 48000}
+	if _, err := sys.RecognizeWords(sig); err == nil {
+		t.Error("wrong sample rate accepted")
+	}
+}
+
+func TestRobustnessTooShort(t *testing.T) {
+	sys := newSystem(t)
+	// Shorter than one FFT frame.
+	sig := &audio.Signal{Samples: make([]float64, 4096), Rate: 44100}
+	if _, err := sys.RecognizeWords(sig); err == nil {
+		t.Error("sub-frame signal accepted")
+	}
+}
+
+func TestRobustnessPureNoise(t *testing.T) {
+	sys := newSystem(t)
+	ns := audio.NewNoiseSource(77)
+	sig, err := ns.White(44100, 0.3, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.RecognizeWords(sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// White noise has no carrier, no static template to subtract, and no
+	// coherent Doppler trace: the system must not invent long words.
+	if len(res.Strokes) > 2 {
+		t.Errorf("pure noise produced %d strokes", len(res.Strokes))
+	}
+}
+
+func TestRobustnessSilence(t *testing.T) {
+	sys := newSystem(t)
+	sig := &audio.Signal{Samples: make([]float64, 44100), Rate: 44100}
+	res, err := sys.RecognizeWords(sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Strokes) != 0 {
+		t.Errorf("digital silence produced strokes: %v", res.Strokes)
+	}
+}
+
+func TestRobustnessClippedSignal(t *testing.T) {
+	sys := newSystem(t)
+	rec := recordWord(t, "do", 5)
+	// Hard-clip at 30% of full scale: harmonics everywhere, but the
+	// recognizer should still survive (and usually still recognize).
+	clipped := rec.Signal.Clone()
+	for i, v := range clipped.Samples {
+		if v > 0.3 {
+			clipped.Samples[i] = 0.3
+		} else if v < -0.3 {
+			clipped.Samples[i] = -0.3
+		}
+	}
+	if _, err := sys.RecognizeWords(clipped); err != nil {
+		t.Fatalf("clipped signal errored: %v", err)
+	}
+}
+
+func TestRobustnessDCOffset(t *testing.T) {
+	sys := newSystem(t)
+	rec := recordWord(t, "do", 6)
+	shifted := rec.Signal.Clone()
+	for i := range shifted.Samples {
+		shifted.Samples[i] += 0.1
+	}
+	res, err := sys.RecognizeWords(shifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DC sits at bin 0, far outside the 19.5–20.5 kHz band: recognition
+	// should be unaffected.
+	if len(res.Strokes) != 2 {
+		t.Errorf("DC offset broke recognition: %v", res.Strokes)
+	}
+}
+
+func TestRobustnessLoudBackgroundMusic(t *testing.T) {
+	sys := newSystem(t)
+	rec := recordWord(t, "do", 7)
+	noisy := rec.Signal.Clone()
+	// A loud low/mid-frequency "music" mix far below the probe band.
+	for i := range noisy.Samples {
+		ti := float64(i) / 44100
+		noisy.Samples[i] += 0.2*math.Sin(2*math.Pi*440*ti) +
+			0.15*math.Sin(2*math.Pi*880*ti) +
+			0.1*math.Sin(2*math.Pi*2093*ti)
+	}
+	res, err := sys.RecognizeWords(noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Strokes) != 2 {
+		t.Errorf("out-of-band music broke recognition: got %v", res.Strokes)
+	}
+}
+
+func TestRobustnessCompetingTone(t *testing.T) {
+	// An interfering tone INSIDE the probe band (e.g. another EchoWrite
+	// device nearby at 20.2 kHz): static in frequency, so spectral
+	// subtraction should remove it like any other static component.
+	sys := newSystem(t)
+	rec := recordWord(t, "do", 8)
+	jammed := rec.Signal.Clone()
+	tone, err := audio.Tone(44100, 20200, 0.1, jammed.Duration())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jammed.AddInPlace(tone, 1); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.RecognizeWords(jammed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Strokes) != 2 {
+		t.Errorf("static in-band tone broke recognition: %v", res.Strokes)
+	}
+}
+
+func TestRobustnessGainVariation(t *testing.T) {
+	// Normalization keeps recognition stable across moderate gain
+	// changes (±6 dB). Large attenuation eventually starves the absolute
+	// α energy gate — the hardware dependence the paper itself notes.
+	sys := newSystem(t)
+	rec := recordWord(t, "do", 9)
+	for _, gain := range []float64{0.5, 1.0, 1.5} {
+		scaled := rec.Signal.Clone()
+		scaled.Scale(gain)
+		res, err := sys.RecognizeWords(scaled)
+		if err != nil {
+			t.Fatalf("gain %g: %v", gain, err)
+		}
+		if len(res.Strokes) != 2 {
+			t.Errorf("gain %g broke recognition: %v", gain, res.Strokes)
+		}
+	}
+}
+
+func TestRobustnessWatchFrontEnd(t *testing.T) {
+	// The same word through the weaker smartwatch front-end must still
+	// recognize (Fig. 11's claim).
+	sys := newSystem(t)
+	recW := recordWordOn(t, "do", 11, acoustic.Watch2())
+	res, err := sys.RecognizeWords(recW.Signal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Strokes) != 2 {
+		t.Errorf("watch front-end broke recognition: %v", res.Strokes)
+	}
+}

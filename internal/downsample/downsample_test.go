@@ -1,0 +1,125 @@
+package downsample
+
+import (
+	"testing"
+
+	"repro/internal/acoustic"
+	"repro/internal/audio"
+	"repro/internal/capture"
+	"repro/internal/participant"
+	"repro/internal/pipeline"
+	"repro/internal/stroke"
+)
+
+func TestNewValidation(t *testing.T) {
+	base := pipeline.DefaultConfig()
+	if _, err := New(base, 1, 127); err == nil {
+		t.Error("factor 1 accepted")
+	}
+	if _, err := New(base, 3, 127); err == nil {
+		t.Error("non-dividing factor accepted")
+	}
+	if _, err := New(base, 8, 126); err == nil {
+		t.Error("even tap count accepted")
+	}
+	bad := base
+	bad.CarrierHz = 0
+	if _, err := New(bad, 8, 127); err == nil {
+		t.Error("invalid base config accepted")
+	}
+}
+
+func TestDerivedConfigFactor8(t *testing.T) {
+	fe, err := New(pipeline.DefaultConfig(), 8, 127)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fe.Config()
+	if cfg.STFT.FFTSize != 1024 || cfg.STFT.HopSize != 128 {
+		t.Errorf("derived FFT/hop = %d/%d, want 1024/128", cfg.STFT.FFTSize, cfg.STFT.HopSize)
+	}
+	// Bin resolution and frame rate are preserved.
+	base := pipeline.DefaultConfig()
+	if got, want := cfg.FrameRate(), base.FrameRate(); got != want {
+		t.Errorf("frame rate %g, want %g", got, want)
+	}
+	// The 20 kHz carrier folds to 22050−20000 = 2050 Hz, inverted.
+	if cfg.CarrierHz != 2050 {
+		t.Errorf("aliased carrier = %g, want 2050", cfg.CarrierHz)
+	}
+	if !cfg.InvertSpectrum {
+		t.Error("zone-7 fold should be spectrally inverted")
+	}
+	if cfg.PhysicalCarrier() != 20000 {
+		t.Errorf("physical carrier = %g, want 20000", cfg.PhysicalCarrier())
+	}
+	if fe.Factor() != 8 {
+		t.Errorf("Factor() = %d", fe.Factor())
+	}
+}
+
+func TestProcessRejectsWrongRate(t *testing.T) {
+	fe, err := New(pipeline.DefaultConfig(), 8, 127)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fe.Process(&audio.Signal{Samples: make([]float64, 100), Rate: 48000}); err == nil {
+		t.Error("wrong rate accepted")
+	}
+}
+
+func TestDownsampledRecognition(t *testing.T) {
+	// The acid test of §VII-A: decimate by 8 and the strokes must still
+	// recognize correctly with an 8× smaller FFT.
+	fe, err := New(pipeline.DefaultConfig(), 8, 127)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := fe.CalibratedEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := participant.NewSession(participant.SixParticipants()[0], 3)
+	correct, total := 0, 0
+	for _, st := range stroke.AllStrokes() {
+		for r := 0; r < 2; r++ {
+			rec, err := capture.Perform(sess, stroke.Sequence{st},
+				acoustic.Mate9(), acoustic.StandardEnvironment(acoustic.MeetingRoom),
+				uint64(int(st)*10+r))
+			if err != nil {
+				t.Fatal(err)
+			}
+			low, err := fe.Process(rec.Signal)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := low.Rate, 44100.0/8; got != want {
+				t.Fatalf("decimated rate %g, want %g", got, want)
+			}
+			out, err := eng.Recognize(low)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total++
+			if len(out.Detections) == 1 && out.Detections[0].Stroke == st {
+				correct++
+			}
+		}
+	}
+	if acc := float64(correct) / float64(total); acc < 0.75 {
+		t.Errorf("downsampled accuracy %.2f, want >= 0.75 (12 clean trials)", acc)
+	}
+}
+
+func TestNewRejectsZoneStraddle(t *testing.T) {
+	// A band crossing a Nyquist-zone edge of the decimated rate would
+	// alias onto itself. With factor 8 (zone edges every 2756.25 Hz, one
+	// at 19293.75), a band [19100, 19600] straddles zones 6 and 7.
+	base := pipeline.DefaultConfig()
+	base.STFT.LowBin = int(19100 * float64(base.STFT.FFTSize) / base.STFT.SampleRate)
+	base.STFT.HighBin = int(19600*float64(base.STFT.FFTSize)/base.STFT.SampleRate) + 1
+	base.CarrierHz = 19400
+	if _, err := New(base, 8, 127); err == nil {
+		t.Error("zone-straddling band accepted")
+	}
+}

@@ -1,0 +1,149 @@
+// Package dsp provides the digital signal processing substrate used by the
+// EchoWrite pipeline: fast Fourier transforms, window functions, short-time
+// Fourier transform (STFT), one-dimensional filters and the spectrogram
+// container the image-processing stage operates on.
+//
+// All routines are deterministic, allocation-conscious and implemented with
+// the standard library only.
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// FFTPlan caches the twiddle factors and bit-reversal permutation for a
+// fixed power-of-two transform size. Reusing a plan across calls avoids
+// recomputing trigonometric tables for every frame of an STFT.
+//
+// A plan is safe for concurrent use after construction because Forward and
+// Inverse never mutate plan state.
+type FFTPlan struct {
+	n       int
+	logN    uint
+	rev     []int        // bit-reversal permutation
+	twiddle []complex128 // e^{-2πik/n} for k in [0, n/2)
+}
+
+// NewFFTPlan builds a plan for transforms of size n. n must be a power of
+// two and at least 1.
+func NewFFTPlan(n int) (*FFTPlan, error) {
+	if n < 1 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("dsp: FFT size must be a positive power of two, got %d", n)
+	}
+	logN := uint(0)
+	for 1<<logN < n {
+		logN++
+	}
+	p := &FFTPlan{
+		n:       n,
+		logN:    logN,
+		rev:     make([]int, n),
+		twiddle: make([]complex128, n/2),
+	}
+	for i := 0; i < n; i++ {
+		p.rev[i] = reverseBits(i, logN)
+	}
+	for k := 0; k < n/2; k++ {
+		angle := -2 * math.Pi * float64(k) / float64(n)
+		p.twiddle[k] = cmplx.Exp(complex(0, angle))
+	}
+	return p, nil
+}
+
+// Size reports the transform length the plan was built for.
+func (p *FFTPlan) Size() int { return p.n }
+
+func reverseBits(x int, bits uint) int {
+	r := 0
+	for i := uint(0); i < bits; i++ {
+		r = (r << 1) | (x & 1)
+		x >>= 1
+	}
+	return r
+}
+
+// Forward computes the in-place forward discrete Fourier transform of x.
+// len(x) must equal the plan size. The transform is unnormalized:
+// X[k] = Σ x[j]·e^{-2πijk/n}.
+func (p *FFTPlan) Forward(x []complex128) error {
+	if len(x) != p.n {
+		return fmt.Errorf("dsp: Forward input length %d does not match plan size %d", len(x), p.n)
+	}
+	p.transform(x, false)
+	return nil
+}
+
+// Inverse computes the in-place inverse discrete Fourier transform of x,
+// normalized by 1/n so that Inverse(Forward(x)) == x up to rounding.
+func (p *FFTPlan) Inverse(x []complex128) error {
+	if len(x) != p.n {
+		return fmt.Errorf("dsp: Inverse input length %d does not match plan size %d", len(x), p.n)
+	}
+	p.transform(x, true)
+	scale := complex(1/float64(p.n), 0)
+	for i := range x {
+		x[i] *= scale
+	}
+	return nil
+}
+
+// transform runs the iterative radix-2 Cooley-Tukey butterfly network.
+// When inverse is true the conjugate twiddle factors are used.
+func (p *FFTPlan) transform(x []complex128, inverse bool) {
+	n := p.n
+	// Bit-reversal permutation.
+	for i := 0; i < n; i++ {
+		j := p.rev[i]
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := n / size
+		for start := 0; start < n; start += size {
+			k := 0
+			for off := 0; off < half; off++ {
+				w := p.twiddle[k]
+				if inverse {
+					w = cmplx.Conj(w)
+				}
+				a := x[start+off]
+				b := x[start+off+half] * w
+				x[start+off] = a + b
+				x[start+off+half] = a - b
+				k += step
+			}
+		}
+	}
+}
+
+// ForwardReal transforms a real-valued frame, returning a freshly allocated
+// complex spectrum of the plan size. The input may be shorter than the plan
+// size, in which case it is zero-padded; it must not be longer.
+func (p *FFTPlan) ForwardReal(frame []float64) ([]complex128, error) {
+	if len(frame) > p.n {
+		return nil, fmt.Errorf("dsp: real frame length %d exceeds plan size %d", len(frame), p.n)
+	}
+	buf := make([]complex128, p.n)
+	for i, v := range frame {
+		buf[i] = complex(v, 0)
+	}
+	p.transform(buf, false)
+	return buf, nil
+}
+
+// Magnitudes writes |spec[i]| for the first len(dst) bins of spec into dst
+// and returns dst. If dst is nil a new slice covering all of spec is
+// allocated.
+func Magnitudes(spec []complex128, dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, len(spec))
+	}
+	for i := range dst {
+		dst[i] = cmplx.Abs(spec[i])
+	}
+	return dst
+}

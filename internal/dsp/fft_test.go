@@ -1,0 +1,259 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewFFTPlanRejectsBadSizes(t *testing.T) {
+	for _, n := range []int{0, -1, 3, 6, 12, 100} {
+		if _, err := NewFFTPlan(n); err == nil {
+			t.Errorf("NewFFTPlan(%d) succeeded, want error", n)
+		}
+	}
+}
+
+func TestNewFFTPlanAcceptsPowersOfTwo(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 1024, 8192} {
+		p, err := NewFFTPlan(n)
+		if err != nil {
+			t.Fatalf("NewFFTPlan(%d): %v", n, err)
+		}
+		if p.Size() != n {
+			t.Errorf("Size() = %d, want %d", p.Size(), n)
+		}
+	}
+}
+
+func TestForwardLengthMismatch(t *testing.T) {
+	p, err := NewFFTPlan(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Forward(make([]complex128, 4)); err == nil {
+		t.Error("Forward with wrong length succeeded, want error")
+	}
+	if err := p.Inverse(make([]complex128, 16)); err == nil {
+		t.Error("Inverse with wrong length succeeded, want error")
+	}
+}
+
+func TestForwardImpulse(t *testing.T) {
+	// The DFT of a unit impulse is all ones.
+	p, err := NewFFTPlan(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]complex128, 16)
+	x[0] = 1
+	if err := p.Forward(x); err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Errorf("bin %d = %v, want 1", k, v)
+		}
+	}
+}
+
+func TestForwardSingleTone(t *testing.T) {
+	// A complex exponential at bin k0 transforms to n·δ[k-k0].
+	const n, k0 = 64, 5
+	p, err := NewFFTPlan(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = cmplx.Exp(complex(0, 2*math.Pi*k0*float64(i)/n))
+	}
+	if err := p.Forward(x); err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range x {
+		want := complex(0, 0)
+		if k == k0 {
+			want = complex(n, 0)
+		}
+		if cmplx.Abs(v-want) > 1e-9 {
+			t.Errorf("bin %d = %v, want %v", k, v, want)
+		}
+	}
+}
+
+func TestRealSineMagnitude(t *testing.T) {
+	// A real sine at bin k0 with amplitude a yields |X[k0]| = a·n/2.
+	const n, k0, amp = 256, 17, 0.5
+	p, err := NewFFTPlan(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := make([]float64, n)
+	for i := range frame {
+		frame[i] = amp * math.Sin(2*math.Pi*k0*float64(i)/n)
+	}
+	spec, err := p.ForwardReal(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := cmplx.Abs(spec[k0])
+	want := amp * n / 2
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("|X[%d]| = %g, want %g", k0, got, want)
+	}
+}
+
+func TestForwardRealZeroPads(t *testing.T) {
+	p, err := NewFFTPlan(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := p.ForwardReal([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec) != 8 {
+		t.Fatalf("spectrum length = %d, want 8", len(spec))
+	}
+	// DC bin should be the sample sum.
+	if cmplx.Abs(spec[0]-2) > 1e-12 {
+		t.Errorf("DC bin = %v, want 2", spec[0])
+	}
+	if _, err := p.ForwardReal(make([]float64, 9)); err == nil {
+		t.Error("over-long frame accepted, want error")
+	}
+}
+
+func TestInverseRoundTripProperty(t *testing.T) {
+	// Property: IFFT(FFT(x)) == x for random signals.
+	p, err := NewFFTPlan(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 1))
+		x := make([]complex128, 128)
+		orig := make([]complex128, 128)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			orig[i] = x[i]
+		}
+		if err := p.Forward(x); err != nil {
+			return false
+		}
+		if err := p.Inverse(x); err != nil {
+			return false
+		}
+		for i := range x {
+			if cmplx.Abs(x[i]-orig[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParsevalProperty(t *testing.T) {
+	// Property: Σ|x|² == (1/n)·Σ|X|² (energy conservation).
+	p, err := NewFFTPlan(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 2))
+		x := make([]complex128, 64)
+		timeEnergy := 0.0
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), 0)
+			timeEnergy += real(x[i]) * real(x[i])
+		}
+		if err := p.Forward(x); err != nil {
+			return false
+		}
+		freqEnergy := 0.0
+		for _, v := range x {
+			freqEnergy += real(v)*real(v) + imag(v)*imag(v)
+		}
+		freqEnergy /= 64
+		return math.Abs(timeEnergy-freqEnergy) < 1e-6*(1+timeEnergy)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinearityProperty(t *testing.T) {
+	// Property: FFT(a·x + y) == a·FFT(x) + FFT(y).
+	p, err := NewFFTPlan(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 3))
+		a := complex(rng.NormFloat64(), rng.NormFloat64())
+		x := make([]complex128, 32)
+		y := make([]complex128, 32)
+		combo := make([]complex128, 32)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			y[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			combo[i] = a*x[i] + y[i]
+		}
+		if err := p.Forward(x); err != nil {
+			return false
+		}
+		if err := p.Forward(y); err != nil {
+			return false
+		}
+		if err := p.Forward(combo); err != nil {
+			return false
+		}
+		for i := range combo {
+			if cmplx.Abs(combo[i]-(a*x[i]+y[i])) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMagnitudes(t *testing.T) {
+	spec := []complex128{3 + 4i, 0, -5}
+	got := Magnitudes(spec, nil)
+	want := []float64{5, 0, 5}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("Magnitudes[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+	// Partial dst restricts output length.
+	dst := make([]float64, 2)
+	got = Magnitudes(spec, dst)
+	if len(got) != 2 {
+		t.Errorf("partial dst length = %d, want 2", len(got))
+	}
+}
+
+func BenchmarkFFT8192(b *testing.B) {
+	p, err := NewFFTPlan(8192)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := make([]complex128, 8192)
+	for i := range x {
+		x[i] = complex(math.Sin(float64(i)), 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.transform(x, false)
+	}
+}

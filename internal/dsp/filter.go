@@ -1,0 +1,118 @@
+package dsp
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MovingAverage smooths x with a centered simple moving average of the
+// given odd window size, returning a new slice. This is the "SMA" step of
+// Algorithm 1 in the paper (window size 3). Edges use a shrunken window so
+// the output has the same length as the input.
+func MovingAverage(x []float64, window int) ([]float64, error) {
+	if window <= 0 || window%2 == 0 {
+		return nil, fmt.Errorf("dsp: moving average window must be odd and positive, got %d", window)
+	}
+	out := make([]float64, len(x))
+	half := window / 2
+	for i := range x {
+		lo := i - half
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + half + 1
+		if hi > len(x) {
+			hi = len(x)
+		}
+		sum := 0.0
+		for j := lo; j < hi; j++ {
+			sum += x[j]
+		}
+		out[i] = sum / float64(hi-lo)
+	}
+	return out, nil
+}
+
+// Median1D applies a centered one-dimensional median filter of odd window
+// size, returning a new slice. Edges use a shrunken window.
+func Median1D(x []float64, window int) ([]float64, error) {
+	if window <= 0 || window%2 == 0 {
+		return nil, fmt.Errorf("dsp: median window must be odd and positive, got %d", window)
+	}
+	out := make([]float64, len(x))
+	half := window / 2
+	buf := make([]float64, 0, window)
+	for i := range x {
+		lo := i - half
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + half + 1
+		if hi > len(x) {
+			hi = len(x)
+		}
+		buf = buf[:0]
+		buf = append(buf, x[lo:hi]...)
+		sort.Float64s(buf)
+		out[i] = buf[len(buf)/2]
+	}
+	return out, nil
+}
+
+// SmoothDerivative computes the noise-robust first-order differential of
+// Eq. 2 in the paper (Holoborodko's 5-point smooth differentiator):
+//
+//	acc(i) = (2·[y(i+1) − y(i−1)] + [y(i+2) − y(i−2)]) / 8
+//
+// Values within two samples of either edge are computed with a plain
+// central/one-sided difference so the output has the same length as the
+// input. The result is per-sample; callers wanting per-second units divide
+// by the sample interval.
+func SmoothDerivative(y []float64) []float64 {
+	n := len(y)
+	out := make([]float64, n)
+	if n < 2 {
+		return out
+	}
+	for i := range y {
+		switch {
+		case i >= 2 && i < n-2:
+			out[i] = (2*(y[i+1]-y[i-1]) + (y[i+2] - y[i-2])) / 8
+		case i >= 1 && i < n-1:
+			out[i] = (y[i+1] - y[i-1]) / 2
+		case i == 0:
+			out[i] = y[1] - y[0]
+		default: // i == n-1
+			out[i] = y[n-1] - y[n-2]
+		}
+	}
+	return out
+}
+
+// ZeroOneNormalize linearly rescales x into [0, 1] in place and returns x.
+// A constant input maps to all zeros.
+func ZeroOneNormalize(x []float64) []float64 {
+	if len(x) == 0 {
+		return x
+	}
+	minV, maxV := x[0], x[0]
+	for _, v := range x[1:] {
+		if v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	span := maxV - minV
+	if span == 0 {
+		for i := range x {
+			x[i] = 0
+		}
+		return x
+	}
+	for i := range x {
+		x[i] = (x[i] - minV) / span
+	}
+	return x
+}

@@ -1,0 +1,225 @@
+package dsp
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestMovingAverageRejectsBadWindows(t *testing.T) {
+	for _, w := range []int{0, -1, 2, 4} {
+		if _, err := MovingAverage([]float64{1, 2, 3}, w); err == nil {
+			t.Errorf("window %d accepted, want error", w)
+		}
+	}
+}
+
+func TestMovingAverageIdentityWindowOne(t *testing.T) {
+	in := []float64{3, 1, 4, 1, 5}
+	out, err := MovingAverage(in, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Errorf("window-1 altered element %d", i)
+		}
+	}
+}
+
+func TestMovingAverageWindowThree(t *testing.T) {
+	out, err := MovingAverage([]float64{0, 3, 6, 9}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1.5, 3, 6, 7.5}
+	for i := range want {
+		if math.Abs(out[i]-want[i]) > 1e-12 {
+			t.Errorf("out[%d] = %g, want %g", i, out[i], want[i])
+		}
+	}
+}
+
+func TestMovingAveragePreservesConstantProperty(t *testing.T) {
+	// Property: a constant sequence is a fixed point of the SMA.
+	f := func(c float64, nRaw uint8) bool {
+		if math.IsNaN(c) || math.IsInf(c, 0) || math.Abs(c) > 1e100 {
+			return true // averaging huge magnitudes legitimately loses ulps
+		}
+		n := int(nRaw%32) + 1
+		in := make([]float64, n)
+		for i := range in {
+			in[i] = c
+		}
+		out, err := MovingAverage(in, 3)
+		if err != nil {
+			return false
+		}
+		for _, v := range out {
+			if math.Abs(v-c) > 1e-9*(1+math.Abs(c)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMovingAverageBoundsProperty(t *testing.T) {
+	// Property: SMA output stays within [min, max] of input.
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 7))
+		in := make([]float64, 40)
+		minV, maxV := math.Inf(1), math.Inf(-1)
+		for i := range in {
+			in[i] = rng.NormFloat64() * 50
+			minV = math.Min(minV, in[i])
+			maxV = math.Max(maxV, in[i])
+		}
+		out, err := MovingAverage(in, 5)
+		if err != nil {
+			return false
+		}
+		for _, v := range out {
+			if v < minV-1e-9 || v > maxV+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMedian1DRemovesImpulse(t *testing.T) {
+	in := []float64{0, 0, 100, 0, 0}
+	out, err := Median1D(in, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[2] != 0 {
+		t.Errorf("median failed to remove impulse: %v", out)
+	}
+}
+
+func TestMedian1DRejectsBadWindows(t *testing.T) {
+	if _, err := Median1D([]float64{1}, 2); err == nil {
+		t.Error("even window accepted, want error")
+	}
+}
+
+func TestMedian1DOutputIsInputElementProperty(t *testing.T) {
+	// Property: every median output value occurs in the input.
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 8))
+		in := make([]float64, 25)
+		members := make(map[float64]bool, 25)
+		for i := range in {
+			in[i] = math.Round(rng.NormFloat64() * 10)
+			members[in[i]] = true
+		}
+		out, err := Median1D(in, 5)
+		if err != nil {
+			return false
+		}
+		for _, v := range out {
+			if !members[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSmoothDerivativeLinearRamp(t *testing.T) {
+	// Eq. 2 on a linear ramp returns the exact slope.
+	in := make([]float64, 20)
+	for i := range in {
+		in[i] = 3 * float64(i)
+	}
+	out := SmoothDerivative(in)
+	for i, v := range out {
+		if math.Abs(v-3) > 1e-12 {
+			t.Errorf("derivative[%d] = %g, want 3", i, v)
+		}
+	}
+}
+
+func TestSmoothDerivativeConstant(t *testing.T) {
+	in := []float64{5, 5, 5, 5, 5, 5}
+	for i, v := range SmoothDerivative(in) {
+		if v != 0 {
+			t.Errorf("derivative[%d] = %g, want 0", i, v)
+		}
+	}
+}
+
+func TestSmoothDerivativeShortInputs(t *testing.T) {
+	if out := SmoothDerivative(nil); len(out) != 0 {
+		t.Errorf("nil input gave %v", out)
+	}
+	if out := SmoothDerivative([]float64{7}); len(out) != 1 || out[0] != 0 {
+		t.Errorf("single-sample input gave %v", out)
+	}
+	out := SmoothDerivative([]float64{1, 3})
+	if out[0] != 2 || out[1] != 2 {
+		t.Errorf("two-sample input gave %v, want [2 2]", out)
+	}
+}
+
+func TestZeroOneNormalize(t *testing.T) {
+	in := []float64{2, 4, 6}
+	out := ZeroOneNormalize(in)
+	want := []float64{0, 0.5, 1}
+	for i := range want {
+		if math.Abs(out[i]-want[i]) > 1e-12 {
+			t.Errorf("out[%d] = %g, want %g", i, out[i], want[i])
+		}
+	}
+	// Constant input maps to zeros.
+	c := []float64{3, 3, 3}
+	for i, v := range ZeroOneNormalize(c) {
+		if v != 0 {
+			t.Errorf("constant[%d] = %g, want 0", i, v)
+		}
+	}
+	// Empty is a no-op.
+	if out := ZeroOneNormalize(nil); len(out) != 0 {
+		t.Error("nil input should return empty")
+	}
+}
+
+func TestZeroOneNormalizeRangeProperty(t *testing.T) {
+	// Property: output is always within [0,1] with both endpoints hit.
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 9))
+		in := make([]float64, 16)
+		for i := range in {
+			in[i] = rng.NormFloat64() * 100
+		}
+		out := ZeroOneNormalize(append([]float64(nil), in...))
+		sawZero, sawOne := false, false
+		for _, v := range out {
+			if v < 0 || v > 1 {
+				return false
+			}
+			if v == 0 {
+				sawZero = true
+			}
+			if v == 1 {
+				sawOne = true
+			}
+		}
+		return sawZero && sawOne
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,79 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// FIRBandpass designs a linear-phase bandpass filter by the windowed-sinc
+// method (Hamming window): numTaps coefficients passing [f1, f2] Hz at
+// sample rate fs. numTaps must be odd so the filter has integer group
+// delay.
+func FIRBandpass(numTaps int, fs, f1, f2 float64) ([]float64, error) {
+	if numTaps < 3 || numTaps%2 == 0 {
+		return nil, fmt.Errorf("dsp: FIR taps must be odd and >= 3, got %d", numTaps)
+	}
+	if fs <= 0 {
+		return nil, fmt.Errorf("dsp: sample rate must be positive, got %g", fs)
+	}
+	if f1 <= 0 || f2 <= f1 || f2 >= fs/2 {
+		return nil, fmt.Errorf("dsp: band [%g, %g] invalid for fs %g", f1, f2, fs)
+	}
+	h := make([]float64, numTaps)
+	m := numTaps / 2
+	w1 := 2 * math.Pi * f1 / fs
+	w2 := 2 * math.Pi * f2 / fs
+	for i := range h {
+		n := i - m
+		var ideal float64
+		if n == 0 {
+			ideal = (w2 - w1) / math.Pi
+		} else {
+			ideal = (math.Sin(w2*float64(n)) - math.Sin(w1*float64(n))) / (math.Pi * float64(n))
+		}
+		window := 0.54 - 0.46*math.Cos(2*math.Pi*float64(i)/float64(numTaps-1))
+		h[i] = ideal * window
+	}
+	return h, nil
+}
+
+// FilterDecimate convolves x with FIR taps h and keeps every factor-th
+// output sample — the bandpass-sampling front-end of the paper's §VII-A
+// optimization. The output is delayed by the filter's group delay
+// (len(h)/2 input samples); edges use zero padding.
+func FilterDecimate(x, h []float64, factor int) ([]float64, error) {
+	if factor < 1 {
+		return nil, fmt.Errorf("dsp: decimation factor must be >= 1, got %d", factor)
+	}
+	if len(h) == 0 {
+		return nil, fmt.Errorf("dsp: empty filter")
+	}
+	delay := len(h) / 2
+	n := len(x) / factor
+	out := make([]float64, 0, n)
+	for i := 0; i < len(x); i += factor {
+		center := i + delay
+		acc := 0.0
+		for j, tap := range h {
+			k := center - j
+			if k < 0 || k >= len(x) {
+				continue
+			}
+			acc += tap * x[k]
+		}
+		out = append(out, acc)
+	}
+	return out, nil
+}
+
+// FrequencyResponse evaluates the filter's magnitude response at
+// frequency f Hz for sample rate fs.
+func FrequencyResponse(h []float64, fs, f float64) float64 {
+	w := 2 * math.Pi * f / fs
+	re, im := 0.0, 0.0
+	for n, tap := range h {
+		re += tap * math.Cos(w*float64(n))
+		im -= tap * math.Sin(w*float64(n))
+	}
+	return math.Hypot(re, im)
+}

@@ -1,0 +1,118 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFIRBandpassValidation(t *testing.T) {
+	if _, err := FIRBandpass(2, 44100, 100, 200); err == nil {
+		t.Error("even taps accepted")
+	}
+	if _, err := FIRBandpass(11, 0, 100, 200); err == nil {
+		t.Error("zero fs accepted")
+	}
+	if _, err := FIRBandpass(11, 44100, 300, 200); err == nil {
+		t.Error("inverted band accepted")
+	}
+	if _, err := FIRBandpass(11, 44100, 100, 23000); err == nil {
+		t.Error("band above Nyquist accepted")
+	}
+}
+
+func TestFIRBandpassResponse(t *testing.T) {
+	h, err := FIRBandpass(127, 44100, 19380, 20620)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Passband ~unity, stopbands strongly attenuated.
+	pass := FrequencyResponse(h, 44100, 20000)
+	if pass < 0.8 || pass > 1.2 {
+		t.Errorf("passband gain %g, want ≈1", pass)
+	}
+	for _, f := range []float64{1000, 5000, 10000, 15000} {
+		stop := FrequencyResponse(h, 44100, f)
+		if stop > pass/8 {
+			t.Errorf("stopband at %g Hz only attenuated to %g (pass %g)", f, stop, pass)
+		}
+	}
+	// Linear phase: symmetric taps.
+	for i := 0; i < len(h)/2; i++ {
+		if math.Abs(h[i]-h[len(h)-1-i]) > 1e-12 {
+			t.Fatalf("taps asymmetric at %d", i)
+		}
+	}
+}
+
+func TestFilterDecimateValidation(t *testing.T) {
+	if _, err := FilterDecimate([]float64{1}, []float64{1}, 0); err == nil {
+		t.Error("zero factor accepted")
+	}
+	if _, err := FilterDecimate([]float64{1}, nil, 2); err == nil {
+		t.Error("empty filter accepted")
+	}
+}
+
+func TestFilterDecimateIdentity(t *testing.T) {
+	// A single-tap unit filter with factor 1 is the identity.
+	x := []float64{1, 2, 3, 4}
+	out, err := FilterDecimate(x, []float64{1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if out[i] != x[i] {
+			t.Errorf("out[%d] = %g", i, out[i])
+		}
+	}
+}
+
+func TestFilterDecimateLength(t *testing.T) {
+	x := make([]float64, 1000)
+	h, err := FIRBandpass(31, 44100, 1000, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := FilterDecimate(x, h, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 250 {
+		t.Errorf("decimated length %d, want 250", len(out))
+	}
+}
+
+func TestBandpassSamplingFoldsTone(t *testing.T) {
+	// A 20 kHz tone at 44.1 kHz, bandpass-filtered and decimated by 8,
+	// must appear at the aliased frequency 22050−20000 = 2050 Hz of the
+	// 5512.5 Hz stream.
+	const fs = 44100.0
+	n := 1 << 14
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * 20000 * float64(i) / fs)
+	}
+	h, err := FIRBandpass(127, fs, 19380, 20620)
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, err := FilterDecimate(x, h, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsOut := fs / 8
+	energyAt := func(f float64) float64 {
+		re, im := 0.0, 0.0
+		w := 2 * math.Pi * f / fsOut
+		for i, v := range low {
+			re += v * math.Cos(w*float64(i))
+			im += v * math.Sin(w*float64(i))
+		}
+		return math.Hypot(re, im)
+	}
+	folded := energyAt(2050)
+	elsewhere := energyAt(500) + energyAt(1200) + energyAt(2600)
+	if folded < 10*elsewhere {
+		t.Errorf("folded tone %g not dominant over %g", folded, elsewhere)
+	}
+}

@@ -1,0 +1,107 @@
+package dsp
+
+import "fmt"
+
+// Spectrogram is a time-frequency magnitude matrix produced by the STFT.
+// Data is indexed as Data[frame][bin]; a "column" in the paper's terminology
+// (one frame's spectrum) is one Data[i] slice. BinLow is the index of the
+// first retained FFT bin, so absolute bin b corresponds to Data[.][b-BinLow].
+type Spectrogram struct {
+	// Data holds magnitudes, Data[frame][bin].
+	Data [][]float64
+	// SampleRate is the audio sample rate in Hz.
+	SampleRate float64
+	// FFTSize is the transform length used to produce each frame.
+	FFTSize int
+	// HopSize is the number of samples between successive frames.
+	HopSize int
+	// BinLow is the absolute FFT bin index of Data[.][0].
+	BinLow int
+}
+
+// Frames reports the number of time frames.
+func (s *Spectrogram) Frames() int { return len(s.Data) }
+
+// Bins reports the number of retained frequency bins per frame.
+func (s *Spectrogram) Bins() int {
+	if len(s.Data) == 0 {
+		return 0
+	}
+	return len(s.Data[0])
+}
+
+// BinFreq returns the center frequency in Hz of local bin index i.
+func (s *Spectrogram) BinFreq(i int) float64 {
+	return float64(s.BinLow+i) * s.SampleRate / float64(s.FFTSize)
+}
+
+// FreqBin returns the local bin index whose center frequency is nearest to
+// f Hz. The result may be out of range if f lies outside the retained band;
+// callers should clamp with Bins.
+func (s *Spectrogram) FreqBin(f float64) int {
+	abs := int(f*float64(s.FFTSize)/s.SampleRate + 0.5)
+	return abs - s.BinLow
+}
+
+// FrameTime returns the start time in seconds of frame i.
+func (s *Spectrogram) FrameTime(i int) float64 {
+	return float64(i*s.HopSize) / s.SampleRate
+}
+
+// FrameDuration returns the hop interval in seconds, the time step between
+// consecutive frames.
+func (s *Spectrogram) FrameDuration() float64 {
+	return float64(s.HopSize) / s.SampleRate
+}
+
+// Clone deep-copies the spectrogram so that destructive image-processing
+// stages can preserve intermediate results.
+func (s *Spectrogram) Clone() *Spectrogram {
+	out := &Spectrogram{
+		Data:       make([][]float64, len(s.Data)),
+		SampleRate: s.SampleRate,
+		FFTSize:    s.FFTSize,
+		HopSize:    s.HopSize,
+		BinLow:     s.BinLow,
+	}
+	for i, row := range s.Data {
+		out.Data[i] = append([]float64(nil), row...)
+	}
+	return out
+}
+
+// Crop returns a new spectrogram retaining only absolute bins
+// [lowBin, highBin). It validates the range against the current band.
+func (s *Spectrogram) Crop(lowBin, highBin int) (*Spectrogram, error) {
+	if lowBin < s.BinLow || highBin > s.BinLow+s.Bins() || lowBin >= highBin {
+		return nil, fmt.Errorf("dsp: crop [%d,%d) outside retained band [%d,%d)",
+			lowBin, highBin, s.BinLow, s.BinLow+s.Bins())
+	}
+	out := &Spectrogram{
+		Data:       make([][]float64, len(s.Data)),
+		SampleRate: s.SampleRate,
+		FFTSize:    s.FFTSize,
+		HopSize:    s.HopSize,
+		BinLow:     lowBin,
+	}
+	lo := lowBin - s.BinLow
+	hi := highBin - s.BinLow
+	for i, row := range s.Data {
+		out.Data[i] = append([]float64(nil), row[lo:hi]...)
+	}
+	return out, nil
+}
+
+// MaxValue returns the largest magnitude in the spectrogram, or 0 when the
+// spectrogram is empty.
+func (s *Spectrogram) MaxValue() float64 {
+	maxV := 0.0
+	for _, row := range s.Data {
+		for _, v := range row {
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	return maxV
+}

@@ -1,0 +1,144 @@
+package dsp
+
+import "fmt"
+
+// STFTConfig parameterizes a short-time Fourier transform. The paper's
+// settings are FFTSize=8192 (~0.186 s at 44.1 kHz) and HopSize=1024
+// (~0.023 s), Hanning window.
+type STFTConfig struct {
+	// SampleRate of the input signal in Hz. Must be positive.
+	SampleRate float64
+	// FFTSize is the frame length in samples; must be a power of two.
+	FFTSize int
+	// HopSize is the step between frames in samples; must be positive and
+	// no larger than FFTSize.
+	HopSize int
+	// Window selects the analysis window; zero value means Hanning.
+	Window WindowKind
+	// LowBin and HighBin optionally restrict the retained band to absolute
+	// FFT bins [LowBin, HighBin). When both are zero the full non-negative
+	// half [0, FFTSize/2) is kept.
+	LowBin, HighBin int
+}
+
+// DefaultSTFTConfig returns the paper's STFT parameters for a 44.1 kHz
+// stream, retaining the band of interest around the 20 kHz carrier
+// ([19530, 20470] Hz, about 350 bins wide; see §III-A).
+func DefaultSTFTConfig() STFTConfig {
+	cfg := STFTConfig{
+		SampleRate: 44100,
+		FFTSize:    8192,
+		HopSize:    1024,
+		Window:     WindowHanning,
+	}
+	// 19530 Hz and 20470 Hz expressed as absolute bin indices.
+	cfg.LowBin = int(19530 * float64(cfg.FFTSize) / cfg.SampleRate)
+	cfg.HighBin = int(20470*float64(cfg.FFTSize)/cfg.SampleRate+0.5) + 1
+	return cfg
+}
+
+// Validate checks config consistency.
+func (c STFTConfig) Validate() error {
+	if c.SampleRate <= 0 {
+		return fmt.Errorf("dsp: sample rate must be positive, got %g", c.SampleRate)
+	}
+	if c.FFTSize < 2 || c.FFTSize&(c.FFTSize-1) != 0 {
+		return fmt.Errorf("dsp: FFT size must be a power of two >= 2, got %d", c.FFTSize)
+	}
+	if c.HopSize <= 0 || c.HopSize > c.FFTSize {
+		return fmt.Errorf("dsp: hop size must be in (0, %d], got %d", c.FFTSize, c.HopSize)
+	}
+	if c.LowBin < 0 || c.HighBin > c.FFTSize/2 || (c.HighBin != 0 && c.LowBin >= c.HighBin) {
+		return fmt.Errorf("dsp: bin band [%d,%d) invalid for FFT size %d", c.LowBin, c.HighBin, c.FFTSize)
+	}
+	return nil
+}
+
+// STFT converts fixed-size signal frames into spectrogram columns. It owns
+// an FFT plan, a window, and scratch buffers, so one instance should be
+// reused across frames of a stream. An STFT is not safe for concurrent use.
+type STFT struct {
+	cfg     STFTConfig
+	plan    *FFTPlan
+	window  *Window
+	scratch []complex128
+	framed  []float64
+}
+
+// NewSTFT validates cfg and precomputes the FFT plan and window.
+func NewSTFT(cfg STFTConfig) (*STFT, error) {
+	if cfg.Window == 0 {
+		cfg.Window = WindowHanning
+	}
+	if cfg.HighBin == 0 && cfg.LowBin == 0 {
+		cfg.HighBin = cfg.FFTSize / 2
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	plan, err := NewFFTPlan(cfg.FFTSize)
+	if err != nil {
+		return nil, err
+	}
+	win, err := NewWindow(cfg.Window, cfg.FFTSize)
+	if err != nil {
+		return nil, err
+	}
+	return &STFT{
+		cfg:     cfg,
+		plan:    plan,
+		window:  win,
+		scratch: make([]complex128, cfg.FFTSize),
+		framed:  make([]float64, cfg.FFTSize),
+	}, nil
+}
+
+// Config returns the configuration the STFT was built with (after
+// defaulting).
+func (s *STFT) Config() STFTConfig { return s.cfg }
+
+// FrameColumn computes the magnitude spectrum of one frame, returning the
+// retained band as a newly allocated slice. frame must be exactly FFTSize
+// samples.
+func (s *STFT) FrameColumn(frame []float64) ([]float64, error) {
+	if len(frame) != s.cfg.FFTSize {
+		return nil, fmt.Errorf("dsp: frame length %d does not match FFT size %d", len(frame), s.cfg.FFTSize)
+	}
+	if _, err := s.window.Apply(frame, s.framed); err != nil {
+		return nil, err
+	}
+	for i, v := range s.framed {
+		s.scratch[i] = complex(v, 0)
+	}
+	s.plan.transform(s.scratch, false)
+	col := make([]float64, s.cfg.HighBin-s.cfg.LowBin)
+	Magnitudes(s.scratch[s.cfg.LowBin:s.cfg.HighBin], col)
+	return col, nil
+}
+
+// Compute runs the full STFT over signal, producing a spectrogram with one
+// column per hop. Frames that would run past the end of the signal are
+// dropped (no padding), matching a streaming implementation that waits for
+// a full frame.
+func (s *STFT) Compute(signal []float64) (*Spectrogram, error) {
+	if len(signal) < s.cfg.FFTSize {
+		return nil, fmt.Errorf("dsp: signal length %d shorter than one FFT frame (%d)", len(signal), s.cfg.FFTSize)
+	}
+	nFrames := (len(signal)-s.cfg.FFTSize)/s.cfg.HopSize + 1
+	out := &Spectrogram{
+		Data:       make([][]float64, 0, nFrames),
+		SampleRate: s.cfg.SampleRate,
+		FFTSize:    s.cfg.FFTSize,
+		HopSize:    s.cfg.HopSize,
+		BinLow:     s.cfg.LowBin,
+	}
+	for f := 0; f < nFrames; f++ {
+		start := f * s.cfg.HopSize
+		col, err := s.FrameColumn(signal[start : start+s.cfg.FFTSize])
+		if err != nil {
+			return nil, fmt.Errorf("dsp: frame %d: %w", f, err)
+		}
+		out.Data = append(out.Data, col)
+	}
+	return out, nil
+}

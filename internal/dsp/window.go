@@ -1,0 +1,115 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// WindowKind enumerates the supported analysis windows.
+type WindowKind int
+
+// Supported window shapes. The paper's pipeline uses the Hanning window for
+// every STFT; the others exist for ablation experiments.
+const (
+	WindowHanning WindowKind = iota + 1
+	WindowHamming
+	WindowRectangular
+	WindowBlackman
+)
+
+// String implements fmt.Stringer.
+func (k WindowKind) String() string {
+	switch k {
+	case WindowHanning:
+		return "hanning"
+	case WindowHamming:
+		return "hamming"
+	case WindowRectangular:
+		return "rectangular"
+	case WindowBlackman:
+		return "blackman"
+	default:
+		return fmt.Sprintf("WindowKind(%d)", int(k))
+	}
+}
+
+// Window holds precomputed window coefficients of a fixed length.
+type Window struct {
+	kind   WindowKind
+	coeffs []float64
+}
+
+// NewWindow precomputes an n-point window of the given kind. n must be
+// positive.
+func NewWindow(kind WindowKind, n int) (*Window, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("dsp: window length must be positive, got %d", n)
+	}
+	w := &Window{kind: kind, coeffs: make([]float64, n)}
+	switch kind {
+	case WindowHanning:
+		for i := range w.coeffs {
+			w.coeffs[i] = 0.5 * (1 - math.Cos(2*math.Pi*float64(i)/float64(n-1)))
+		}
+		if n == 1 {
+			w.coeffs[0] = 1
+		}
+	case WindowHamming:
+		for i := range w.coeffs {
+			w.coeffs[i] = 0.54 - 0.46*math.Cos(2*math.Pi*float64(i)/float64(n-1))
+		}
+		if n == 1 {
+			w.coeffs[0] = 1
+		}
+	case WindowRectangular:
+		for i := range w.coeffs {
+			w.coeffs[i] = 1
+		}
+	case WindowBlackman:
+		for i := range w.coeffs {
+			x := 2 * math.Pi * float64(i) / float64(n-1)
+			w.coeffs[i] = 0.42 - 0.5*math.Cos(x) + 0.08*math.Cos(2*x)
+		}
+		if n == 1 {
+			w.coeffs[0] = 1
+		}
+	default:
+		return nil, fmt.Errorf("dsp: unknown window kind %v", kind)
+	}
+	return w, nil
+}
+
+// Len reports the window length.
+func (w *Window) Len() int { return len(w.coeffs) }
+
+// Kind reports the window shape.
+func (w *Window) Kind() WindowKind { return w.kind }
+
+// Apply multiplies frame element-wise by the window coefficients, writing
+// the result into dst and returning it. dst may alias frame. Both slices
+// must have exactly the window length.
+func (w *Window) Apply(frame, dst []float64) ([]float64, error) {
+	if len(frame) != len(w.coeffs) {
+		return nil, fmt.Errorf("dsp: frame length %d does not match window length %d", len(frame), len(w.coeffs))
+	}
+	if dst == nil {
+		dst = make([]float64, len(frame))
+	}
+	if len(dst) != len(w.coeffs) {
+		return nil, fmt.Errorf("dsp: dst length %d does not match window length %d", len(dst), len(w.coeffs))
+	}
+	for i, v := range frame {
+		dst[i] = v * w.coeffs[i]
+	}
+	return dst, nil
+}
+
+// CoherentGain returns the mean of the window coefficients, the factor by
+// which a coherent sinusoid's spectral peak is scaled.
+func (w *Window) CoherentGain() float64 {
+	sum := 0.0
+	for _, c := range w.coeffs {
+		sum += c
+	}
+	return sum / float64(len(w.coeffs))
+}

@@ -1,0 +1,115 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewWindowRejectsBadLength(t *testing.T) {
+	for _, n := range []int{0, -5} {
+		if _, err := NewWindow(WindowHanning, n); err == nil {
+			t.Errorf("NewWindow(hanning, %d) succeeded, want error", n)
+		}
+	}
+	if _, err := NewWindow(WindowKind(99), 8); err == nil {
+		t.Error("unknown window kind accepted, want error")
+	}
+}
+
+func TestHanningProperties(t *testing.T) {
+	w, err := NewWindow(WindowHanning, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := w.coeffs
+	// Endpoints are zero, center is one.
+	if math.Abs(c[0]) > 1e-12 || math.Abs(c[63]) > 1e-12 {
+		t.Errorf("endpoints = %g, %g, want 0", c[0], c[63])
+	}
+	mid := c[31]
+	if mid < 0.99 {
+		t.Errorf("near-center coefficient %g, want ≈1", mid)
+	}
+	// Symmetry.
+	for i := 0; i < 32; i++ {
+		if math.Abs(c[i]-c[63-i]) > 1e-12 {
+			t.Errorf("asymmetric at %d: %g vs %g", i, c[i], c[63-i])
+		}
+	}
+	// Coherent gain of Hanning ≈ 0.5.
+	if g := w.CoherentGain(); math.Abs(g-0.5) > 0.01 {
+		t.Errorf("coherent gain = %g, want ≈0.5", g)
+	}
+}
+
+func TestWindowKinds(t *testing.T) {
+	cases := []struct {
+		kind WindowKind
+		name string
+	}{
+		{WindowHanning, "hanning"},
+		{WindowHamming, "hamming"},
+		{WindowRectangular, "rectangular"},
+		{WindowBlackman, "blackman"},
+	}
+	for _, tc := range cases {
+		if got := tc.kind.String(); got != tc.name {
+			t.Errorf("String() = %q, want %q", got, tc.name)
+		}
+		w, err := NewWindow(tc.kind, 33)
+		if err != nil {
+			t.Fatalf("NewWindow(%v): %v", tc.kind, err)
+		}
+		if w.Len() != 33 {
+			t.Errorf("Len() = %d, want 33", w.Len())
+		}
+		if w.Kind() != tc.kind {
+			t.Errorf("Kind() = %v, want %v", w.Kind(), tc.kind)
+		}
+		for i, v := range w.coeffs {
+			if v < -1e-12 || v > 1+1e-12 {
+				t.Errorf("%v coeff[%d] = %g outside [0,1]", tc.kind, i, v)
+			}
+		}
+	}
+}
+
+func TestWindowLengthOne(t *testing.T) {
+	for _, kind := range []WindowKind{WindowHanning, WindowHamming, WindowBlackman, WindowRectangular} {
+		w, err := NewWindow(kind, 1)
+		if err != nil {
+			t.Fatalf("NewWindow(%v, 1): %v", kind, err)
+		}
+		if w.coeffs[0] != 1 {
+			t.Errorf("%v length-1 coeff = %g, want 1", kind, w.coeffs[0])
+		}
+	}
+}
+
+func TestApply(t *testing.T) {
+	w, err := NewWindow(WindowRectangular, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := []float64{1, 2, 3, 4}
+	out, err := w.Apply(frame, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range frame {
+		if out[i] != frame[i] {
+			t.Errorf("rectangular window altered sample %d", i)
+		}
+	}
+	// In-place aliasing works.
+	if _, err := w.Apply(frame, frame); err != nil {
+		t.Fatal(err)
+	}
+	// Length mismatches are errors.
+	if _, err := w.Apply([]float64{1}, nil); err == nil {
+		t.Error("short frame accepted, want error")
+	}
+	if _, err := w.Apply(frame, make([]float64, 2)); err == nil {
+		t.Error("short dst accepted, want error")
+	}
+}

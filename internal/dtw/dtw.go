@@ -1,0 +1,138 @@
+// Package dtw implements dynamic time warping, the similarity measure
+// EchoWrite uses to match an extracted Doppler profile against the six
+// analytic stroke templates (§III-C). DTW tolerates the stretch and
+// contraction that different writing speeds introduce.
+package dtw
+
+import (
+	"fmt"
+	"math"
+)
+
+// Options configure a DTW computation.
+type Options struct {
+	// Window is the Sakoe–Chiba band half-width in samples; 0 means an
+	// unconstrained full alignment. The band is widened automatically to
+	// at least |len(a)−len(b)| so an alignment always exists.
+	Window int
+	// Normalize, when true, divides the final distance by the alignment
+	// path length, making distances comparable across sequence lengths.
+	Normalize bool
+}
+
+// Distance computes the DTW distance between two sequences under the
+// absolute-difference local cost. Either sequence being empty is an error.
+func Distance(a, b []float64, opts Options) (float64, error) {
+	if len(a) == 0 || len(b) == 0 {
+		return 0, fmt.Errorf("dtw: sequences must be non-empty (got %d, %d)", len(a), len(b))
+	}
+	n, m := len(a), len(b)
+	window := opts.Window
+	if window > 0 {
+		if d := n - m; d < 0 {
+			if -d > window {
+				window = -d
+			}
+		} else if d > window {
+			window = d
+		}
+	}
+	const inf = math.MaxFloat64
+	// Two-row dynamic program; track path length alongside cost when
+	// normalizing.
+	prevCost := make([]float64, m+1)
+	curCost := make([]float64, m+1)
+	prevLen := make([]int, m+1)
+	curLen := make([]int, m+1)
+	for j := 0; j <= m; j++ {
+		prevCost[j] = inf
+	}
+	prevCost[0] = 0
+	for i := 1; i <= n; i++ {
+		for j := 0; j <= m; j++ {
+			curCost[j] = inf
+			curLen[j] = 0
+		}
+		lo, hi := 1, m
+		if window > 0 {
+			lo = i - window
+			if lo < 1 {
+				lo = 1
+			}
+			hi = i + window
+			if hi > m {
+				hi = m
+			}
+		}
+		for j := lo; j <= hi; j++ {
+			cost := math.Abs(a[i-1] - b[j-1])
+			// Choose the cheapest predecessor: match, insertion, deletion.
+			bestCost := prevCost[j-1]
+			bestLen := prevLen[j-1]
+			if prevCost[j] < bestCost {
+				bestCost = prevCost[j]
+				bestLen = prevLen[j]
+			}
+			if curCost[j-1] < bestCost {
+				bestCost = curCost[j-1]
+				bestLen = curLen[j-1]
+			}
+			if bestCost == inf {
+				continue
+			}
+			curCost[j] = cost + bestCost
+			curLen[j] = bestLen + 1
+		}
+		prevCost, curCost = curCost, prevCost
+		prevLen, curLen = curLen, prevLen
+	}
+	total := prevCost[m]
+	if total == inf {
+		return 0, fmt.Errorf("dtw: no alignment within window %d for lengths %d, %d", opts.Window, n, m)
+	}
+	if opts.Normalize {
+		return total / float64(prevLen[m]), nil
+	}
+	return total, nil
+}
+
+// Match is the result of matching a query against a template library.
+type Match struct {
+	// Index is the position of the template in the library.
+	Index int
+	// Distance is the (normalized) DTW distance.
+	Distance float64
+}
+
+// NearestN returns the k closest templates to query, ascending by
+// distance. k is clamped to the library size. Errors from individual
+// comparisons (impossible alignments) exclude that template.
+func NearestN(query []float64, library [][]float64, k int, opts Options) ([]Match, error) {
+	if len(library) == 0 {
+		return nil, fmt.Errorf("dtw: empty template library")
+	}
+	matches := make([]Match, 0, len(library))
+	for i, tpl := range library {
+		d, err := Distance(query, tpl, opts)
+		if err != nil {
+			continue
+		}
+		matches = append(matches, Match{Index: i, Distance: d})
+	}
+	if len(matches) == 0 {
+		return nil, fmt.Errorf("dtw: no template admitted an alignment")
+	}
+	// Insertion sort: library sizes are tiny (6 templates).
+	for i := 1; i < len(matches); i++ {
+		for j := i; j > 0 && matches[j].Distance < matches[j-1].Distance; j-- {
+			matches[j], matches[j-1] = matches[j-1], matches[j]
+		}
+	}
+	if k > len(matches) {
+		k = len(matches)
+	}
+	if k < 1 {
+		k = 1
+	}
+	return matches[:k], nil
+}

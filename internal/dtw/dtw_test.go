@@ -1,0 +1,205 @@
+package dtw
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistanceRejectsEmpty(t *testing.T) {
+	if _, err := Distance(nil, []float64{1}, Options{}); err == nil {
+		t.Error("empty a accepted")
+	}
+	if _, err := Distance([]float64{1}, nil, Options{}); err == nil {
+		t.Error("empty b accepted")
+	}
+}
+
+func TestDistanceIdentityProperty(t *testing.T) {
+	// Property: d(x, x) == 0.
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 21))
+		n := 1 + rng.IntN(40)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 50
+		}
+		for _, opts := range []Options{{}, {Window: 5}, {Normalize: true}} {
+			d, err := Distance(x, x, opts)
+			if err != nil || d != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistanceSymmetryProperty(t *testing.T) {
+	// Property: d(x, y) == d(y, x) for the symmetric |·| kernel.
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 22))
+		x := make([]float64, 1+rng.IntN(25))
+		y := make([]float64, 1+rng.IntN(25))
+		for i := range x {
+			x[i] = rng.NormFloat64() * 10
+		}
+		for i := range y {
+			y[i] = rng.NormFloat64() * 10
+		}
+		d1, err1 := Distance(x, y, Options{})
+		d2, err2 := Distance(y, x, Options{})
+		return err1 == nil && err2 == nil && math.Abs(d1-d2) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistanceNonNegativeProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 23))
+		x := make([]float64, 1+rng.IntN(20))
+		y := make([]float64, 1+rng.IntN(20))
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		for i := range y {
+			y[i] = rng.NormFloat64()
+		}
+		d, err := Distance(x, y, Options{Normalize: true})
+		return err == nil && d >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBandedAtLeastUnbandedProperty(t *testing.T) {
+	// Property: constraining the warp path cannot decrease the optimum.
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 24))
+		x := make([]float64, 10+rng.IntN(15))
+		y := make([]float64, 10+rng.IntN(15))
+		for i := range x {
+			x[i] = rng.NormFloat64() * 20
+		}
+		for i := range y {
+			y[i] = rng.NormFloat64() * 20
+		}
+		full, err := Distance(x, y, Options{})
+		if err != nil {
+			return false
+		}
+		banded, err := Distance(x, y, Options{Window: 3})
+		if err != nil {
+			return false
+		}
+		return banded >= full-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistanceKnownValue(t *testing.T) {
+	// Hand-checked: a=[0,1,2], b=[0,2]. Optimal alignment:
+	// (0,0)=0, (1,1)=1, (2,1)=0 → total 1.
+	d, err := Distance([]float64{0, 1, 2}, []float64{0, 2}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 1 {
+		t.Errorf("distance = %g, want 1", d)
+	}
+}
+
+func TestDistanceTimeWarpInvariance(t *testing.T) {
+	// A stretched copy of a bell matches far better than a different bell.
+	bellAt := func(n int, amp float64) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			x := float64(i) / float64(n-1)
+			out[i] = amp * math.Sin(math.Pi*x)
+		}
+		return out
+	}
+	orig := bellAt(20, 100)
+	stretched := bellAt(30, 100)
+	other := bellAt(20, -100)
+	dSame, err := Distance(orig, stretched, Options{Normalize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dOther, err := Distance(orig, other, Options{Normalize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dSame*5 > dOther {
+		t.Errorf("stretched copy (%g) not much closer than sign-flipped (%g)", dSame, dOther)
+	}
+}
+
+func TestWindowAutoWidensForLengthGap(t *testing.T) {
+	// Window smaller than the length difference must still align.
+	a := make([]float64, 30)
+	b := make([]float64, 10)
+	if _, err := Distance(a, b, Options{Window: 2}); err != nil {
+		t.Errorf("auto-widened window failed: %v", err)
+	}
+}
+
+func TestNormalizeDividesByPathLength(t *testing.T) {
+	a := []float64{5, 5, 5, 5}
+	b := []float64{0, 0, 0, 0}
+	raw, err := Distance(a, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm, err := Distance(a, b, Options{Normalize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw != 20 {
+		t.Errorf("raw = %g, want 20", raw)
+	}
+	if norm != 5 {
+		t.Errorf("normalized = %g, want 5 (per-step)", norm)
+	}
+}
+
+func TestNearestN(t *testing.T) {
+	library := [][]float64{
+		{0, 0, 0},
+		{10, 10, 10},
+		{100, 100, 100},
+	}
+	query := []float64{11, 9, 10}
+	matches, err := NearestN(query, library, 2, Options{Normalize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 2 {
+		t.Fatalf("got %d matches, want 2", len(matches))
+	}
+	if matches[0].Index != 1 {
+		t.Errorf("best match index = %d, want 1", matches[0].Index)
+	}
+	if matches[0].Distance > matches[1].Distance {
+		t.Error("matches not sorted ascending")
+	}
+	// k clamping.
+	matches, err = NearestN(query, library, 99, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 3 {
+		t.Errorf("clamped k gave %d matches", len(matches))
+	}
+	if _, err := NearestN(query, nil, 1, Options{}); err == nil {
+		t.Error("empty library accepted")
+	}
+}

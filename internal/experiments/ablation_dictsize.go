@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/acoustic"
+	"repro/internal/infer"
+	"repro/internal/lexicon"
+	"repro/internal/metrics"
+	"repro/internal/participant"
+	"repro/internal/stroke"
+)
+
+// AblationDictSize evaluates dictionary scale: the embedded ~2k-word base
+// vocabulary versus the morphology-expanded ~5k-word one (the paper's
+// dictionary size). More words mean denser stroke-sequence collision
+// classes, so top-1 should drop while top-5 stays usable.
+func AblationDictSize(cfg Config) (*Table, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	eng, err := newCalibratedEngine()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:         "Ablation A9",
+		Title:      "dictionary scale: base vocabulary vs 5000-word expansion",
+		PaperClaim: "the paper's dictionary holds the top 5000 COCA words",
+		Header:     []string{"dictionary", "words", "mean collisions", "top-1", "top-3", "top-5"},
+	}
+	for _, v := range []struct {
+		name  string
+		words []string
+	}{
+		{"base (embedded)", lexicon.DefaultWords()},
+		{"expanded ×morphology", lexicon.ExpandedWords()},
+	} {
+		dict, err := lexicon.NewDictionary(stroke.DefaultScheme(), v.words)
+		if err != nil {
+			return nil, err
+		}
+		rec, err := infer.NewRecognizer(dict, infer.DefaultConfusion(), nil, infer.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		tk, err := metrics.NewTopK(5)
+		if err != nil {
+			return nil, err
+		}
+		roster := participant.SixParticipants()[:cfg.Participants]
+		for pi, p := range roster {
+			sess := participant.NewSession(p, cfg.Seed+uint64(pi*7919))
+			for wi, w := range TestWords() {
+				for r := 0; r < cfg.Reps; r++ {
+					seed := cfg.Seed + uint64(pi*1000000+wi*10000+r)
+					oc, err := wordTrial(eng, rec, sess, w, acoustic.Mate9(), acoustic.MeetingRoom, seed)
+					if err != nil {
+						return nil, err
+					}
+					tk.Record(oc.rank)
+				}
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			v.name,
+			fmt.Sprintf("%d", dict.Size()),
+			f2(dict.Ambiguity().MeanCollisions),
+			pct(tk.Accuracy(1)), pct(tk.Accuracy(3)), pct(tk.Accuracy(5)),
+		})
+	}
+	return t, nil
+}

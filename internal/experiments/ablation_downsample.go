@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/acoustic"
+	"repro/internal/capture"
+	"repro/internal/downsample"
+	"repro/internal/metrics"
+	"repro/internal/participant"
+	"repro/internal/pipeline"
+	"repro/internal/stroke"
+)
+
+// AblationDownsample evaluates the §VII-A bandpass-sampling optimization:
+// stroke accuracy and measured STFT time at the full rate versus factor-4
+// and factor-8 decimation.
+func AblationDownsample(cfg Config) (*Table, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:         "Ablation A7",
+		Title:      "bandpass-sampling front-end (paper §VII-A future work)",
+		PaperClaim: "downsampling should cut the dominant STFT cost without altering the method",
+		Header:     []string{"front-end", "stroke accuracy", "STFT per stroke", "speedup"},
+	}
+	type variant struct {
+		name   string
+		factor int
+	}
+	var baseSTFT time.Duration
+	for _, v := range []variant{{"full rate (8192-pt FFT)", 0}, {"decimate ×4 (2048-pt)", 4}, {"decimate ×8 (1024-pt)", 8}} {
+		acc, stftTime, err := downsampleTrial(cfg, v.factor)
+		if err != nil {
+			return nil, err
+		}
+		if v.factor == 0 {
+			baseSTFT = stftTime
+		}
+		speedup := "1.0x"
+		if v.factor != 0 && stftTime > 0 {
+			speedup = fmt.Sprintf("%.1fx", float64(baseSTFT)/float64(stftTime))
+		}
+		t.Rows = append(t.Rows, []string{
+			v.name, pct(acc), fmt.Sprintf("%.2f ms", float64(stftTime)/1e6), speedup,
+		})
+	}
+	t.Notes = append(t.Notes, "decimated variants include the FIR bandpass+decimate cost in their STFT column")
+	return t, nil
+}
+
+// downsampleTrial measures accuracy and per-stroke STFT(+front-end) time
+// for a given decimation factor (0 = full-rate baseline).
+func downsampleTrial(cfg Config, factor int) (float64, time.Duration, error) {
+	var (
+		eng *pipeline.Engine
+		fe  *downsample.Frontend
+		err error
+	)
+	if factor == 0 {
+		eng, err = newCalibratedEngine()
+	} else {
+		fe, err = downsample.New(pipeline.DefaultConfig(), factor, 127)
+		if err != nil {
+			return 0, 0, err
+		}
+		eng, err = fe.CalibratedEngine()
+	}
+	if err != nil {
+		return 0, 0, err
+	}
+	roster := participant.SixParticipants()[:cfg.Participants]
+	cm := &metrics.ConfusionMatrix{}
+	var stftTotal time.Duration
+	strokes := 0
+	for pi, p := range roster {
+		sess := participant.NewSession(p, cfg.Seed+uint64(pi*53))
+		for _, st := range stroke.AllStrokes() {
+			for r := 0; r < cfg.Reps; r++ {
+				rec, err := capture.Perform(sess, stroke.Sequence{st}, acoustic.Mate9(),
+					acoustic.StandardEnvironment(acoustic.MeetingRoom),
+					cfg.Seed+uint64(pi*10000+int(st)*100+r))
+				if err != nil {
+					return 0, 0, err
+				}
+				sig := rec.Signal
+				var feTime time.Duration
+				if fe != nil {
+					t0 := time.Now()
+					sig, err = fe.Process(sig)
+					feTime = time.Since(t0)
+					if err != nil {
+						return 0, 0, err
+					}
+				}
+				out, err := eng.Recognize(sig)
+				if err != nil {
+					return 0, 0, err
+				}
+				stftTotal += out.Timings.STFT + feTime
+				strokes++
+				if len(out.Detections) == 1 {
+					if err := cm.Add(st, out.Detections[0].Stroke); err != nil {
+						return 0, 0, err
+					}
+				} else if err := cm.AddMiss(st); err != nil {
+					return 0, 0, err
+				}
+			}
+		}
+	}
+	return cm.OverallAccuracy(), stftTotal / time.Duration(max(strokes, 1)), nil
+}

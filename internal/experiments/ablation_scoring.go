@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"repro/internal/acoustic"
+	"repro/internal/capture"
+	"repro/internal/infer"
+	"repro/internal/metrics"
+	"repro/internal/participant"
+	"repro/internal/pipeline"
+	"repro/internal/stroke"
+)
+
+// AblationScoring compares Algorithm 2's confusion-matrix scoring with
+// the likelihood-scoring extension (per-detection DTW softmax) over the
+// Table I protocol.
+func AblationScoring(cfg Config) (*Table, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	eng, err := newCalibratedEngine()
+	if err != nil {
+		return nil, err
+	}
+	rec, err := newWordRecognizer(infer.CorrectionPaper)
+	if err != nil {
+		return nil, err
+	}
+	confusionTK, err := metrics.NewTopK(5)
+	if err != nil {
+		return nil, err
+	}
+	likelihoodTK, err := metrics.NewTopK(5)
+	if err != nil {
+		return nil, err
+	}
+	roster := participant.SixParticipants()[:cfg.Participants]
+	for pi, p := range roster {
+		sess := participant.NewSession(p, cfg.Seed+uint64(pi*7919))
+		for wi, w := range TestWords() {
+			for r := 0; r < cfg.Reps; r++ {
+				seed := cfg.Seed + uint64(pi*1000000+wi*10000+r)
+				capRec, err := capture.PerformWord(sess, rec.Dictionary().Scheme(), w,
+					acoustic.Mate9(), acoustic.StandardEnvironment(acoustic.MeetingRoom), seed)
+				if err != nil {
+					return nil, err
+				}
+				out, err := eng.Recognize(capRec.Signal)
+				if err != nil {
+					return nil, err
+				}
+				rc, err := rankByConfusion(rec, out, w)
+				if err != nil {
+					return nil, err
+				}
+				confusionTK.Record(rc)
+				rl, err := rankByLikelihood(rec, out, w)
+				if err != nil {
+					return nil, err
+				}
+				likelihoodTK.Record(rl)
+			}
+		}
+	}
+	t := &Table{
+		ID:     "Ablation A8",
+		Title:  "word scoring: confusion matrix (paper) vs per-detection likelihoods",
+		Header: []string{"scoring", "top-1", "top-3", "top-5"},
+	}
+	t.Rows = append(t.Rows,
+		[]string{"confusion matrix (paper)", pct(confusionTK.Accuracy(1)), pct(confusionTK.Accuracy(3)), pct(confusionTK.Accuracy(5))},
+		[]string{"DTW likelihoods (extension)", pct(likelihoodTK.Accuracy(1)), pct(likelihoodTK.Accuracy(3)), pct(likelihoodTK.Accuracy(5))},
+	)
+	return t, nil
+}
+
+// rankByConfusion returns the intended word's 1-based rank under the
+// paper's scorer (0 if absent or no strokes).
+func rankByConfusion(rec *infer.Recognizer, out *pipeline.Recognition, word string) (int, error) {
+	if len(out.Sequence) == 0 {
+		return 0, nil
+	}
+	cands, err := rec.Recognize(out.Sequence)
+	if err != nil {
+		return 0, err
+	}
+	for i, c := range cands {
+		if c.Word == word {
+			return i + 1, nil
+		}
+	}
+	return 0, nil
+}
+
+// rankByLikelihood is rankByConfusion with the likelihood scorer.
+func rankByLikelihood(rec *infer.Recognizer, out *pipeline.Recognition, word string) (int, error) {
+	if len(out.Sequence) == 0 {
+		return 0, nil
+	}
+	rows := make([][stroke.NumStrokes]float64, len(out.Detections))
+	for i, d := range out.Detections {
+		rows[i] = d.Likelihoods
+	}
+	cands, err := rec.RecognizeWithLikelihoods(out.Sequence, rows)
+	if err != nil {
+		return 0, err
+	}
+	for i, c := range cands {
+		if c.Word == word {
+			return i + 1, nil
+		}
+	}
+	return 0, nil
+}

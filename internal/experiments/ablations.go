@@ -1,0 +1,257 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/acoustic"
+	"repro/internal/calibrate"
+	"repro/internal/capture"
+	"repro/internal/dtw"
+	"repro/internal/infer"
+	"repro/internal/participant"
+	"repro/internal/pipeline"
+	"repro/internal/segment"
+	"repro/internal/stroke"
+)
+
+// The ablation suite exercises the design decisions DESIGN.md §6 calls
+// out. Each ablation reruns the stroke protocol (meeting room, Mate 9)
+// under a configuration variant and compares accuracy.
+
+// strokeAccuracyWith runs the meeting-room protocol under the given
+// pipeline configuration, optionally with pipeline-calibrated templates.
+func strokeAccuracyWith(cfg Config, pcfg pipeline.Config, calibrated bool) (float64, error) {
+	var (
+		eng *pipeline.Engine
+		err error
+	)
+	if calibrated {
+		eng, err = calibrate.NewCalibratedEngine(pcfg)
+	} else {
+		eng, err = pipeline.NewEngine(pcfg)
+	}
+	if err != nil {
+		return 0, err
+	}
+	cm, _, err := strokeProtocol(eng, cfg, acoustic.Mate9(), acoustic.MeetingRoom)
+	if err != nil {
+		return 0, err
+	}
+	return cm.OverallAccuracy(), nil
+}
+
+// AblationTemplates compares pipeline-calibrated templates against pure
+// analytic ones (DESIGN.md decision 1).
+func AblationTemplates(cfg Config) (*Table, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	pcfg := pipeline.DefaultConfig()
+	withCal, err := strokeAccuracyWith(cfg, pcfg, true)
+	if err != nil {
+		return nil, err
+	}
+	analytic, err := strokeAccuracyWith(cfg, pcfg, false)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "Ablation A1",
+		Title:  "template source: pipeline-calibrated vs analytic",
+		Header: []string{"templates", "stroke accuracy"},
+	}
+	t.Rows = append(t.Rows,
+		[]string{"pipeline-calibrated", pct(withCal)},
+		[]string{"analytic", pct(analytic)},
+	)
+	t.Notes = append(t.Notes, "calibrated templates absorb the front-end's blob-broadening bias")
+	return t, nil
+}
+
+// AblationContour compares MVCE against the naive max-|shift| contour
+// (DESIGN.md decision 2; the paper argues MVCE's necessity in §III-B).
+func AblationContour(cfg Config) (*Table, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	base := pipeline.DefaultConfig()
+	mvceAcc, err := strokeAccuracyWith(cfg, base, true)
+	if err != nil {
+		return nil, err
+	}
+	maxbin := base
+	maxbin.Contour = pipeline.ContourMaxBin
+	maxAcc, err := strokeAccuracyWith(cfg, maxbin, true)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "Ablation A2",
+		Title:  "contour extractor: MVCE vs max-bin",
+		Header: []string{"extractor", "stroke accuracy"},
+	}
+	t.Rows = append(t.Rows,
+		[]string{"MVCE (paper)", pct(mvceAcc)},
+		[]string{"max-bin", pct(maxAcc)},
+	)
+	return t, nil
+}
+
+// AblationSegmentation compares the acceleration gate against an
+// energy/speed gate under bystander interference (DESIGN.md decision 3).
+func AblationSegmentation(cfg Config) (*Table, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	eng, err := newCalibratedEngine()
+	if err != nil {
+		return nil, err
+	}
+	// Run the resting-zone protocol twice over the same profiles: once
+	// with the paper's detector, once with the energy baseline.
+	accAcc, err := segmentationAccuracy(eng, cfg, false)
+	if err != nil {
+		return nil, err
+	}
+	engAcc, err := segmentationAccuracy(eng, cfg, true)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "Ablation A3",
+		Title:  "segmentation: acceleration gate vs energy gate (resting zone)",
+		Header: []string{"segmenter", "single-segment rate"},
+	}
+	t.Rows = append(t.Rows,
+		[]string{"acceleration (paper)", pct(accAcc)},
+		[]string{"energy baseline", pct(engAcc)},
+	)
+	t.Notes = append(t.Notes, "rate of trials where exactly one stroke segment is detected amid walker interference")
+	return t, nil
+}
+
+// AblationDTWBand sweeps the Sakoe–Chiba window (DESIGN.md decision 4).
+func AblationDTWBand(cfg Config) (*Table, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "Ablation A4",
+		Title:  "DTW Sakoe–Chiba window sweep",
+		Header: []string{"window (frames)", "stroke accuracy"},
+	}
+	for _, w := range []int{0, 2, 4, 8, 16} {
+		pcfg := pipeline.DefaultConfig()
+		pcfg.DTW = dtw.Options{Window: w, Normalize: true}
+		acc, err := strokeAccuracyWith(cfg, pcfg, true)
+		if err != nil {
+			return nil, err
+		}
+		label := fmt.Sprintf("%d", w)
+		if w == 0 {
+			label = "unbounded"
+		}
+		if w == 4 {
+			label += " (default)"
+		}
+		t.Rows = append(t.Rows, []string{label, pct(acc)})
+	}
+	return t, nil
+}
+
+// AblationCorrectionScope compares no correction, the paper's restricted
+// substitutions and exhaustive edit-distance-1 (DESIGN.md decision 5).
+func AblationCorrectionScope(cfg Config) (*Table, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "Ablation A5",
+		Title:  "stroke-correction scope (top-3 word accuracy over Table I)",
+		Header: []string{"scope", "top-1", "top-3", "candidate seqs/word"},
+	}
+	for _, scope := range []infer.CorrectionScope{infer.CorrectionNone, infer.CorrectionPaper, infer.CorrectionFull} {
+		_, overall, err := runTopK(cfg, scope)
+		if err != nil {
+			return nil, err
+		}
+		// Candidate-set size for a representative 6-stroke word of
+		// all-S1 observations (the worst case for the paper rule).
+		rep := stroke.Sequence{stroke.S1, stroke.S1, stroke.S1, stroke.S1, stroke.S1, stroke.S1}
+		seqs := len(infer.Corrections(rep, scope))
+		t.Rows = append(t.Rows, []string{
+			scope.String(), pct(overall.Accuracy(1)), pct(overall.Accuracy(3)), fmt.Sprintf("%d", seqs),
+		})
+	}
+	return t, nil
+}
+
+// AblationSTFT sweeps FFT size / hop (DESIGN.md decision 6).
+func AblationSTFT(cfg Config) (*Table, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "Ablation A6",
+		Title:  "STFT size/hop sweep",
+		Header: []string{"fft/hop", "stroke accuracy"},
+	}
+	for _, v := range []struct{ fft, hop int }{
+		{4096, 512}, {8192, 1024}, {8192, 2048}, {16384, 2048},
+	} {
+		pcfg := pipeline.DefaultConfig()
+		pcfg.STFT.FFTSize = v.fft
+		pcfg.STFT.HopSize = v.hop
+		pcfg.STFT.LowBin = int(19530 * float64(v.fft) / pcfg.STFT.SampleRate)
+		pcfg.STFT.HighBin = int(20470*float64(v.fft)/pcfg.STFT.SampleRate+0.5) + 1
+		acc, err := strokeAccuracyWith(cfg, pcfg, true)
+		if err != nil {
+			return nil, err
+		}
+		label := fmt.Sprintf("%d/%d", v.fft, v.hop)
+		if v.fft == 8192 && v.hop == 1024 {
+			label += " (paper)"
+		}
+		t.Rows = append(t.Rows, []string{label, pct(acc)})
+	}
+	return t, nil
+}
+
+// segmentationAccuracy measures how often a single-stroke trial in the
+// resting zone yields exactly one detected segment, using either the
+// paper's detector (energy=false) or the energy baseline.
+func segmentationAccuracy(eng *pipeline.Engine, cfg Config, energy bool) (float64, error) {
+	roster := participant.SixParticipants()[:cfg.Participants]
+	ok, total := 0, 0
+	for pi, p := range roster {
+		sess := participant.NewSession(p, cfg.Seed+uint64(pi*37))
+		for _, st := range stroke.AllStrokes() {
+			for r := 0; r < cfg.Reps; r++ {
+				rec, err := capture.Perform(sess, stroke.Sequence{st}, acoustic.Mate9(),
+					acoustic.StandardEnvironment(acoustic.RestingZone),
+					cfg.Seed+uint64(pi*100000+int(st)*1000+r))
+				if err != nil {
+					return 0, err
+				}
+				out, err := eng.Recognize(rec.Signal)
+				if err != nil {
+					return 0, err
+				}
+				total++
+				var n int
+				if energy {
+					n = len(segment.DetectEnergy(out.Profile, 25, 4))
+				} else {
+					n = len(out.Segments)
+				}
+				if n == 1 {
+					ok++
+				}
+			}
+		}
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("experiments: no segmentation trials ran")
+	}
+	return float64(ok) / float64(total), nil
+}

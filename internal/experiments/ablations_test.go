@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestAblationContourFavorsMVCE(t *testing.T) {
+	if testing.Short() {
+		t.Skip("audio-heavy")
+	}
+	tab, err := AblationContour(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	mvceAcc := parsePct(t, tab.Rows[0][1])
+	if mvceAcc < 70 {
+		t.Errorf("MVCE accuracy %g%% too low even for the tiny protocol", mvceAcc)
+	}
+}
+
+func TestAblationTemplates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("audio-heavy")
+	}
+	tab, err := AblationTemplates(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	calibrated := parsePct(t, tab.Rows[0][1])
+	analytic := parsePct(t, tab.Rows[1][1])
+	// Calibrated templates must not be worse than analytic ones.
+	if calibrated < analytic-10 {
+		t.Errorf("calibrated %g%% clearly worse than analytic %g%%", calibrated, analytic)
+	}
+}
+
+func TestAblationDownsamplePreservesAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("audio-heavy")
+	}
+	tab, err := AblationDownsample(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	full := parsePct(t, tab.Rows[0][1])
+	dec8 := parsePct(t, tab.Rows[2][1])
+	if dec8 < full-20 {
+		t.Errorf("factor-8 accuracy %g%% collapsed vs full %g%%", dec8, full)
+	}
+	// The speedup column must report >1x for the decimated variants.
+	sp := strings.TrimSuffix(tab.Rows[2][3], "x")
+	v, err := strconv.ParseFloat(sp, 64)
+	if err != nil {
+		t.Fatalf("parsing speedup %q: %v", tab.Rows[2][3], err)
+	}
+	if v <= 1.5 {
+		t.Errorf("factor-8 front-end speedup %gx, want > 1.5x", v)
+	}
+}
+
+func TestAblationScoringRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("audio-heavy")
+	}
+	tab, err := AblationScoring(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if parsePct(t, row[3]) < 40 {
+			t.Errorf("%s top-5 %s unusable", row[0], row[3])
+		}
+	}
+}

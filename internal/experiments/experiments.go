@@ -1,0 +1,141 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§II prelim study and §V). Each experiment is a function
+// returning a Table whose rows mirror what the paper plots; cmd/ewbench
+// prints them and bench_test.go wraps them as benchmarks.
+//
+// Experiments are deterministic given a Config seed. Rep counts scale
+// down in Quick mode so the suite stays runnable under `go test -bench`.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/acoustic"
+	"repro/internal/calibrate"
+	"repro/internal/pipeline"
+)
+
+// Config scales and seeds the experiment suite.
+type Config struct {
+	// Reps is the per-cell repetition count (the paper uses 30).
+	Reps int
+	// Participants limits the roster (paper: 6).
+	Participants int
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// Full returns the paper's protocol sizes (3240 stroke instances, 30 reps
+// per word, …).
+func Full() Config { return Config{Reps: 30, Participants: 6, Seed: 1} }
+
+// Quick returns a scaled-down configuration preserving every sweep
+// dimension (for benchmarks and CI).
+func Quick() Config { return Config{Reps: 3, Participants: 3, Seed: 1} }
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Reps < 1 {
+		return fmt.Errorf("experiments: Reps must be >= 1, got %d", c.Reps)
+	}
+	if c.Participants < 1 || c.Participants > 6 {
+		return fmt.Errorf("experiments: Participants must be in [1,6], got %d", c.Participants)
+	}
+	return nil
+}
+
+// Table is one reproduced figure or table.
+type Table struct {
+	// ID names the paper artifact ("Fig. 12", "Table I").
+	ID string
+	// Title describes what is shown.
+	Title string
+	// PaperClaim summarizes what the paper reports, for side-by-side
+	// comparison.
+	PaperClaim string
+	// Header labels the columns.
+	Header []string
+	// Rows hold the measured values, pre-formatted.
+	Rows [][]string
+	// Notes carry caveats (substitutions, scaled protocols).
+	Notes []string
+}
+
+// Render formats the table as aligned plain text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s\n", t.ID, t.Title)
+	if t.PaperClaim != "" {
+		fmt.Fprintf(&b, "   paper: %s\n", t.PaperClaim)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		b.WriteString("   ")
+		for i, cell := range cells {
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s  ", widths[i], cell)
+			} else {
+				b.WriteString(cell + "  ")
+			}
+		}
+		b.WriteString("\n")
+	}
+	line(t.Header)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "   note: %s\n", n)
+	}
+	return b.String()
+}
+
+// RenderMarkdown formats the table as a GitHub-flavored Markdown section.
+func (t *Table) RenderMarkdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", t.ID, t.Title)
+	if t.PaperClaim != "" {
+		fmt.Fprintf(&b, "*Paper:* %s\n\n", t.PaperClaim)
+	}
+	b.WriteString("| " + strings.Join(t.Header, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat(" --- |", len(t.Header)) + "\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n> %s\n", n)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// pct formats a ratio as a percentage.
+func pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }
+
+// f1 formats with one decimal.
+func f1(x float64) string { return fmt.Sprintf("%.1f", x) }
+
+// f2 formats with two decimals.
+func f2(x float64) string { return fmt.Sprintf("%.2f", x) }
+
+// newCalibratedEngine builds the standard recognition engine used across
+// experiments.
+func newCalibratedEngine() (*pipeline.Engine, error) {
+	return calibrate.NewCalibratedEngine(pipeline.DefaultConfig())
+}
+
+// environments lists the paper's three settings in presentation order.
+func environments() []acoustic.EnvironmentKind {
+	return []acoustic.EnvironmentKind{acoustic.MeetingRoom, acoustic.LabArea, acoustic.RestingZone}
+}

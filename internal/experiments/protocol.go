@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/acoustic"
+	"repro/internal/capture"
+	"repro/internal/infer"
+	"repro/internal/lexicon"
+	"repro/internal/metrics"
+	"repro/internal/participant"
+	"repro/internal/pipeline"
+	"repro/internal/stroke"
+)
+
+// strokeProtocol runs the paper's §IV-B stroke-recognition protocol: each
+// participant performs each stroke Reps times on the given device in the
+// given environment, and every instance goes through the full pipeline.
+// It returns the confusion matrix plus per-participant matrices indexed
+// by roster position.
+func strokeProtocol(eng *pipeline.Engine, cfg Config, dev acoustic.DeviceProfile, env acoustic.EnvironmentKind) (*metrics.ConfusionMatrix, []*metrics.ConfusionMatrix, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	roster := participant.SixParticipants()[:cfg.Participants]
+	total := &metrics.ConfusionMatrix{}
+	perP := make([]*metrics.ConfusionMatrix, len(roster))
+	for pi, p := range roster {
+		perP[pi] = &metrics.ConfusionMatrix{}
+		sess := participant.NewSession(p, cfg.Seed+uint64(1000*pi)+uint64(17*int(env)))
+		for _, st := range stroke.AllStrokes() {
+			for r := 0; r < cfg.Reps; r++ {
+				seed := cfg.Seed + uint64(pi*100000+int(env)*10000+int(st)*100+r)
+				rec, err := capture.Perform(sess, stroke.Sequence{st}, dev,
+					acoustic.StandardEnvironment(env), seed)
+				if err != nil {
+					return nil, nil, err
+				}
+				out, err := eng.Recognize(rec.Signal)
+				if err != nil {
+					return nil, nil, fmt.Errorf("experiments: recognize %v: %w", st, err)
+				}
+				if len(out.Detections) == 1 {
+					if err := total.Add(st, out.Detections[0].Stroke); err != nil {
+						return nil, nil, err
+					}
+					if err := perP[pi].Add(st, out.Detections[0].Stroke); err != nil {
+						return nil, nil, err
+					}
+				} else {
+					if err := total.AddMiss(st); err != nil {
+						return nil, nil, err
+					}
+					if err := perP[pi].AddMiss(st); err != nil {
+						return nil, nil, err
+					}
+				}
+			}
+		}
+	}
+	return total, perP, nil
+}
+
+// wordOutcome is the result of one word-entry trial.
+type wordOutcome struct {
+	// rank is the 1-based rank of the intended word among candidates
+	// (0 = absent).
+	rank int
+	// strokes is the recognized sequence length.
+	strokes int
+	// writeSeconds is the finger-motion time for the word.
+	writeSeconds float64
+}
+
+// wordTrial synthesizes one writing of word, recognizes it, and ranks the
+// intended word among the candidates.
+func wordTrial(eng *pipeline.Engine, rec *infer.Recognizer, sess *participant.Session, word string, dev acoustic.DeviceProfile, env acoustic.EnvironmentKind, seed uint64) (*wordOutcome, error) {
+	r, err := capture.PerformWord(sess, rec.Dictionary().Scheme(), word, dev, acoustic.StandardEnvironment(env), seed)
+	if err != nil {
+		return nil, err
+	}
+	out, err := eng.Recognize(r.Signal)
+	if err != nil {
+		return nil, err
+	}
+	oc := &wordOutcome{
+		strokes:      len(out.Sequence),
+		writeSeconds: r.Signal.Duration(),
+	}
+	if len(out.Sequence) == 0 {
+		return oc, nil
+	}
+	cands, err := rec.Recognize(out.Sequence)
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cands {
+		if c.Word == word {
+			oc.rank = i + 1
+			break
+		}
+	}
+	return oc, nil
+}
+
+// newWordRecognizer builds the standard inference stack used by the word
+// experiments.
+func newWordRecognizer(scope infer.CorrectionScope) (*infer.Recognizer, error) {
+	dict, err := lexicon.Default()
+	if err != nil {
+		return nil, err
+	}
+	cfg := infer.DefaultConfig()
+	cfg.Correction = scope
+	return infer.NewRecognizer(dict, infer.DefaultConfusion(), lexicon.DefaultBigram(), cfg)
+}

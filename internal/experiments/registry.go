@@ -1,0 +1,53 @@
+package experiments
+
+// Experiment is one named, runnable paper artifact.
+type Experiment struct {
+	// Name is the short CLI identifier ("fig14").
+	Name string
+	// Run produces the reproduced table.
+	Run func(Config) (*Table, error)
+}
+
+// All returns every experiment in paper order: the preliminary study,
+// the evaluation figures, Table I, and the ablation suite.
+func All() []Experiment {
+	return []Experiment{
+		{Name: "fig4", Run: Fig04Learnability},
+		{Name: "fig5", Run: Fig05LearnSpeed},
+		{Name: "fig6", Run: Fig06LearnAccuracy},
+		{Name: "fig8", Run: Fig08PipelineStages},
+		{Name: "fig9", Run: Fig09Profiles},
+		{Name: "fig10", Run: Fig10Segmentation},
+		{Name: "fig11", Run: Fig11Devices},
+		{Name: "fig12", Run: Fig12Environments},
+		{Name: "fig13", Run: Fig13Participants},
+		{Name: "table1", Run: Table1Words},
+		{Name: "fig14", Run: Fig14TopK},
+		{Name: "fig15", Run: Fig15Correction},
+		{Name: "fig16", Run: Fig16EntrySpeed},
+		{Name: "fig17", Run: Fig17LPM},
+		{Name: "fig18", Run: Fig18Training},
+		{Name: "fig19", Run: Fig19StageTime},
+		{Name: "fig20", Run: Fig20Energy},
+		{Name: "fig21", Run: Fig21CPU},
+		{Name: "ablation-templates", Run: AblationTemplates},
+		{Name: "ablation-contour", Run: AblationContour},
+		{Name: "ablation-segmentation", Run: AblationSegmentation},
+		{Name: "ablation-dtw-band", Run: AblationDTWBand},
+		{Name: "ablation-correction", Run: AblationCorrectionScope},
+		{Name: "ablation-stft", Run: AblationSTFT},
+		{Name: "ablation-downsample", Run: AblationDownsample},
+		{Name: "ablation-scoring", Run: AblationScoring},
+		{Name: "ablation-dictsize", Run: AblationDictSize},
+	}
+}
+
+// Find returns the experiment with the given name, or nil.
+func Find(name string) *Experiment {
+	for _, e := range All() {
+		if e.Name == name {
+			return &e
+		}
+	}
+	return nil
+}

@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/infer"
+	"repro/internal/lexicon"
+	"repro/internal/metrics"
+	"repro/internal/participant"
+)
+
+// phraseBlocks returns the Fry-style blocks, trimmed for Quick mode.
+func phraseBlocks(cfg Config) ([][]string, error) {
+	blocks, err := lexicon.PhraseBlocks(10)
+	if err != nil {
+		return nil, err
+	}
+	// Five blocks as in the paper; Quick mode keeps one phrase per block.
+	if len(blocks) > 5 {
+		blocks = blocks[:5]
+	}
+	if cfg.Reps < 10 {
+		per := cfg.Reps
+		if per < 1 {
+			per = 1
+		}
+		for i := range blocks {
+			if len(blocks[i]) > per {
+				blocks[i] = blocks[i][:per]
+			}
+		}
+	}
+	return blocks, nil
+}
+
+// Fig16EntrySpeed reproduces Fig. 16: phrase-entry speed per block,
+// EchoWrite (novice users) versus a smartwatch soft keyboard.
+func Fig16EntrySpeed(cfg Config) (*Table, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	eng, err := newCalibratedEngine()
+	if err != nil {
+		return nil, err
+	}
+	rec, err := newWordRecognizer(infer.CorrectionPaper)
+	if err != nil {
+		return nil, err
+	}
+	blocks, err := phraseBlocks(cfg)
+	if err != nil {
+		return nil, err
+	}
+	roster := participant.SixParticipants()[:cfg.Participants]
+	t := &Table{
+		ID:         "Fig. 16",
+		Title:      "phrase-entry speed by block: EchoWrite vs smartwatch keyboard (WPM)",
+		PaperClaim: "EchoWrite 7.5 WPM vs touchscreen 5.5 WPM on average",
+		Header:     []string{"block", "EchoWrite WPM", "keyboard WPM"},
+	}
+	var ewAll, kbAll []float64
+	for bi, block := range blocks {
+		var ew, kb metrics.Speed
+		for pi, p := range roster {
+			// Novice proficiency: first exposure, as in Fig. 16.
+			sp, err := entrySession(eng, rec, p.WithProficiency(0.1), block,
+				cfg.Seed+uint64(bi*100+pi))
+			if err != nil {
+				return nil, err
+			}
+			ew.Words += sp.Words
+			ew.Letters += sp.Letters
+			ew.Seconds += sp.Seconds
+			ksp := keyboardSpeed(block, 0.1, cfg.Seed+uint64(bi*100+pi))
+			kb.Words += ksp.Words
+			kb.Letters += ksp.Letters
+			kb.Seconds += ksp.Seconds
+		}
+		ewAll = append(ewAll, ew.WPM())
+		kbAll = append(kbAll, kb.WPM())
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("B%d", bi+1), f1(ew.WPM()), f1(kb.WPM())})
+	}
+	t.Rows = append(t.Rows, []string{"average", f1(metrics.Mean(ewAll)), f1(metrics.Mean(kbAll))})
+	return t, nil
+}
+
+// Fig17LPM reproduces Fig. 17: the same comparison in letters per minute.
+func Fig17LPM(cfg Config) (*Table, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	eng, err := newCalibratedEngine()
+	if err != nil {
+		return nil, err
+	}
+	rec, err := newWordRecognizer(infer.CorrectionPaper)
+	if err != nil {
+		return nil, err
+	}
+	blocks, err := phraseBlocks(cfg)
+	if err != nil {
+		return nil, err
+	}
+	roster := participant.SixParticipants()[:cfg.Participants]
+	t := &Table{
+		ID:         "Fig. 17",
+		Title:      "letter-entry speed: EchoWrite vs smartwatch keyboard (LPM)",
+		PaperClaim: "EchoWrite ≈25.6 LPM vs smartwatch ≈18.8 LPM",
+		Header:     []string{"system", "LPM"},
+	}
+	var ew, kb metrics.Speed
+	for bi, block := range blocks {
+		for pi, p := range roster {
+			sp, err := entrySession(eng, rec, p.WithProficiency(0.1), block,
+				cfg.Seed+uint64(7000+bi*100+pi))
+			if err != nil {
+				return nil, err
+			}
+			ew.Words += sp.Words
+			ew.Letters += sp.Letters
+			ew.Seconds += sp.Seconds
+			ksp := keyboardSpeed(block, 0.1, cfg.Seed+uint64(7000+bi*100+pi))
+			kb.Words += ksp.Words
+			kb.Letters += ksp.Letters
+			kb.Seconds += ksp.Seconds
+		}
+	}
+	t.Rows = append(t.Rows,
+		[]string{"EchoWrite", f1(ew.LPM())},
+		[]string{"smartwatch keyboard", f1(kb.LPM())},
+	)
+	return t, nil
+}
+
+// Fig18Training reproduces Fig. 18: WPM and LPM across 15 practice
+// sessions (paper: stabilizes at ~16.6 WPM / 55.3 LPM by session 13).
+func Fig18Training(cfg Config) (*Table, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	eng, err := newCalibratedEngine()
+	if err != nil {
+		return nil, err
+	}
+	rec, err := newWordRecognizer(infer.CorrectionPaper)
+	if err != nil {
+		return nil, err
+	}
+	blocks, err := phraseBlocks(cfg)
+	if err != nil {
+		return nil, err
+	}
+	block := blocks[0]
+	roster := participant.SixParticipants()[:cfg.Participants]
+	t := &Table{
+		ID:         "Fig. 18",
+		Title:      "entry speed vs practice session",
+		PaperClaim: "grows to ~16.6 WPM / 55.3 LPM, stable from session ~13",
+		Header:     []string{"session", "WPM", "LPM"},
+	}
+	sessions := 15
+	for s := 1; s <= sessions; s++ {
+		prof := participant.SessionProficiency(s)
+		var sp metrics.Speed
+		for pi, p := range roster {
+			one, err := entrySession(eng, rec, p.WithProficiency(prof), block,
+				cfg.Seed+uint64(9000+s*100+pi))
+			if err != nil {
+				return nil, err
+			}
+			sp.Words += one.Words
+			sp.Letters += one.Letters
+			sp.Seconds += one.Seconds
+		}
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", s), f1(sp.WPM()), f1(sp.LPM())})
+	}
+	return t, nil
+}

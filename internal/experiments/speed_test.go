@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/lexicon"
+	"repro/internal/participant"
+)
+
+func TestKeyboardSpeedCalibration(t *testing.T) {
+	phrases := lexicon.Phrases()
+	sp := keyboardSpeed(phrases, 0.1, 1)
+	// Paper baseline: ≈5.5 WPM / ≈18.8 LPM for novices.
+	if wpm := sp.WPM(); wpm < 4.5 || wpm > 6.5 {
+		t.Errorf("novice keyboard speed %.1f WPM, want ≈5.5", wpm)
+	}
+	if lpm := sp.LPM(); lpm < 15 || lpm > 23 {
+		t.Errorf("novice keyboard speed %.1f LPM, want ≈18.8", lpm)
+	}
+}
+
+func TestKeyboardSpeedImprovesWithProficiency(t *testing.T) {
+	phrases := lexicon.Phrases()[:30]
+	novice := keyboardSpeed(phrases, 0.0, 2)
+	expert := keyboardSpeed(phrases, 1.0, 2)
+	if expert.WPM() <= novice.WPM() {
+		t.Errorf("practice did not speed up typing: %.1f vs %.1f WPM",
+			expert.WPM(), novice.WPM())
+	}
+}
+
+func TestKeyboardSpeedDeterministicPerSeed(t *testing.T) {
+	phrases := lexicon.Phrases()[:10]
+	a := keyboardSpeed(phrases, 0.2, 7)
+	b := keyboardSpeed(phrases, 0.2, 7)
+	if a.Seconds != b.Seconds {
+		t.Error("same seed produced different typing times")
+	}
+	c := keyboardSpeed(phrases, 0.2, 8)
+	if a.Seconds == c.Seconds {
+		t.Error("different seeds produced identical typing times")
+	}
+}
+
+func TestPhraseBlocksQuickTrim(t *testing.T) {
+	blocks, err := phraseBlocks(Config{Reps: 2, Participants: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) > 5 {
+		t.Errorf("got %d blocks, want <= 5", len(blocks))
+	}
+	for i, b := range blocks {
+		if len(b) > 2 {
+			t.Errorf("block %d has %d phrases under Reps=2", i, len(b))
+		}
+	}
+	// Full-size protocols keep 10 phrases per block.
+	blocks, err = phraseBlocks(Config{Reps: 30, Participants: 6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks[0]) != 10 {
+		t.Errorf("full block has %d phrases, want 10", len(blocks[0]))
+	}
+}
+
+func TestEntrySessionRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("audio-heavy")
+	}
+	eng, err := newCalibratedEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := newWordRecognizer(2) // infer.CorrectionPaper
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := sixth(t).WithProficiency(0.5)
+	sp, err := entrySession(eng, rec, p, []string{"the people"}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Words != 2 || sp.Letters != 9 {
+		t.Errorf("accounted %d words / %d letters, want 2 / 9", sp.Words, sp.Letters)
+	}
+	if sp.Seconds <= 0 {
+		t.Error("no time accounted")
+	}
+}
+
+// sixth returns the first modeled participant.
+func sixth(t *testing.T) participant.Participant {
+	t.Helper()
+	return participant.SixParticipants()[0]
+}

@@ -1,0 +1,53 @@
+package geom
+
+import "fmt"
+
+// ArcLength numerically integrates the path length of tr over [t0, t1]
+// using the given number of linear segments (≥1). Writing-speed and
+// gesture-size statistics in the participant models build on this.
+func ArcLength(tr Trajectory, t0, t1 float64, steps int) (float64, error) {
+	if steps < 1 {
+		return 0, fmt.Errorf("geom: arc-length steps must be >= 1, got %d", steps)
+	}
+	if t1 < t0 {
+		return 0, fmt.Errorf("geom: arc-length interval [%g, %g] inverted", t0, t1)
+	}
+	dt := (t1 - t0) / float64(steps)
+	total := 0.0
+	prev := tr.At(t0)
+	for i := 1; i <= steps; i++ {
+		cur := tr.At(t0 + float64(i)*dt)
+		total += cur.Dist(prev)
+		prev = cur
+	}
+	return total, nil
+}
+
+// PathLength is ArcLength over the trajectory's whole domain with a
+// resolution of 512 segments.
+func PathLength(tr Trajectory) (float64, error) {
+	return ArcLength(tr, 0, tr.Duration(), 512)
+}
+
+// PeakSpeed samples the trajectory's speed (m/s) at the given resolution
+// and returns the maximum. Useful for checking gestures against the
+// paper's 4 m/s finger-speed bound.
+func PeakSpeed(tr Trajectory, steps int) (float64, error) {
+	if steps < 2 {
+		return 0, fmt.Errorf("geom: peak-speed steps must be >= 2, got %d", steps)
+	}
+	dt := tr.Duration() / float64(steps)
+	if dt <= 0 {
+		return 0, nil
+	}
+	peak := 0.0
+	prev := tr.At(0)
+	for i := 1; i <= steps; i++ {
+		cur := tr.At(float64(i) * dt)
+		if v := cur.Dist(prev) / dt; v > peak {
+			peak = v
+		}
+		prev = cur
+	}
+	return peak, nil
+}

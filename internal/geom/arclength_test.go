@@ -1,0 +1,113 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestArcLengthStraightLine(t *testing.T) {
+	tr, err := NewPolyTrajectory([]Waypoint{
+		{T: 0, Pos: Vec3{0, 0, 0}},
+		{T: 1, Pos: Vec3{3, 4, 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A straight segment has length 5 regardless of the easing profile.
+	l, err := ArcLength(tr, 0, 1, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l-5) > 1e-6 {
+		t.Errorf("length = %g, want 5", l)
+	}
+	// Partial interval is shorter.
+	half, err := ArcLength(tr, 0, 0.5, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if half >= l {
+		t.Errorf("half interval %g not shorter than full %g", half, l)
+	}
+}
+
+func TestArcLengthValidation(t *testing.T) {
+	st := &StaticTrajectory{Pos: Vec3{}, Dur: 1}
+	if _, err := ArcLength(st, 0, 1, 0); err == nil {
+		t.Error("zero steps accepted")
+	}
+	if _, err := ArcLength(st, 1, 0, 8); err == nil {
+		t.Error("inverted interval accepted")
+	}
+	l, err := ArcLength(st, 0, 1, 8)
+	if err != nil || l != 0 {
+		t.Errorf("static trajectory length = %g, %v", l, err)
+	}
+}
+
+func TestPathLengthCurve(t *testing.T) {
+	// A quarter unit circle has length π/2.
+	c, err := NewCurveTrajectory(Vec3{}, Vec3{1, 0, 0}, Vec3{0, 1, 0}, 0, math.Pi/2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := PathLength(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l-math.Pi/2) > 1e-3 {
+		t.Errorf("quarter-circle length = %g, want %g", l, math.Pi/2)
+	}
+}
+
+func TestArcLengthMonotoneInIntervalProperty(t *testing.T) {
+	tr, err := NewPolyTrajectory([]Waypoint{
+		{T: 0, Pos: Vec3{0, 0, 0}},
+		{T: 1, Pos: Vec3{1, 2, 3}},
+		{T: 2, Pos: Vec3{-1, 0, 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(aRaw, bRaw uint16) bool {
+		a := 2 * float64(aRaw) / 65535
+		b := 2 * float64(bRaw) / 65535
+		if a > b {
+			a, b = b, a
+		}
+		inner, err := ArcLength(tr, a, b, 64)
+		if err != nil {
+			return false
+		}
+		outer, err := ArcLength(tr, 0, 2, 64)
+		if err != nil {
+			return false
+		}
+		return inner <= outer+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPeakSpeed(t *testing.T) {
+	tr, err := NewPolyTrajectory([]Waypoint{
+		{T: 0, Pos: Vec3{0, 0, 0}},
+		{T: 1, Pos: Vec3{1, 0, 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Minimum-jerk peak speed over a unit move in unit time is 1.875.
+	v, err := PeakSpeed(tr, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-1.875) > 0.01 {
+		t.Errorf("peak speed = %g, want 1.875", v)
+	}
+	if _, err := PeakSpeed(tr, 1); err == nil {
+		t.Error("single step accepted")
+	}
+}

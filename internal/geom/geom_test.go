@@ -1,0 +1,244 @@
+package geom
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestVecOps(t *testing.T) {
+	a := Vec3{1, 2, 3}
+	b := Vec3{4, -5, 6}
+	if got := a.Add(b); got != (Vec3{5, -3, 9}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != (Vec3{-3, 7, -3}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != (Vec3{2, 4, 6}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Dot(b); got != 1*4-2*5+3*6 {
+		t.Errorf("Dot = %g", got)
+	}
+	if got := (Vec3{3, 4, 0}).Norm(); got != 5 {
+		t.Errorf("Norm = %g", got)
+	}
+	if got := (Vec3{1, 0, 0}).Dist(Vec3{4, 4, 0}); got != 5 {
+		t.Errorf("Dist = %g", got)
+	}
+	if got := a.Lerp(b, 0); got != a {
+		t.Errorf("Lerp(0) = %v", got)
+	}
+	if got := a.Lerp(b, 1); got != b {
+		t.Errorf("Lerp(1) = %v", got)
+	}
+	mid := a.Lerp(b, 0.5)
+	if mid != (Vec3{2.5, -1.5, 4.5}) {
+		t.Errorf("Lerp(0.5) = %v", mid)
+	}
+}
+
+func TestMinimumJerkBoundaries(t *testing.T) {
+	if MinimumJerk(0) != 0 || MinimumJerk(1) != 1 {
+		t.Error("endpoints wrong")
+	}
+	if MinimumJerk(-1) != 0 || MinimumJerk(2) != 1 {
+		t.Error("clamping wrong")
+	}
+	if MinimumJerkVelocity(0) != 0 || MinimumJerkVelocity(1) != 0 {
+		t.Error("boundary velocities must be zero")
+	}
+	// Peak velocity is 1.875 at t=0.5.
+	if v := MinimumJerkVelocity(0.5); math.Abs(v-1.875) > 1e-12 {
+		t.Errorf("peak velocity = %g, want 1.875", v)
+	}
+}
+
+func TestMinimumJerkMonotoneProperty(t *testing.T) {
+	// Property: s(t) is nondecreasing on [0,1].
+	f := func(aRaw, bRaw uint16) bool {
+		a := float64(aRaw) / 65535
+		b := float64(bRaw) / 65535
+		if a > b {
+			a, b = b, a
+		}
+		return MinimumJerk(a) <= MinimumJerk(b)+1e-15
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinimumJerkVelocityConsistencyProperty(t *testing.T) {
+	// Property: numeric derivative of MinimumJerk matches
+	// MinimumJerkVelocity.
+	f := func(raw uint16) bool {
+		tt := 0.05 + 0.9*float64(raw)/65535
+		const h = 1e-6
+		num := (MinimumJerk(tt+h) - MinimumJerk(tt-h)) / (2 * h)
+		return math.Abs(num-MinimumJerkVelocity(tt)) < 1e-5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolyTrajectoryValidation(t *testing.T) {
+	if _, err := NewPolyTrajectory(nil); err == nil {
+		t.Error("empty waypoints accepted")
+	}
+	if _, err := NewPolyTrajectory([]Waypoint{{T: 0}}); err == nil {
+		t.Error("single waypoint accepted")
+	}
+	if _, err := NewPolyTrajectory([]Waypoint{{T: 1}, {T: 2}}); err == nil {
+		t.Error("nonzero start time accepted")
+	}
+	if _, err := NewPolyTrajectory([]Waypoint{{T: 0}, {T: 0}}); err == nil {
+		t.Error("non-increasing times accepted")
+	}
+}
+
+func TestPolyTrajectoryEndpointsAndClamping(t *testing.T) {
+	a := Vec3{0, 0, 0}
+	b := Vec3{1, 0, 0}
+	tr, err := NewPolyTrajectory([]Waypoint{{T: 0, Pos: a}, {T: 2, Pos: b}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Duration() != 2 {
+		t.Errorf("Duration = %g", tr.Duration())
+	}
+	if tr.At(-1) != a || tr.At(0) != a {
+		t.Error("start clamp wrong")
+	}
+	if tr.At(2) != b || tr.At(99) != b {
+		t.Error("end clamp wrong")
+	}
+	// Midpoint follows the minimum-jerk fraction (0.5 at half time).
+	mid := tr.At(1)
+	if math.Abs(mid.X-0.5) > 1e-12 {
+		t.Errorf("mid X = %g, want 0.5", mid.X)
+	}
+}
+
+func TestPolyTrajectoryZeroVelocityAtWaypoints(t *testing.T) {
+	tr, err := NewPolyTrajectory([]Waypoint{
+		{T: 0, Pos: Vec3{0, 0, 0}},
+		{T: 1, Pos: Vec3{1, 0, 0}},
+		{T: 2, Pos: Vec3{1, 1, 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const h = 1e-5
+	for _, wt := range []float64{0, 1, 2} {
+		v := tr.At(wt + h).Sub(tr.At(wt - h)).Scale(1 / (2 * h)).Norm()
+		if v > 1e-3 {
+			t.Errorf("speed at waypoint t=%g is %g, want ≈0", wt, v)
+		}
+	}
+}
+
+func TestCurveTrajectory(t *testing.T) {
+	if _, err := NewCurveTrajectory(Vec3{}, Vec3{1, 0, 0}, Vec3{0, 1, 0}, 0, math.Pi, 0); err == nil {
+		t.Error("zero duration accepted")
+	}
+	if _, err := NewCurveTrajectory(Vec3{}, Vec3{1, 0, 0}, Vec3{0, 1, 0}, 1, 1, 1); err == nil {
+		t.Error("zero angular extent accepted")
+	}
+	c, err := NewCurveTrajectory(Vec3{}, Vec3{1, 0, 0}, Vec3{0, 1, 0}, 0, math.Pi/2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.At(0); got.Dist(Vec3{1, 0, 0}) > 1e-12 {
+		t.Errorf("start = %v", got)
+	}
+	if got := c.At(2); got.Dist(Vec3{0, 1, 0}) > 1e-12 {
+		t.Errorf("end = %v", got)
+	}
+	// Points stay on the unit circle.
+	for _, tt := range []float64{0.3, 0.9, 1.4} {
+		if r := c.At(tt).Norm(); math.Abs(r-1) > 1e-12 {
+			t.Errorf("radius at t=%g is %g", tt, r)
+		}
+	}
+}
+
+func TestCompositeTrajectory(t *testing.T) {
+	if _, err := NewCompositeTrajectory(); err == nil {
+		t.Error("empty composite accepted")
+	}
+	s1 := &StaticTrajectory{Pos: Vec3{1, 0, 0}, Dur: 1}
+	leg, err := NewPolyTrajectory([]Waypoint{{T: 0, Pos: Vec3{1, 0, 0}}, {T: 1, Pos: Vec3{2, 0, 0}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := NewCompositeTrajectory(s1, leg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.Duration() != 2 {
+		t.Errorf("Duration = %g, want 2", comp.Duration())
+	}
+	if comp.At(0.5) != (Vec3{1, 0, 0}) {
+		t.Error("first part not honored")
+	}
+	if got := comp.At(1.5).X; math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("second part mid = %g, want 1.5", got)
+	}
+	if comp.At(5) != (Vec3{2, 0, 0}) {
+		t.Error("end clamp wrong")
+	}
+	if comp.At(-1) != (Vec3{1, 0, 0}) {
+		t.Error("start clamp wrong")
+	}
+}
+
+func TestRadialSpeed(t *testing.T) {
+	// Moving straight away from origin at 2 m/s.
+	tr, err := NewPolyTrajectory([]Waypoint{
+		{T: 0, Pos: Vec3{1, 0, 0}},
+		{T: 1, Pos: Vec3{3, 0, 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At mid-time, minimum-jerk speed is 1.875 × mean = 3.75 m/s.
+	v := RadialSpeed(tr, Vec3{}, 0.5, 1e-4)
+	if math.Abs(v-3.75) > 1e-2 {
+		t.Errorf("radial speed = %g, want 3.75", v)
+	}
+	// Static trajectory has zero radial speed.
+	st := &StaticTrajectory{Pos: Vec3{1, 1, 1}, Dur: 1}
+	if v := RadialSpeed(st, Vec3{}, 0.5, 1e-4); v != 0 {
+		t.Errorf("static radial speed = %g", v)
+	}
+	// Non-positive dt falls back to a default step without panicking.
+	_ = RadialSpeed(st, Vec3{}, 0.5, 0)
+}
+
+func TestCompositeArcContinuityProperty(t *testing.T) {
+	// Property: composite position is continuous across part boundaries
+	// when parts share endpoints.
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 13))
+		p0 := Vec3{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		p1 := Vec3{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		leg1, err := NewPolyTrajectory([]Waypoint{{T: 0, Pos: p0}, {T: 1, Pos: p1}})
+		if err != nil {
+			return false
+		}
+		leg2 := &StaticTrajectory{Pos: p1, Dur: 0.5}
+		comp, err := NewCompositeTrajectory(leg1, leg2)
+		if err != nil {
+			return false
+		}
+		const h = 1e-9
+		return comp.At(1-h).Dist(comp.At(1+h)) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,206 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// MinimumJerk returns the canonical minimum-jerk position fraction for
+// normalized time t in [0, 1]:
+//
+//	s(t) = 10t³ − 15t⁴ + 6t⁵
+//
+// Human point-to-point reaching movements (including writing strokes)
+// closely follow this profile, giving the bell-shaped velocity curve the
+// paper's acceleration-based segmentation relies on. Inputs are clamped to
+// [0, 1].
+func MinimumJerk(t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	if t >= 1 {
+		return 1
+	}
+	t3 := t * t * t
+	return 10*t3 - 15*t3*t + 6*t3*t*t
+}
+
+// MinimumJerkVelocity returns ds/dt of the minimum-jerk profile, the
+// normalized speed at normalized time t (peak 1.875 at t=0.5).
+func MinimumJerkVelocity(t float64) float64 {
+	if t <= 0 || t >= 1 {
+		return 0
+	}
+	t2 := t * t
+	return 30*t2 - 60*t2*t + 30*t2*t2
+}
+
+// Trajectory is a time-parameterized 3-D path. Implementations must be
+// defined on [0, Duration()].
+type Trajectory interface {
+	// At returns the position at time t (seconds), clamping t to the
+	// trajectory's domain.
+	At(t float64) Vec3
+	// Duration returns the total time extent in seconds.
+	Duration() float64
+}
+
+// Waypoint anchors a polyline trajectory: reach Pos at time T.
+type Waypoint struct {
+	T   float64
+	Pos Vec3
+}
+
+// PolyTrajectory moves through a sequence of waypoints, easing each leg
+// with a minimum-jerk profile so velocity is zero at every waypoint. This
+// models a human finger that starts at rest, writes the stroke's segments,
+// and stops.
+type PolyTrajectory struct {
+	points []Waypoint
+}
+
+// NewPolyTrajectory validates that waypoints are time-ordered and returns
+// the trajectory. At least two waypoints are required.
+func NewPolyTrajectory(points []Waypoint) (*PolyTrajectory, error) {
+	if len(points) < 2 {
+		return nil, fmt.Errorf("geom: polyline needs at least 2 waypoints, got %d", len(points))
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].T <= points[i-1].T {
+			return nil, fmt.Errorf("geom: waypoint %d time %g not after previous %g", i, points[i].T, points[i-1].T)
+		}
+	}
+	if points[0].T != 0 {
+		return nil, fmt.Errorf("geom: first waypoint must be at t=0, got %g", points[0].T)
+	}
+	return &PolyTrajectory{points: append([]Waypoint(nil), points...)}, nil
+}
+
+// At implements Trajectory.
+func (p *PolyTrajectory) At(t float64) Vec3 {
+	pts := p.points
+	if t <= pts[0].T {
+		return pts[0].Pos
+	}
+	last := pts[len(pts)-1]
+	if t >= last.T {
+		return last.Pos
+	}
+	// Linear scan: waypoint counts are tiny (< 10).
+	for i := 1; i < len(pts); i++ {
+		if t <= pts[i].T {
+			span := pts[i].T - pts[i-1].T
+			frac := MinimumJerk((t - pts[i-1].T) / span)
+			return pts[i-1].Pos.Lerp(pts[i].Pos, frac)
+		}
+	}
+	return last.Pos
+}
+
+// Duration implements Trajectory.
+func (p *PolyTrajectory) Duration() float64 { return p.points[len(p.points)-1].T }
+
+// CurveTrajectory sweeps an elliptical arc with a minimum-jerk progression
+// along the arc, modeling curved strokes (the C-like S5 or the loop of S4).
+type CurveTrajectory struct {
+	// Center of the ellipse.
+	Center Vec3
+	// A and B are the semi-axis vectors; position = Center + A·cosθ + B·sinθ.
+	A, B Vec3
+	// ThetaStart and ThetaEnd bound the swept angle in radians.
+	ThetaStart, ThetaEnd float64
+	// Dur is the total duration in seconds.
+	Dur float64
+}
+
+// NewCurveTrajectory validates parameters.
+func NewCurveTrajectory(center, a, b Vec3, thetaStart, thetaEnd, dur float64) (*CurveTrajectory, error) {
+	if dur <= 0 {
+		return nil, fmt.Errorf("geom: curve duration must be positive, got %g", dur)
+	}
+	if thetaStart == thetaEnd {
+		return nil, fmt.Errorf("geom: curve has zero angular extent")
+	}
+	return &CurveTrajectory{Center: center, A: a, B: b, ThetaStart: thetaStart, ThetaEnd: thetaEnd, Dur: dur}, nil
+}
+
+// At implements Trajectory.
+func (c *CurveTrajectory) At(t float64) Vec3 {
+	frac := MinimumJerk(t / c.Dur)
+	theta := c.ThetaStart + (c.ThetaEnd-c.ThetaStart)*frac
+	return c.Center.Add(c.A.Scale(math.Cos(theta))).Add(c.B.Scale(math.Sin(theta)))
+}
+
+// Duration implements Trajectory.
+func (c *CurveTrajectory) Duration() float64 { return c.Dur }
+
+// CompositeTrajectory chains sub-trajectories end to end in time. Spatial
+// continuity is the caller's responsibility.
+type CompositeTrajectory struct {
+	parts []Trajectory
+	total float64
+}
+
+// NewCompositeTrajectory concatenates parts; at least one is required.
+func NewCompositeTrajectory(parts ...Trajectory) (*CompositeTrajectory, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("geom: composite needs at least one part")
+	}
+	total := 0.0
+	for _, p := range parts {
+		total += p.Duration()
+	}
+	return &CompositeTrajectory{parts: append([]Trajectory(nil), parts...), total: total}, nil
+}
+
+// At implements Trajectory.
+func (c *CompositeTrajectory) At(t float64) Vec3 {
+	if t <= 0 {
+		return c.parts[0].At(0)
+	}
+	rem := t
+	for _, p := range c.parts {
+		if rem <= p.Duration() {
+			return p.At(rem)
+		}
+		rem -= p.Duration()
+	}
+	last := c.parts[len(c.parts)-1]
+	return last.At(last.Duration())
+}
+
+// Duration implements Trajectory.
+func (c *CompositeTrajectory) Duration() float64 { return c.total }
+
+// StaticTrajectory stays at one point for a fixed duration (rest between
+// strokes, or a bystander standing still).
+type StaticTrajectory struct {
+	Pos Vec3
+	Dur float64
+}
+
+// At implements Trajectory.
+func (s *StaticTrajectory) At(float64) Vec3 { return s.Pos }
+
+// Duration implements Trajectory.
+func (s *StaticTrajectory) Duration() float64 { return s.Dur }
+
+// Verify interface compliance.
+var (
+	_ Trajectory = (*PolyTrajectory)(nil)
+	_ Trajectory = (*CurveTrajectory)(nil)
+	_ Trajectory = (*CompositeTrajectory)(nil)
+	_ Trajectory = (*StaticTrajectory)(nil)
+)
+
+// RadialSpeed numerically differentiates the distance from origin to the
+// trajectory at time t, returning d|p(t)|/dt in m/s — the quantity the
+// Doppler shift is proportional to. Positive means receding.
+func RadialSpeed(tr Trajectory, origin Vec3, t, dt float64) float64 {
+	if dt <= 0 {
+		dt = 1e-4
+	}
+	d0 := tr.At(t - dt/2).Dist(origin)
+	d1 := tr.At(t + dt/2).Dist(origin)
+	return (d1 - d0) / dt
+}

@@ -1,0 +1,167 @@
+package imgproc
+
+import "fmt"
+
+// FillHoles closes the "holes" of a binary image: background (0) regions
+// that are not 4-connected to the image border become foreground (1). This
+// is the morphological flood-fill-on-background operation the paper cites
+// from Soille for repairing binarized Doppler blobs.
+//
+// The input is not modified; a new matrix is returned.
+func FillHoles(bin [][]uint8) ([][]uint8, error) {
+	rows, cols, err := dimsU8(bin)
+	if err != nil {
+		return nil, err
+	}
+	// reachable marks background pixels 4-connected to the border.
+	reachable := make([][]bool, rows)
+	for r := range reachable {
+		reachable[r] = make([]bool, cols)
+	}
+	stack := make([][2]int, 0, rows+cols)
+	push := func(r, c int) {
+		if r < 0 || r >= rows || c < 0 || c >= cols {
+			return
+		}
+		if reachable[r][c] || bin[r][c] != 0 {
+			return
+		}
+		reachable[r][c] = true
+		stack = append(stack, [2]int{r, c})
+	}
+	for c := 0; c < cols; c++ {
+		push(0, c)
+		push(rows-1, c)
+	}
+	for r := 0; r < rows; r++ {
+		push(r, 0)
+		push(r, cols-1)
+	}
+	for len(stack) > 0 {
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		push(p[0]-1, p[1])
+		push(p[0]+1, p[1])
+		push(p[0], p[1]-1)
+		push(p[0], p[1]+1)
+	}
+	out := make([][]uint8, rows)
+	for r := range out {
+		out[r] = make([]uint8, cols)
+		for c := 0; c < cols; c++ {
+			if bin[r][c] == 1 || !reachable[r][c] {
+				out[r][c] = 1
+			}
+		}
+	}
+	return out, nil
+}
+
+// Component is one 4-connected foreground region of a binary image.
+type Component struct {
+	// Label is the 1-based component id.
+	Label int
+	// Size is the pixel count.
+	Size int
+	// MinRow, MaxRow, MinCol, MaxCol bound the component (inclusive).
+	MinRow, MaxRow, MinCol, MaxCol int
+}
+
+// ConnectedComponents labels 4-connected foreground regions, returning the
+// label matrix (0 = background) and per-component statistics ordered by
+// label.
+func ConnectedComponents(bin [][]uint8) ([][]int, []Component, error) {
+	rows, cols, err := dimsU8(bin)
+	if err != nil {
+		return nil, nil, err
+	}
+	labels := make([][]int, rows)
+	for r := range labels {
+		labels[r] = make([]int, cols)
+	}
+	var comps []Component
+	stack := make([][2]int, 0, 64)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if bin[r][c] != 1 || labels[r][c] != 0 {
+				continue
+			}
+			id := len(comps) + 1
+			comp := Component{Label: id, MinRow: r, MaxRow: r, MinCol: c, MaxCol: c}
+			labels[r][c] = id
+			stack = append(stack[:0], [2]int{r, c})
+			for len(stack) > 0 {
+				p := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				comp.Size++
+				if p[0] < comp.MinRow {
+					comp.MinRow = p[0]
+				}
+				if p[0] > comp.MaxRow {
+					comp.MaxRow = p[0]
+				}
+				if p[1] < comp.MinCol {
+					comp.MinCol = p[1]
+				}
+				if p[1] > comp.MaxCol {
+					comp.MaxCol = p[1]
+				}
+				for _, d := range [4][2]int{{-1, 0}, {1, 0}, {0, -1}, {0, 1}} {
+					rr, cc := p[0]+d[0], p[1]+d[1]
+					if rr < 0 || rr >= rows || cc < 0 || cc >= cols {
+						continue
+					}
+					if bin[rr][cc] == 1 && labels[rr][cc] == 0 {
+						labels[rr][cc] = id
+						stack = append(stack, [2]int{rr, cc})
+					}
+				}
+			}
+			comps = append(comps, comp)
+		}
+	}
+	return labels, comps, nil
+}
+
+// RemoveSmallComponents zeroes foreground components smaller than minSize
+// pixels, returning a new binary matrix. It is used by the pipeline to
+// discard isolated bursting-noise specks that survive thresholding.
+func RemoveSmallComponents(bin [][]uint8, minSize int) ([][]uint8, error) {
+	labels, comps, err := ConnectedComponents(bin)
+	if err != nil {
+		return nil, err
+	}
+	keep := make(map[int]bool, len(comps))
+	for _, c := range comps {
+		if c.Size >= minSize {
+			keep[c.Label] = true
+		}
+	}
+	out := make([][]uint8, len(bin))
+	for r := range bin {
+		out[r] = make([]uint8, len(bin[r]))
+		for c := range bin[r] {
+			if bin[r][c] == 1 && keep[labels[r][c]] {
+				out[r][c] = 1
+			}
+		}
+	}
+	return out, nil
+}
+
+func dimsU8(m [][]uint8) (rows, cols int, err error) {
+	rows = len(m)
+	if rows == 0 {
+		return 0, 0, fmt.Errorf("imgproc: empty binary matrix")
+	}
+	cols = len(m[0])
+	for r, row := range m {
+		if len(row) != cols {
+			return 0, 0, fmt.Errorf("imgproc: ragged binary matrix: row %d has %d cols, want %d", r, len(row), cols)
+		}
+	}
+	if cols == 0 {
+		return 0, 0, fmt.Errorf("imgproc: binary matrix has zero columns")
+	}
+	return rows, cols, nil
+}

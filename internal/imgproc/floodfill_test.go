@@ -1,0 +1,224 @@
+package imgproc
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func binFrom(rows []string) [][]uint8 {
+	out := make([][]uint8, len(rows))
+	for r, s := range rows {
+		out[r] = make([]uint8, len(s))
+		for c := range s {
+			if s[c] == '1' {
+				out[r][c] = 1
+			}
+		}
+	}
+	return out
+}
+
+func TestFillHolesClosesInterior(t *testing.T) {
+	in := binFrom([]string{
+		"11111",
+		"10001",
+		"10101",
+		"10001",
+		"11111",
+	})
+	out, err := FillHoles(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range out {
+		for c := range out[r] {
+			if out[r][c] != 1 {
+				t.Fatalf("hole at %d,%d not filled", r, c)
+			}
+		}
+	}
+}
+
+func TestFillHolesKeepsBorderBackground(t *testing.T) {
+	in := binFrom([]string{
+		"00000",
+		"01110",
+		"01110",
+		"00000",
+	})
+	out, err := FillHoles(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Outside background must survive.
+	if out[0][0] != 0 || out[3][4] != 0 {
+		t.Error("border-connected background was filled")
+	}
+	// Foreground survives.
+	if out[1][1] != 1 {
+		t.Error("foreground pixel lost")
+	}
+}
+
+func TestFillHolesBayAccessibleFromBorder(t *testing.T) {
+	// A bay (concavity open to the border) is not a hole.
+	in := binFrom([]string{
+		"11111",
+		"10001",
+		"10001",
+		"10001",
+	})
+	out, err := FillHoles(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[2][2] != 0 {
+		t.Error("bay was incorrectly filled")
+	}
+}
+
+func TestFillHolesErrors(t *testing.T) {
+	if _, err := FillHoles(nil); err == nil {
+		t.Error("nil matrix accepted")
+	}
+	if _, err := FillHoles([][]uint8{{1, 0}, {1}}); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+}
+
+func randomBinary(seed uint64, rows, cols int) [][]uint8 {
+	rng := rand.New(rand.NewPCG(seed, 5))
+	m := make([][]uint8, rows)
+	for r := range m {
+		m[r] = make([]uint8, cols)
+		for c := range m[r] {
+			if rng.Float64() < 0.45 {
+				m[r][c] = 1
+			}
+		}
+	}
+	return m
+}
+
+func TestFillHolesIdempotentProperty(t *testing.T) {
+	// Property: FillHoles(FillHoles(x)) == FillHoles(x).
+	f := func(seed uint64) bool {
+		in := randomBinary(seed, 9, 11)
+		once, err := FillHoles(in)
+		if err != nil {
+			return false
+		}
+		twice, err := FillHoles(once)
+		if err != nil {
+			return false
+		}
+		for r := range once {
+			for c := range once[r] {
+				if once[r][c] != twice[r][c] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFillHolesMonotoneProperty(t *testing.T) {
+	// Property: FillHoles never clears a foreground pixel.
+	f := func(seed uint64) bool {
+		in := randomBinary(seed, 8, 8)
+		out, err := FillHoles(in)
+		if err != nil {
+			return false
+		}
+		for r := range in {
+			for c := range in[r] {
+				if in[r][c] == 1 && out[r][c] != 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	in := binFrom([]string{
+		"1100",
+		"1100",
+		"0011",
+		"0011",
+	})
+	labels, comps, err := ConnectedComponents(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comps) != 2 {
+		t.Fatalf("found %d components, want 2", len(comps))
+	}
+	if comps[0].Size != 4 || comps[1].Size != 4 {
+		t.Errorf("component sizes %d, %d, want 4, 4", comps[0].Size, comps[1].Size)
+	}
+	if comps[0].MinRow != 0 || comps[0].MaxRow != 1 || comps[0].MinCol != 0 || comps[0].MaxCol != 1 {
+		t.Errorf("component 1 bounds wrong: %+v", comps[0])
+	}
+	if labels[0][0] == labels[3][3] {
+		t.Error("diagonal-only neighbors merged under 4-connectivity")
+	}
+	if labels[0][2] != 0 {
+		t.Error("background labeled")
+	}
+}
+
+func TestConnectedComponentsSizesSumProperty(t *testing.T) {
+	// Property: component sizes sum to the number of foreground pixels.
+	f := func(seed uint64) bool {
+		in := randomBinary(seed, 10, 10)
+		_, comps, err := ConnectedComponents(in)
+		if err != nil {
+			return false
+		}
+		sum := 0
+		for _, c := range comps {
+			sum += c.Size
+		}
+		fg := 0
+		for _, row := range in {
+			for _, v := range row {
+				if v == 1 {
+					fg++
+				}
+			}
+		}
+		return sum == fg
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRemoveSmallComponents(t *testing.T) {
+	in := binFrom([]string{
+		"1000",
+		"0000",
+		"0111",
+		"0111",
+	})
+	out, err := RemoveSmallComponents(in, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0][0] != 0 {
+		t.Error("1-pixel speck survived")
+	}
+	if out[2][1] != 1 {
+		t.Error("large component removed")
+	}
+}

@@ -1,0 +1,220 @@
+package imgproc
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestDims(t *testing.T) {
+	if _, _, err := Dims(nil); err == nil {
+		t.Error("empty matrix accepted")
+	}
+	if _, _, err := Dims([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+	if _, _, err := Dims([][]float64{{}}); err == nil {
+		t.Error("zero-column matrix accepted")
+	}
+	r, c, err := Dims([][]float64{{1, 2, 3}, {4, 5, 6}})
+	if err != nil || r != 2 || c != 3 {
+		t.Errorf("Dims = %d,%d,%v; want 2,3,nil", r, c, err)
+	}
+}
+
+func TestNewMatrixContiguousAndZero(t *testing.T) {
+	m := NewMatrix(3, 4)
+	if len(m) != 3 || len(m[0]) != 4 {
+		t.Fatalf("dims %dx%d, want 3x4", len(m), len(m[0]))
+	}
+	for r := range m {
+		for c := range m[r] {
+			if m[r][c] != 0 {
+				t.Fatalf("m[%d][%d] = %g, want 0", r, c, m[r][c])
+			}
+		}
+	}
+	// Rows must not alias each other.
+	m[0][3] = 7
+	if m[1][0] == 7 {
+		t.Error("rows alias")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := [][]float64{{1, 2}, {3, 4}}
+	c := Clone(m)
+	c[1][1] = 99
+	if m[1][1] == 99 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestMedian3x3RemovesSalt(t *testing.T) {
+	m := NewMatrix(5, 5)
+	m[2][2] = 100 // isolated spike
+	out, err := Median3x3(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[2][2] != 0 {
+		t.Errorf("median kept the spike: %g", out[2][2])
+	}
+}
+
+func TestMedian3x3PreservesLargeBlob(t *testing.T) {
+	m := NewMatrix(7, 7)
+	for r := 2; r <= 4; r++ {
+		for c := 2; c <= 4; c++ {
+			m[r][c] = 10
+		}
+	}
+	out, err := Median3x3(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[3][3] != 10 {
+		t.Errorf("median destroyed blob center: %g", out[3][3])
+	}
+}
+
+func TestGaussianKernel(t *testing.T) {
+	if _, err := GaussianKernel(4, 1); err == nil {
+		t.Error("even kernel size accepted")
+	}
+	k, err := GaussianKernel(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, v := range k {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("kernel sum = %g, want 1", sum)
+	}
+	// Symmetric with peak at center.
+	if k[0] != k[4] || k[1] != k[3] {
+		t.Error("kernel not symmetric")
+	}
+	if k[2] <= k[1] {
+		t.Error("kernel peak not at center")
+	}
+}
+
+func TestGaussianBlurPreservesMassApproximately(t *testing.T) {
+	m := NewMatrix(9, 9)
+	m[4][4] = 81
+	out, err := GaussianBlur(m, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, row := range out {
+		for _, v := range row {
+			sum += v
+		}
+	}
+	// Border renormalization keeps total mass within a few percent for an
+	// interior impulse.
+	if math.Abs(sum-81) > 2 {
+		t.Errorf("mass after blur = %g, want ≈81", sum)
+	}
+	if out[4][4] >= 81 {
+		t.Error("blur did not spread the impulse")
+	}
+	if out[4][3] <= 0 {
+		t.Error("blur left neighbors empty")
+	}
+}
+
+func TestGaussianBlurConstantFixedPointProperty(t *testing.T) {
+	// Property: constant images are fixed points of the blur.
+	f := func(cRaw int16) bool {
+		c := float64(cRaw)
+		m := NewMatrix(6, 6)
+		for r := range m {
+			for i := range m[r] {
+				m[r][i] = c
+			}
+		}
+		out, err := GaussianBlur(m, 5, 0)
+		if err != nil {
+			return false
+		}
+		for r := range out {
+			for i := range out[r] {
+				if math.Abs(out[r][i]-c) > 1e-9*(1+math.Abs(c)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestThreshold(t *testing.T) {
+	m := [][]float64{{1, 5, 10}}
+	Threshold(m, 5)
+	want := []float64{0, 5, 10}
+	for i := range want {
+		if m[0][i] != want[i] {
+			t.Errorf("m[0][%d] = %g, want %g", i, m[0][i], want[i])
+		}
+	}
+}
+
+func TestNormalize01(t *testing.T) {
+	m := [][]float64{{2, 6}, {4, 10}}
+	Normalize01(m)
+	if m[0][0] != 0 || m[1][1] != 1 {
+		t.Errorf("normalize endpoints wrong: %v", m)
+	}
+	if math.Abs(m[0][1]-0.5) > 1e-12 {
+		t.Errorf("mid value = %g, want 0.5", m[0][1])
+	}
+	// Constant matrix becomes zeros.
+	c := [][]float64{{3, 3}}
+	Normalize01(c)
+	if c[0][0] != 0 || c[0][1] != 0 {
+		t.Errorf("constant matrix = %v, want zeros", c)
+	}
+}
+
+func TestBinarize(t *testing.T) {
+	m := [][]float64{{0.1, 0.15, 0.2}}
+	b := Binarize(m, 0.15)
+	want := []uint8{0, 1, 1}
+	for i := range want {
+		if b[0][i] != want[i] {
+			t.Errorf("b[0][%d] = %d, want %d", i, b[0][i], want[i])
+		}
+	}
+}
+
+func TestBinarizeOutputsOnlyBinaryProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 4))
+		m := NewMatrix(4, 5)
+		for r := range m {
+			for c := range m[r] {
+				m[r][c] = rng.Float64()
+			}
+		}
+		for _, row := range Binarize(m, 0.5) {
+			for _, v := range row {
+				if v != 0 && v != 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,174 @@
+package imgproc
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+	"math"
+)
+
+// RenderOptions control matrix-to-image conversion.
+type RenderOptions struct {
+	// Gamma compresses dynamic range (0 means 0.5, a square-root curve
+	// that keeps weak echoes visible next to the carrier).
+	Gamma float64
+	// ZoomX and ZoomY replicate pixels for visibility (0 means 1).
+	ZoomX, ZoomY int
+}
+
+func (o RenderOptions) normalize() RenderOptions {
+	if o.Gamma == 0 {
+		o.Gamma = 0.5
+	}
+	if o.ZoomX == 0 {
+		o.ZoomX = 1
+	}
+	if o.ZoomY == 0 {
+		o.ZoomY = 1
+	}
+	return o
+}
+
+// heat maps a normalized intensity to a dark-blue→yellow heat color.
+func heat(v float64) color.NRGBA {
+	switch {
+	case v < 0:
+		v = 0
+	case v > 1:
+		v = 1
+	}
+	r := math.Min(1, 3*v)
+	g := math.Min(1, math.Max(0, 3*v-1))
+	b := math.Min(1, math.Max(0, 3*v-2))
+	return color.NRGBA{
+		R: uint8(255 * r),
+		G: uint8(255 * g),
+		B: uint8(255 * (0.25 + 0.75*b) * (1 - 0.7*v)),
+		A: 255,
+	}
+}
+
+// RenderMatrixPNG writes m (rows = time frames, columns = frequency bins)
+// as a PNG heat map with time on the X axis and frequency increasing
+// upward on the Y axis — the conventional spectrogram orientation used by
+// the paper's Fig. 8.
+func RenderMatrixPNG(w io.Writer, m [][]float64, opts RenderOptions) error {
+	rows, cols, err := Dims(m)
+	if err != nil {
+		return err
+	}
+	opts = opts.normalize()
+	// Normalize a copy for display.
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	for _, row := range m {
+		for _, v := range row {
+			minV = math.Min(minV, v)
+			maxV = math.Max(maxV, v)
+		}
+	}
+	span := maxV - minV
+	img := image.NewNRGBA(image.Rect(0, 0, rows*opts.ZoomX, cols*opts.ZoomY))
+	for f := 0; f < rows; f++ {
+		for b := 0; b < cols; b++ {
+			v := 0.0
+			if span > 0 {
+				v = (m[f][b] - minV) / span
+			}
+			c := heat(math.Pow(v, opts.Gamma))
+			for dx := 0; dx < opts.ZoomX; dx++ {
+				for dy := 0; dy < opts.ZoomY; dy++ {
+					// Flip Y: low frequency at the bottom.
+					img.SetNRGBA(f*opts.ZoomX+dx, (cols-1-b)*opts.ZoomY+dy, c)
+				}
+			}
+		}
+	}
+	if err := png.Encode(w, img); err != nil {
+		return fmt.Errorf("imgproc: encoding PNG: %w", err)
+	}
+	return nil
+}
+
+// RenderBinaryPNG writes a binary image as black-on-white.
+func RenderBinaryPNG(w io.Writer, bin [][]uint8, opts RenderOptions) error {
+	rows, cols, err := dimsU8(bin)
+	if err != nil {
+		return err
+	}
+	opts = opts.normalize()
+	img := image.NewNRGBA(image.Rect(0, 0, rows*opts.ZoomX, cols*opts.ZoomY))
+	for f := 0; f < rows; f++ {
+		for b := 0; b < cols; b++ {
+			c := color.NRGBA{R: 245, G: 245, B: 245, A: 255}
+			if bin[f][b] == 1 {
+				c = color.NRGBA{R: 20, G: 20, B: 20, A: 255}
+			}
+			for dx := 0; dx < opts.ZoomX; dx++ {
+				for dy := 0; dy < opts.ZoomY; dy++ {
+					img.SetNRGBA(f*opts.ZoomX+dx, (cols-1-b)*opts.ZoomY+dy, c)
+				}
+			}
+		}
+	}
+	if err := png.Encode(w, img); err != nil {
+		return fmt.Errorf("imgproc: encoding PNG: %w", err)
+	}
+	return nil
+}
+
+// RenderProfilePNG plots a 1-D Doppler profile (Hz per frame) as a
+// polyline with a zero axis — the Fig. 8(d)-style view.
+func RenderProfilePNG(w io.Writer, profile []float64, height int, opts RenderOptions) error {
+	if len(profile) == 0 {
+		return fmt.Errorf("imgproc: empty profile")
+	}
+	if height <= 8 {
+		height = 160
+	}
+	opts = opts.normalize()
+	peak := 1.0
+	for _, v := range profile {
+		if a := math.Abs(v); a > peak {
+			peak = a
+		}
+	}
+	width := len(profile) * opts.ZoomX
+	img := image.NewNRGBA(image.Rect(0, 0, width, height))
+	bg := color.NRGBA{R: 250, G: 250, B: 250, A: 255}
+	axis := color.NRGBA{R: 180, G: 180, B: 180, A: 255}
+	line := color.NRGBA{R: 30, G: 90, B: 200, A: 255}
+	for x := 0; x < width; x++ {
+		for y := 0; y < height; y++ {
+			img.SetNRGBA(x, y, bg)
+		}
+		img.SetNRGBA(x, height/2, axis)
+	}
+	toY := func(v float64) int {
+		y := height/2 - int(v/peak*float64(height/2-2))
+		if y < 0 {
+			y = 0
+		}
+		if y >= height {
+			y = height - 1
+		}
+		return y
+	}
+	prevY := toY(profile[0])
+	for i, v := range profile {
+		y := toY(v)
+		x := i * opts.ZoomX
+		lo, hi := min(prevY, y), max(prevY, y)
+		for yy := lo; yy <= hi; yy++ {
+			for dx := 0; dx < opts.ZoomX; dx++ {
+				img.SetNRGBA(x+dx, yy, line)
+			}
+		}
+		prevY = y
+	}
+	if err := png.Encode(w, img); err != nil {
+		return fmt.Errorf("imgproc: encoding PNG: %w", err)
+	}
+	return nil
+}

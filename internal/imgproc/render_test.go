@@ -1,0 +1,88 @@
+package imgproc
+
+import (
+	"bytes"
+	"image/png"
+	"testing"
+)
+
+func TestRenderMatrixPNG(t *testing.T) {
+	m := NewMatrix(20, 10)
+	m[5][5] = 10
+	m[6][5] = 8
+	var buf bytes.Buffer
+	if err := RenderMatrixPNG(&buf, m, RenderOptions{ZoomX: 2, ZoomY: 3}); err != nil {
+		t.Fatal(err)
+	}
+	img, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := img.Bounds()
+	if b.Dx() != 40 || b.Dy() != 30 {
+		t.Errorf("image %dx%d, want 40x30", b.Dx(), b.Dy())
+	}
+	if err := RenderMatrixPNG(&buf, nil, RenderOptions{}); err == nil {
+		t.Error("empty matrix accepted")
+	}
+}
+
+func TestRenderMatrixPNGConstant(t *testing.T) {
+	// Constant matrices (zero span) must render without dividing by zero.
+	m := NewMatrix(4, 4)
+	var buf bytes.Buffer
+	if err := RenderMatrixPNG(&buf, m, RenderOptions{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenderBinaryPNG(t *testing.T) {
+	bin := [][]uint8{{0, 1}, {1, 0}, {1, 1}}
+	var buf bytes.Buffer
+	if err := RenderBinaryPNG(&buf, bin, RenderOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	img, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Bounds().Dx() != 3 || img.Bounds().Dy() != 2 {
+		t.Errorf("image %v", img.Bounds())
+	}
+	if err := RenderBinaryPNG(&buf, [][]uint8{{1}, {1, 0}}, RenderOptions{}); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+}
+
+func TestRenderProfilePNG(t *testing.T) {
+	profile := []float64{0, 10, 40, 90, 40, 0, -30, -80, -20, 0}
+	var buf bytes.Buffer
+	if err := RenderProfilePNG(&buf, profile, 120, RenderOptions{ZoomX: 4}); err != nil {
+		t.Fatal(err)
+	}
+	img, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Bounds().Dx() != 40 || img.Bounds().Dy() != 120 {
+		t.Errorf("image %v, want 40x120", img.Bounds())
+	}
+	if err := RenderProfilePNG(&buf, nil, 100, RenderOptions{}); err == nil {
+		t.Error("empty profile accepted")
+	}
+	// Tiny height falls back to a sane default.
+	if err := RenderProfilePNG(&buf, profile, 2, RenderOptions{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeatColormapRange(t *testing.T) {
+	for _, v := range []float64{-1, 0, 0.25, 0.5, 0.75, 1, 2} {
+		c := heat(v)
+		_ = c // constructing must not panic; components are uint8 by type
+	}
+	lo, hi := heat(0), heat(1)
+	if lo.R >= hi.R {
+		t.Error("colormap not increasing in red channel")
+	}
+}

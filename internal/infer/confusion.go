@@ -1,0 +1,102 @@
+// Package infer implements EchoWrite's text-inference layer (§III-C,
+// Algorithm 2): Bayesian word recognition over stroke sequences, the
+// paper's restricted stroke-correction rule, top-k candidate lists, and
+// bigram next-word prediction.
+package infer
+
+import (
+	"fmt"
+
+	"repro/internal/stroke"
+)
+
+// Confusion is the stroke confusion model: Confusion[intended][observed]
+// is P(recognize observed | user wrote intended), indexed by
+// Stroke.Index(). Rows must sum to 1.
+type Confusion [stroke.NumStrokes][stroke.NumStrokes]float64
+
+// Validate checks that every row is a probability distribution.
+func (c *Confusion) Validate() error {
+	for i, row := range c {
+		sum := 0.0
+		for _, p := range row {
+			if p < 0 || p > 1 {
+				return fmt.Errorf("infer: confusion[%d] has probability %g outside [0,1]", i, p)
+			}
+			sum += p
+		}
+		if sum < 0.999 || sum > 1.001 {
+			return fmt.Errorf("infer: confusion row %d sums to %g, want 1", i, sum)
+		}
+	}
+	return nil
+}
+
+// P returns P(observed|intended).
+func (c *Confusion) P(intended, observed stroke.Stroke) float64 {
+	if !intended.Valid() || !observed.Valid() {
+		return 0
+	}
+	return c[intended.Index()][observed.Index()]
+}
+
+// Normalize rescales each row to sum to 1 (rows of all zeros become
+// uniform).
+func (c *Confusion) Normalize() {
+	for i := range c {
+		sum := 0.0
+		for _, p := range c[i] {
+			sum += p
+		}
+		if sum == 0 {
+			for j := range c[i] {
+				c[i][j] = 1.0 / stroke.NumStrokes
+			}
+			continue
+		}
+		for j := range c[i] {
+			c[i][j] /= sum
+		}
+	}
+}
+
+// DefaultConfusion returns a calibrated confusion model reflecting the
+// paper's reported error structure (§III-C): S2, S4 and S6 are
+// occasionally recognized as S1 (S1's high false-positive rate), and S5 is
+// occasionally recognized as S2 or S6 (S5's high false-negative rate).
+// Diagonal values sit in the paper's 88–99 % per-stroke accuracy range
+// (Fig. 12).
+func DefaultConfusion() *Confusion {
+	c := &Confusion{}
+	set := func(intended stroke.Stroke, probs map[stroke.Stroke]float64) {
+		for observed, p := range probs {
+			c[intended.Index()][observed.Index()] = p
+		}
+	}
+	set(stroke.S1, map[stroke.Stroke]float64{
+		stroke.S1: 0.965, stroke.S2: 0.010, stroke.S3: 0.005,
+		stroke.S4: 0.005, stroke.S5: 0.005, stroke.S6: 0.010,
+	})
+	set(stroke.S2, map[stroke.Stroke]float64{
+		stroke.S1: 0.035, stroke.S2: 0.945, stroke.S3: 0.005,
+		stroke.S4: 0.005, stroke.S5: 0.005, stroke.S6: 0.005,
+	})
+	set(stroke.S3, map[stroke.Stroke]float64{
+		stroke.S1: 0.005, stroke.S2: 0.005, stroke.S3: 0.975,
+		stroke.S4: 0.005, stroke.S5: 0.005, stroke.S6: 0.005,
+	})
+	set(stroke.S4, map[stroke.Stroke]float64{
+		stroke.S1: 0.045, stroke.S2: 0.010, stroke.S3: 0.005,
+		stroke.S4: 0.920, stroke.S5: 0.010, stroke.S6: 0.010,
+	})
+	set(stroke.S5, map[stroke.Stroke]float64{
+		stroke.S1: 0.010, stroke.S2: 0.035, stroke.S3: 0.005,
+		stroke.S4: 0.010, stroke.S5: 0.900, stroke.S6: 0.040,
+	})
+	set(stroke.S6, map[stroke.Stroke]float64{
+		stroke.S1: 0.040, stroke.S2: 0.005, stroke.S3: 0.005,
+		stroke.S4: 0.005, stroke.S5: 0.010, stroke.S6: 0.935,
+	})
+	c.Normalize()
+	return c
+}

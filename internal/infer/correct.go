@@ -1,0 +1,80 @@
+package infer
+
+import "repro/internal/stroke"
+
+// CorrectionScope selects how aggressively stroke correction expands the
+// candidate set.
+type CorrectionScope int
+
+// Correction scopes.
+const (
+	// CorrectionNone disables correction: only the observed sequence is
+	// looked up (the paper's "without stroke correction" baseline of
+	// Fig. 15).
+	CorrectionNone CorrectionScope = iota + 1
+	// CorrectionPaper applies the paper's restricted rule: substitute one
+	// observed S1 by S2/S4/S6, or one observed S2/S6 by S5, one position
+	// at a time. The rule inverts the dominant recognition errors (S1's
+	// false positives, S5's false negatives).
+	CorrectionPaper
+	// CorrectionFull substitutes any single position by any other stroke
+	// (edit distance 1, substitution only) — the exhaustive variant the
+	// paper rejects as unnecessary; kept for the ablation benchmark.
+	CorrectionFull
+)
+
+// String implements fmt.Stringer.
+func (s CorrectionScope) String() string {
+	switch s {
+	case CorrectionNone:
+		return "none"
+	case CorrectionPaper:
+		return "paper"
+	case CorrectionFull:
+		return "full"
+	default:
+		return "unknown"
+	}
+}
+
+// paperSubstitutions maps an observed stroke to the intended strokes it
+// frequently masks (inverse of the dominant confusions).
+var paperSubstitutions = map[stroke.Stroke][]stroke.Stroke{
+	stroke.S1: {stroke.S2, stroke.S4, stroke.S6},
+	stroke.S2: {stroke.S5},
+	stroke.S6: {stroke.S5},
+}
+
+// Corrections returns the candidate sequences for an observed sequence
+// under the given scope. The observed sequence itself is always first;
+// every candidate has the same length (substitution-only, per the paper's
+// argument that the acceleration-based detector makes insert/delete errors
+// negligible).
+func Corrections(observed stroke.Sequence, scope CorrectionScope) []stroke.Sequence {
+	out := []stroke.Sequence{append(stroke.Sequence(nil), observed...)}
+	switch scope {
+	case CorrectionNone:
+		return out
+	case CorrectionFull:
+		for i, cur := range observed {
+			for _, alt := range stroke.AllStrokes() {
+				if alt == cur {
+					continue
+				}
+				cand := append(stroke.Sequence(nil), observed...)
+				cand[i] = alt
+				out = append(out, cand)
+			}
+		}
+		return out
+	default: // CorrectionPaper
+		for i, cur := range observed {
+			for _, alt := range paperSubstitutions[cur] {
+				cand := append(stroke.Sequence(nil), observed...)
+				cand[i] = alt
+				out = append(out, cand)
+			}
+		}
+		return out
+	}
+}

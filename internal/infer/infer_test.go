@@ -1,0 +1,344 @@
+package infer
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lexicon"
+	"repro/internal/stroke"
+)
+
+func TestDefaultConfusionValid(t *testing.T) {
+	c := DefaultConfusion()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("default confusion invalid: %v", err)
+	}
+	// Diagonal dominates each row.
+	for _, s := range stroke.AllStrokes() {
+		diag := c.P(s, s)
+		for _, o := range stroke.AllStrokes() {
+			if o != s && c.P(s, o) >= diag {
+				t.Errorf("P(%v|%v)=%g >= diagonal %g", o, s, c.P(s, o), diag)
+			}
+		}
+	}
+	// The paper's error structure: S1 false positives from S2/S4/S6, S5
+	// false negatives toward S2/S6.
+	if c.P(stroke.S4, stroke.S1) <= c.P(stroke.S4, stroke.S3) {
+		t.Error("S4→S1 confusion should exceed S4→S3")
+	}
+	if c.P(stroke.S5, stroke.S6) <= c.P(stroke.S5, stroke.S3) {
+		t.Error("S5→S6 confusion should exceed S5→S3")
+	}
+}
+
+func TestConfusionValidateCatchesBadRows(t *testing.T) {
+	var c Confusion
+	if err := c.Validate(); err == nil {
+		t.Error("zero matrix accepted")
+	}
+	c = *DefaultConfusion()
+	c[0][0] = 2
+	if err := c.Validate(); err == nil {
+		t.Error("out-of-range probability accepted")
+	}
+}
+
+func TestConfusionNormalize(t *testing.T) {
+	var c Confusion
+	c[0][0], c[0][1] = 3, 1
+	c.Normalize()
+	if c[0][0] != 0.75 || c[0][1] != 0.25 {
+		t.Errorf("row 0 = %v", c[0])
+	}
+	// Empty rows become uniform.
+	if c[1][0] != 1.0/stroke.NumStrokes {
+		t.Errorf("empty row value = %g", c[1][0])
+	}
+}
+
+func TestConfusionPInvalidStrokes(t *testing.T) {
+	c := DefaultConfusion()
+	if c.P(stroke.Stroke(0), stroke.S1) != 0 || c.P(stroke.S1, stroke.Stroke(9)) != 0 {
+		t.Error("invalid strokes should give 0")
+	}
+}
+
+func TestCorrectionsNone(t *testing.T) {
+	obs := stroke.Sequence{stroke.S1, stroke.S2}
+	cands := Corrections(obs, CorrectionNone)
+	if len(cands) != 1 || !cands[0].Equal(obs) {
+		t.Errorf("CorrectionNone = %v", cands)
+	}
+}
+
+func TestCorrectionsPaperRule(t *testing.T) {
+	// Observed S1 expands to S2/S4/S6 at that position; observed S2 and
+	// S6 expand to S5; S3/S4/S5 expand to nothing.
+	obs := stroke.Sequence{stroke.S1, stroke.S3}
+	cands := Corrections(obs, CorrectionPaper)
+	want := []stroke.Sequence{
+		{stroke.S1, stroke.S3},
+		{stroke.S2, stroke.S3},
+		{stroke.S4, stroke.S3},
+		{stroke.S6, stroke.S3},
+	}
+	if len(cands) != len(want) {
+		t.Fatalf("got %d candidates %v, want %d", len(cands), cands, len(want))
+	}
+	for i := range want {
+		if !cands[i].Equal(want[i]) {
+			t.Errorf("candidate %d = %v, want %v", i, cands[i], want[i])
+		}
+	}
+}
+
+func TestCorrectionsSingleSubstitutionOnly(t *testing.T) {
+	obs := stroke.Sequence{stroke.S1, stroke.S1}
+	for _, c := range Corrections(obs, CorrectionPaper) {
+		diff := 0
+		for i := range obs {
+			if c[i] != obs[i] {
+				diff++
+			}
+		}
+		if diff > 1 {
+			t.Errorf("candidate %v differs in %d positions", c, diff)
+		}
+	}
+}
+
+func TestCorrectionsFullCount(t *testing.T) {
+	obs := stroke.Sequence{stroke.S1, stroke.S2, stroke.S3}
+	cands := Corrections(obs, CorrectionFull)
+	// 1 original + 3 positions × 5 alternatives.
+	if len(cands) != 16 {
+		t.Errorf("full correction gave %d candidates, want 16", len(cands))
+	}
+}
+
+func TestCorrectionsLengthPreservedProperty(t *testing.T) {
+	f := func(raw []uint8, scopeRaw uint8) bool {
+		if len(raw) == 0 || len(raw) > 12 {
+			return true
+		}
+		obs := make(stroke.Sequence, len(raw))
+		for i, b := range raw {
+			obs[i] = stroke.Stroke(int(b%stroke.NumStrokes) + 1)
+		}
+		scope := []CorrectionScope{CorrectionNone, CorrectionPaper, CorrectionFull}[scopeRaw%3]
+		for _, c := range Corrections(obs, scope) {
+			if len(c) != len(obs) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func newTestRecognizer(t *testing.T, cfg Config) *Recognizer {
+	t.Helper()
+	dict, err := lexicon.Default()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRecognizer(dict, DefaultConfusion(), lexicon.DefaultBigram(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRecognizeExactWord(t *testing.T) {
+	r := newTestRecognizer(t, DefaultConfig())
+	seq, err := r.Dictionary().Scheme().Encode("the")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands, err := r.Recognize(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	// "the" is the highest-frequency word; with a correct stroke
+	// sequence it must rank first.
+	if cands[0].Word != "the" {
+		t.Errorf("top candidate = %q, want \"the\"", cands[0].Word)
+	}
+	if cands[0].Corrected {
+		t.Error("exact match flagged as corrected")
+	}
+}
+
+func TestRecognizeWithSubstitutionError(t *testing.T) {
+	r := newTestRecognizer(t, DefaultConfig())
+	seq, err := r.Dictionary().Scheme().Encode("the")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one stroke the way the pipeline plausibly would:
+	// T (S1) recognized correctly, H (S2) misrecognized as S1.
+	// The paper rule substitutes observed S1 back to S2.
+	corrupted := append(stroke.Sequence(nil), seq...)
+	for i, s := range corrupted {
+		if s == stroke.S2 {
+			corrupted[i] = stroke.S1
+			break
+		}
+	}
+	cands, err := r.Recognize(corrupted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range cands {
+		if c.Word == "the" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf(`"the" not recovered by correction: %v`, cands)
+	}
+}
+
+func TestRecognizeTopKLimit(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TopK = 2
+	r := newTestRecognizer(t, cfg)
+	seq, err := r.Dictionary().Scheme().Encode("he")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands, err := r.Recognize(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) > 2 {
+		t.Errorf("TopK=2 returned %d candidates", len(cands))
+	}
+}
+
+func TestRecognizeEmptySequence(t *testing.T) {
+	r := newTestRecognizer(t, DefaultConfig())
+	if _, err := r.Recognize(nil); err == nil {
+		t.Error("empty sequence accepted")
+	}
+}
+
+func TestRecognizeUnknownSequence(t *testing.T) {
+	r := newTestRecognizer(t, DefaultConfig())
+	// A long implausible sequence with no dictionary match.
+	seq := make(stroke.Sequence, 18)
+	for i := range seq {
+		seq[i] = stroke.S3
+	}
+	cands, err := r.Recognize(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 0 {
+		t.Errorf("unexpected candidates: %v", cands)
+	}
+}
+
+func TestNewRecognizerValidation(t *testing.T) {
+	dict, err := lexicon.Default()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRecognizer(nil, DefaultConfusion(), nil, DefaultConfig()); err == nil {
+		t.Error("nil dictionary accepted")
+	}
+	if _, err := NewRecognizer(dict, nil, nil, DefaultConfig()); err == nil {
+		t.Error("nil confusion accepted")
+	}
+	bad := DefaultConfig()
+	bad.TopK = 0
+	if _, err := NewRecognizer(dict, DefaultConfusion(), nil, bad); err == nil {
+		t.Error("zero TopK accepted")
+	}
+	bad = DefaultConfig()
+	bad.Correction = CorrectionScope(99)
+	if _, err := NewRecognizer(dict, DefaultConfusion(), nil, bad); err == nil {
+		t.Error("unknown correction scope accepted")
+	}
+}
+
+func TestPredict(t *testing.T) {
+	r := newTestRecognizer(t, DefaultConfig())
+	preds := r.Predict("the")
+	if len(preds) == 0 {
+		t.Error(`no predictions after "the"`)
+	}
+	// Without a bigram model prediction is disabled.
+	dict, err := lexicon.Default()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRecognizer(dict, DefaultConfusion(), nil, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Predict("the") != nil {
+		t.Error("prediction without bigram model")
+	}
+}
+
+func TestSessionEnterWord(t *testing.T) {
+	r := newTestRecognizer(t, DefaultConfig())
+	sess := NewSession(r)
+	seq, err := r.Dictionary().Scheme().Encode("the")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.EnterWord("the", seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Chosen != "the" || res.Rank != 1 || res.Predicted {
+		t.Errorf("result = %+v", res)
+	}
+	// Whatever the model's top prediction after "the" is, entering that
+	// word next must hit the prediction path without needing strokes.
+	preds := r.Predict("the")
+	if len(preds) == 0 {
+		t.Fatal(`no predictions after "the"`)
+	}
+	res2, err := sess.EnterWord(preds[0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Predicted || res2.Chosen != preds[0] {
+		t.Errorf("prediction path not taken: %+v", res2)
+	}
+}
+
+func TestSessionReset(t *testing.T) {
+	r := newTestRecognizer(t, DefaultConfig())
+	sess := NewSession(r)
+	seq, err := r.Dictionary().Scheme().Encode("the")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.EnterWord("the", seq); err != nil {
+		t.Fatal(err)
+	}
+	sess.Reset()
+	// After reset, prediction context is gone; entering a word with nil
+	// strokes must fail gracefully via Recognize's empty-sequence error.
+	if _, err := sess.EnterWord("people", nil); err == nil {
+		t.Error("empty strokes after reset should error")
+	}
+}
+
+func TestScopeString(t *testing.T) {
+	if CorrectionNone.String() != "none" || CorrectionPaper.String() != "paper" ||
+		CorrectionFull.String() != "full" || CorrectionScope(9).String() != "unknown" {
+		t.Error("String() values wrong")
+	}
+}

@@ -1,0 +1,120 @@
+package infer
+
+import (
+	"testing"
+
+	"repro/internal/stroke"
+)
+
+// uniformRows builds likelihood rows concentrated on the observed strokes
+// with the given mass, spreading the rest uniformly.
+func uniformRows(observed stroke.Sequence, mass float64) [][stroke.NumStrokes]float64 {
+	rows := make([][stroke.NumStrokes]float64, len(observed))
+	rest := (1 - mass) / (stroke.NumStrokes - 1)
+	for i, st := range observed {
+		for j := range rows[i] {
+			rows[i][j] = rest
+		}
+		rows[i][st.Index()] = mass
+	}
+	return rows
+}
+
+func TestRecognizeWithLikelihoodsExact(t *testing.T) {
+	r := newTestRecognizer(t, DefaultConfig())
+	seq, err := r.Dictionary().Scheme().Encode("the")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands, err := r.RecognizeWithLikelihoods(seq, uniformRows(seq, 0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 || cands[0].Word != "the" {
+		t.Errorf("candidates = %v", cands)
+	}
+}
+
+func TestRecognizeWithLikelihoodsValidation(t *testing.T) {
+	r := newTestRecognizer(t, DefaultConfig())
+	if _, err := r.RecognizeWithLikelihoods(nil, nil); err == nil {
+		t.Error("empty sequence accepted")
+	}
+	seq := stroke.Sequence{stroke.S1, stroke.S2}
+	if _, err := r.RecognizeWithLikelihoods(seq, uniformRows(seq[:1], 0.9)); err == nil {
+		t.Error("row-count mismatch accepted")
+	}
+}
+
+func TestLikelihoodsOverrideAmbiguity(t *testing.T) {
+	// "he" and "it" share the stroke sequence S2-S1; "it" wins on prior
+	// frequency. A likelihood row strongly favoring the *correction*
+	// S5 at position 1 should instead surface an S2-S5 word.
+	r := newTestRecognizer(t, DefaultConfig())
+	seq, err := r.Dictionary().Scheme().Encode("he")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Confusion-matrix scoring: "it" ranks first (frequency).
+	base, err := r.Recognize(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base) == 0 || base[0].Word != "it" {
+		t.Fatalf("baseline top = %v, want \"it\"", base)
+	}
+	// Likelihood scoring with near-certain observations keeps the same
+	// class but ranks by prior within it — top stays an S2-S1 word.
+	cands, err := r.RecognizeWithLikelihoods(seq, uniformRows(seq, 0.99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := r.Dictionary().Scheme().Encode(cands[0].Word)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !top.Equal(seq) {
+		t.Errorf("high-confidence likelihoods surfaced corrected word %q", cands[0].Word)
+	}
+	// Now make position 0 ambiguous toward S5 (observed S2, but the
+	// profile actually looked like S5 — exactly the paper's S5 false
+	// negative, which the correction rule S2→S5 covers): corrected
+	// S5-S1 words such as "of" should outrank plain S2-S1 ones.
+	rows := uniformRows(seq, 0.95)
+	for j := range rows[0] {
+		rows[0][j] = 0.02
+	}
+	rows[0][stroke.S5.Index()] = 0.88
+	rows[0][stroke.S2.Index()] = 0.08
+	cands, err = r.RecognizeWithLikelihoods(seq, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	topSeq, err := r.Dictionary().Scheme().Encode(cands[0].Word)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topSeq[0] != stroke.S5 {
+		t.Errorf("likelihoods did not steer correction: top %q (%v)", cands[0].Word, topSeq)
+	}
+}
+
+func TestLikelihoodCandidatesRespectTopK(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TopK = 2
+	r := newTestRecognizer(t, cfg)
+	seq, err := r.Dictionary().Scheme().Encode("in")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands, err := r.RecognizeWithLikelihoods(seq, uniformRows(seq, 0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) > 2 {
+		t.Errorf("TopK=2 returned %d candidates", len(cands))
+	}
+}

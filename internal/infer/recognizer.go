@@ -1,0 +1,261 @@
+package infer
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/lexicon"
+	"repro/internal/stroke"
+)
+
+// Candidate is one scored word suggestion.
+type Candidate struct {
+	// Word is the suggested word.
+	Word string
+	// Score is the unnormalized posterior P(w)·∏P(sᵢ|lᵢ).
+	Score float64
+	// Corrected reports whether the match required stroke correction
+	// (the word's sequence differs from the observed one).
+	Corrected bool
+}
+
+// Config parameterizes the recognizer.
+type Config struct {
+	// TopK is the number of candidates surfaced to the user (paper: 5).
+	TopK int
+	// Correction selects the correction scope (paper rule by default).
+	Correction CorrectionScope
+	// PredictK is the number of next-word predictions offered (paper
+	// implicitly small; default 3).
+	PredictK int
+}
+
+// DefaultConfig matches the paper's implementation choices.
+func DefaultConfig() Config {
+	return Config{TopK: 5, Correction: CorrectionPaper, PredictK: 3}
+}
+
+// Recognizer performs word recognition over stroke sequences.
+type Recognizer struct {
+	dict      *lexicon.Dictionary
+	confusion *Confusion
+	bigram    *lexicon.Bigram
+	cfg       Config
+}
+
+// NewRecognizer assembles a recognizer. bigram may be nil to disable
+// prediction.
+func NewRecognizer(dict *lexicon.Dictionary, confusion *Confusion, bigram *lexicon.Bigram, cfg Config) (*Recognizer, error) {
+	if dict == nil {
+		return nil, fmt.Errorf("infer: nil dictionary")
+	}
+	if confusion == nil {
+		return nil, fmt.Errorf("infer: nil confusion model")
+	}
+	if err := confusion.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.TopK <= 0 {
+		return nil, fmt.Errorf("infer: TopK must be positive, got %d", cfg.TopK)
+	}
+	switch cfg.Correction {
+	case CorrectionNone, CorrectionPaper, CorrectionFull:
+	default:
+		return nil, fmt.Errorf("infer: unknown correction scope %d", cfg.Correction)
+	}
+	return &Recognizer{dict: dict, confusion: confusion, bigram: bigram, cfg: cfg}, nil
+}
+
+// Config returns the recognizer configuration.
+func (r *Recognizer) Config() Config { return r.cfg }
+
+// Dictionary returns the underlying dictionary.
+func (r *Recognizer) Dictionary() *lexicon.Dictionary { return r.dict }
+
+// Recognize implements Algorithm 2: expand the observed sequence with
+// stroke correction, look every candidate sequence up in the dictionary,
+// score matches by P(w)·∏P(observed sᵢ | intended stroke of lᵢ), and
+// return the TopK candidates ordered by word length ascending then score
+// descending (the paper's display order).
+func (r *Recognizer) Recognize(observed stroke.Sequence) ([]Candidate, error) {
+	if len(observed) == 0 {
+		return nil, fmt.Errorf("infer: empty stroke sequence")
+	}
+	candSeqs := Corrections(observed, r.cfg.Correction)
+	seenWord := make(map[string]bool)
+	var (
+		entries []*lexicon.Entry
+		flags   []bool
+	)
+	for i, seq := range candSeqs {
+		for _, e := range r.dict.Lookup(seq) {
+			if seenWord[e.Word] {
+				continue
+			}
+			seenWord[e.Word] = true
+			entries = append(entries, e)
+			flags = append(flags, i > 0)
+		}
+	}
+	if len(entries) == 0 {
+		return nil, nil
+	}
+	cands := make([]Candidate, len(entries))
+	for i, e := range entries {
+		score := r.dict.Prior(e)
+		for j, intended := range e.StrokeSeq {
+			score *= r.confusion.P(intended, observed[j])
+		}
+		cands[i] = Candidate{Word: e.Word, Score: score, Corrected: flags[i]}
+	}
+	// All substitution-only candidates share the observed length, so the
+	// length key is constant here; it matters once predictions of other
+	// lengths join the list. Keep the paper's stated order.
+	sort.SliceStable(cands, func(a, b int) bool {
+		la, lb := len(cands[a].Word), len(cands[b].Word)
+		if la != lb {
+			return la < lb
+		}
+		return cands[a].Score > cands[b].Score
+	})
+	if len(cands) > r.cfg.TopK {
+		cands = cands[:r.cfg.TopK]
+	}
+	return cands, nil
+}
+
+// RecognizeWithLikelihoods scores candidates using per-detection
+// observation likelihoods instead of the global confusion matrix:
+// P(w|I) ∝ P(w)·∏ L_i[stroke(l_i)], where L_i is the softmax the DTW
+// matcher produced for position i. This is an extension beyond the paper
+// (which uses the confusion matrix): per-instance likelihoods let a
+// cleanly-written stroke outweigh the prior where the aggregate confusion
+// statistics would not.
+//
+// likelihoods must have one row per observed stroke; each row holds the
+// probability of each template (indexed by Stroke.Index()). The observed
+// sequence is still used for correction-candidate generation.
+func (r *Recognizer) RecognizeWithLikelihoods(observed stroke.Sequence, likelihoods [][stroke.NumStrokes]float64) ([]Candidate, error) {
+	if len(observed) == 0 {
+		return nil, fmt.Errorf("infer: empty stroke sequence")
+	}
+	if len(likelihoods) != len(observed) {
+		return nil, fmt.Errorf("infer: %d likelihood rows for %d strokes", len(likelihoods), len(observed))
+	}
+	candSeqs := Corrections(observed, r.cfg.Correction)
+	seenWord := make(map[string]bool)
+	var cands []Candidate
+	for i, seq := range candSeqs {
+		for _, e := range r.dict.Lookup(seq) {
+			if seenWord[e.Word] {
+				continue
+			}
+			seenWord[e.Word] = true
+			score := r.dict.Prior(e)
+			for j, intended := range e.StrokeSeq {
+				score *= likelihoods[j][intended.Index()]
+			}
+			cands = append(cands, Candidate{Word: e.Word, Score: score, Corrected: i > 0})
+		}
+	}
+	if len(cands) == 0 {
+		return nil, nil
+	}
+	sort.SliceStable(cands, func(a, b int) bool {
+		la, lb := len(cands[a].Word), len(cands[b].Word)
+		if la != lb {
+			return la < lb
+		}
+		return cands[a].Score > cands[b].Score
+	})
+	if len(cands) > r.cfg.TopK {
+		cands = cands[:r.cfg.TopK]
+	}
+	return cands, nil
+}
+
+// Predict returns next-word suggestions after prev using the bigram
+// model, or nil when no model is attached.
+func (r *Recognizer) Predict(prev string) []string {
+	if r.bigram == nil {
+		return nil
+	}
+	k := r.cfg.PredictK
+	if k <= 0 {
+		k = 3
+	}
+	preds, err := r.bigram.Predict(prev, k)
+	if err != nil || len(preds) == 0 {
+		return nil
+	}
+	out := make([]string, len(preds))
+	for i, p := range preds {
+		out[i] = p.Word
+	}
+	return out
+}
+
+// SessionResult is the outcome of entering one word in a Session.
+type SessionResult struct {
+	// Candidates is the displayed list.
+	Candidates []Candidate
+	// Chosen is the word accepted (the intended word when present within
+	// TopK, else the top candidate — modeling the paper's auto-accept of
+	// the top suggestion after 1 s).
+	Chosen string
+	// Rank is the 1-based rank of the intended word in Candidates, or 0
+	// when absent.
+	Rank int
+	// Predicted reports whether the word was accepted from a next-word
+	// prediction instead of being written.
+	Predicted bool
+}
+
+// Session tracks sentence context for successive word entry with
+// prediction.
+type Session struct {
+	r    *Recognizer
+	prev string
+}
+
+// NewSession starts a text-entry session.
+func NewSession(r *Recognizer) *Session { return &Session{r: r} }
+
+// EnterWord simulates entering one intended word given the observed stroke
+// sequence the pipeline recognized for it. If the intended word appears in
+// the current next-word predictions it is accepted directly (no writing
+// needed).
+func (s *Session) EnterWord(intended string, observed stroke.Sequence) (*SessionResult, error) {
+	intended = strings.ToLower(intended)
+	if s.prev != "" {
+		for _, p := range s.r.Predict(s.prev) {
+			if p == intended {
+				s.prev = intended
+				return &SessionResult{Chosen: intended, Rank: 1, Predicted: true}, nil
+			}
+		}
+	}
+	cands, err := s.r.Recognize(observed)
+	if err != nil {
+		return nil, err
+	}
+	res := &SessionResult{Candidates: cands}
+	for i, c := range cands {
+		if c.Word == intended {
+			res.Rank = i + 1
+			break
+		}
+	}
+	switch {
+	case res.Rank > 0:
+		res.Chosen = intended
+	case len(cands) > 0:
+		res.Chosen = cands[0].Word
+	}
+	s.prev = res.Chosen
+	return res, nil
+}
+
+// Reset clears sentence context (start of a new phrase).
+func (s *Session) Reset() { s.prev = "" }

@@ -1,0 +1,115 @@
+package lexicon
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Bigram is a next-word language model: counts of word pairs with
+// add-one-smoothed conditional probabilities. The paper uses COCA 2-gram
+// data for its automatic successive-association word prediction (§III-C);
+// we train on the embedded phrase corpus plus any extra text the caller
+// supplies.
+type Bigram struct {
+	follows map[string]map[string]int
+	unigram map[string]int
+	pairs   int
+}
+
+// NewBigram returns an empty model.
+func NewBigram() *Bigram {
+	return &Bigram{
+		follows: make(map[string]map[string]int),
+		unigram: make(map[string]int),
+	}
+}
+
+// Train adds the word pairs of one text line (whitespace-tokenized,
+// lowercased) to the model.
+func (b *Bigram) Train(line string) {
+	words := strings.Fields(strings.ToLower(line))
+	for i, w := range words {
+		b.unigram[w]++
+		if i == 0 {
+			continue
+		}
+		prev := words[i-1]
+		m := b.follows[prev]
+		if m == nil {
+			m = make(map[string]int)
+			b.follows[prev] = m
+		}
+		m[w]++
+		b.pairs++
+	}
+}
+
+// TrainCorpus trains on multiple lines.
+func (b *Bigram) TrainCorpus(lines []string) {
+	for _, l := range lines {
+		b.Train(l)
+	}
+}
+
+// DefaultBigram trains a model on the embedded phrase corpus.
+func DefaultBigram() *Bigram {
+	m := NewBigram()
+	m.TrainCorpus(Phrases())
+	return m
+}
+
+// Pairs returns the number of trained word pairs (with multiplicity).
+func (b *Bigram) Pairs() int { return b.pairs }
+
+// Probability returns the add-one-smoothed conditional P(next|prev).
+func (b *Bigram) Probability(prev, next string) float64 {
+	prev = strings.ToLower(prev)
+	next = strings.ToLower(next)
+	m := b.follows[prev]
+	count := 0
+	total := 0
+	if m != nil {
+		count = m[next]
+		for _, c := range m {
+			total += c
+		}
+	}
+	vocab := len(b.unigram)
+	if vocab == 0 {
+		return 0
+	}
+	return float64(count+1) / float64(total+vocab)
+}
+
+// Prediction is one next-word suggestion.
+type Prediction struct {
+	Word  string
+	Count int
+}
+
+// Predict returns up to k next-word suggestions after prev, most frequent
+// first, ties broken alphabetically for determinism.
+func (b *Bigram) Predict(prev string, k int) ([]Prediction, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("lexicon: prediction count must be positive, got %d", k)
+	}
+	m := b.follows[strings.ToLower(prev)]
+	if len(m) == 0 {
+		return nil, nil
+	}
+	out := make([]Prediction, 0, len(m))
+	for w, c := range m {
+		out = append(out, Prediction{Word: w, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Word < out[j].Word
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out, nil
+}

@@ -1,0 +1,36 @@
+package lexicon_test
+
+import (
+	"fmt"
+
+	"repro/internal/lexicon"
+)
+
+func ExampleDictionary_Lookup() {
+	dict, err := lexicon.Default()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	// All words sharing the stroke sequence of "the" (T9-style class).
+	the := dict.Find("the")
+	for _, e := range dict.Lookup(the.StrokeSeq)[:2] {
+		fmt.Println(e.Word)
+	}
+	// Output:
+	// the
+	// fit
+}
+
+func ExampleBigram_Predict() {
+	b := lexicon.NewBigram()
+	b.Train("the people like the water")
+	b.Train("the water is cold")
+	preds, err := b.Predict("the", 1)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(preds[0].Word)
+	// Output: water
+}

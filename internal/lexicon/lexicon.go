@@ -1,0 +1,214 @@
+// Package lexicon provides the vocabulary substrate of EchoWrite's word
+// inference: a frequency-ranked dictionary whose entries carry their
+// stroke-sequence encodings ({word, frequency, length, strokeSeq} in the
+// paper's schema, §III-C), a bigram model for next-word prediction, and
+// the phrase corpus used by the text-entry speed experiments.
+package lexicon
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/stroke"
+)
+
+// Entry is one dictionary word with the paper's four attributes.
+type Entry struct {
+	// Word is the lowercase word.
+	Word string
+	// Frequency is the (synthetic Zipf) corpus frequency, used as the
+	// prior P(w).
+	Frequency float64
+	// Length is the word length in letters (== number of strokes).
+	Length int
+	// StrokeSeq is the word's encoding under the input scheme.
+	StrokeSeq stroke.Sequence
+}
+
+// Dictionary indexes entries by their stroke sequence for O(1) fuzzy
+// lookup, the core operation of Algorithm 2.
+type Dictionary struct {
+	scheme  *stroke.Scheme
+	entries []Entry
+	byWord  map[string]*Entry
+	bySeq   map[string][]*Entry
+	total   float64
+}
+
+// zipfMandelbrot assigns frequency C/(rank+q)^s; q=2.7, s=1.07 follow
+// common English-corpus fits.
+func zipfMandelbrot(rank int) float64 {
+	return 1e9 / math.Pow(float64(rank)+2.7, 1.07)
+}
+
+// NewDictionary builds a dictionary from an ordered word list (most
+// frequent first) under the given scheme. Duplicate words keep their first
+// (higher-frequency) position. Words with non-letter characters are
+// rejected.
+func NewDictionary(scheme *stroke.Scheme, words []string) (*Dictionary, error) {
+	if scheme == nil {
+		return nil, fmt.Errorf("lexicon: nil scheme")
+	}
+	d := &Dictionary{
+		scheme: scheme,
+		byWord: make(map[string]*Entry, len(words)),
+		bySeq:  make(map[string][]*Entry, len(words)),
+	}
+	d.entries = make([]Entry, 0, len(words))
+	seen := make(map[string]bool, len(words))
+	for _, w := range words {
+		w = strings.ToLower(strings.TrimSpace(w))
+		if w == "" || seen[w] {
+			continue
+		}
+		seen[w] = true
+		seq, err := scheme.Encode(w)
+		if err != nil {
+			return nil, fmt.Errorf("lexicon: word %q: %w", w, err)
+		}
+		rank := len(d.entries) + 1
+		d.entries = append(d.entries, Entry{
+			Word:      w,
+			Frequency: zipfMandelbrot(rank),
+			Length:    len([]rune(w)),
+			StrokeSeq: seq,
+		})
+	}
+	for i := range d.entries {
+		e := &d.entries[i]
+		d.byWord[e.Word] = e
+		key := e.StrokeSeq.Key()
+		d.bySeq[key] = append(d.bySeq[key], e)
+		d.total += e.Frequency
+	}
+	return d, nil
+}
+
+// DefaultWords returns the embedded vocabulary in descending frequency
+// order, for callers building dictionaries under custom schemes.
+func DefaultWords() []string {
+	return strings.Fields(wordList)
+}
+
+// Default builds the embedded ~1.7k-word dictionary under the default
+// input scheme.
+func Default() (*Dictionary, error) {
+	return NewDictionary(stroke.DefaultScheme(), DefaultWords())
+}
+
+// Size returns the number of entries.
+func (d *Dictionary) Size() int { return len(d.entries) }
+
+// Scheme returns the input scheme the dictionary was encoded under.
+func (d *Dictionary) Scheme() *stroke.Scheme { return d.scheme }
+
+// Lookup returns the entries whose stroke sequence equals seq, or nil.
+// The returned slice must not be modified.
+func (d *Dictionary) Lookup(seq stroke.Sequence) []*Entry {
+	return d.bySeq[seq.Key()]
+}
+
+// Find returns the entry for an exact word, or nil.
+func (d *Dictionary) Find(word string) *Entry {
+	return d.byWord[strings.ToLower(word)]
+}
+
+// Prior returns the normalized prior probability P(w) of an entry.
+func (d *Dictionary) Prior(e *Entry) float64 {
+	if d.total == 0 {
+		return 0
+	}
+	return e.Frequency / d.total
+}
+
+// TopWords returns the n most frequent words (the learnability study draws
+// its 300-word workload from these).
+func (d *Dictionary) TopWords(n int) []string {
+	if n > len(d.entries) {
+		n = len(d.entries)
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = d.entries[i].Word
+	}
+	return out
+}
+
+// Entries returns all entries ordered by descending frequency. The
+// returned slice must not be modified.
+func (d *Dictionary) Entries() []Entry { return d.entries }
+
+// AmbiguityStats summarizes how many words share each stroke sequence — a
+// measure of the input scheme's T9-style collision rate.
+type AmbiguityStats struct {
+	// Sequences is the number of distinct stroke sequences.
+	Sequences int
+	// MaxCollisions is the largest number of words on one sequence.
+	MaxCollisions int
+	// MeanCollisions is the average words-per-sequence.
+	MeanCollisions float64
+	// UniqueFraction is the fraction of words alone on their sequence.
+	UniqueFraction float64
+}
+
+// Ambiguity computes collision statistics over the dictionary.
+func (d *Dictionary) Ambiguity() AmbiguityStats {
+	st := AmbiguityStats{Sequences: len(d.bySeq)}
+	unique := 0
+	for _, group := range d.bySeq {
+		if len(group) > st.MaxCollisions {
+			st.MaxCollisions = len(group)
+		}
+		if len(group) == 1 {
+			unique++
+		}
+	}
+	if len(d.bySeq) > 0 {
+		st.MeanCollisions = float64(len(d.entries)) / float64(len(d.bySeq))
+		st.UniqueFraction = float64(unique) / float64(len(d.entries))
+	}
+	return st
+}
+
+// WordsByLength returns up to n words of exactly the given letter count,
+// most frequent first. Used to build Table I-style word sets.
+func (d *Dictionary) WordsByLength(length, n int) []string {
+	var out []string
+	for i := range d.entries {
+		if d.entries[i].Length == length {
+			out = append(out, d.entries[i].Word)
+			if len(out) == n {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// SortEntriesForDisplay orders candidate entries the way Algorithm 2's
+// final step does: ascending word length, then descending probability.
+// The probability for each entry is supplied in scores (parallel to
+// entries).
+func SortEntriesForDisplay(entries []*Entry, scores []float64) {
+	idx := make([]int, len(entries))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ea, eb := entries[idx[a]], entries[idx[b]]
+		if ea.Length != eb.Length {
+			return ea.Length < eb.Length
+		}
+		return scores[idx[a]] > scores[idx[b]]
+	})
+	outE := make([]*Entry, len(entries))
+	outS := make([]float64, len(scores))
+	for i, j := range idx {
+		outE[i] = entries[j]
+		outS[i] = scores[j]
+	}
+	copy(entries, outE)
+	copy(scores, outS)
+}

@@ -1,0 +1,212 @@
+package lexicon
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stroke"
+)
+
+func mustDefault(t *testing.T) *Dictionary {
+	t.Helper()
+	d, err := Default()
+	if err != nil {
+		t.Fatalf("Default(): %v", err)
+	}
+	return d
+}
+
+func TestDefaultDictionarySize(t *testing.T) {
+	d := mustDefault(t)
+	if d.Size() < 1000 {
+		t.Errorf("dictionary has %d words, want >= 1000", d.Size())
+	}
+}
+
+func TestFrequenciesAreZipfOrdered(t *testing.T) {
+	d := mustDefault(t)
+	entries := d.Entries()
+	for i := 1; i < len(entries); i++ {
+		if entries[i].Frequency > entries[i-1].Frequency {
+			t.Fatalf("frequency not descending at rank %d", i)
+		}
+	}
+	// Heavy tail: rank-1 frequency dwarfs rank-1000.
+	if entries[0].Frequency < 100*entries[999].Frequency {
+		t.Errorf("distribution not heavy-tailed: f(1)=%g f(1000)=%g",
+			entries[0].Frequency, entries[999].Frequency)
+	}
+}
+
+func TestLookupRoundTripProperty(t *testing.T) {
+	// Property: every entry is found by looking up its own sequence.
+	d := mustDefault(t)
+	entries := d.Entries()
+	f := func(idxRaw uint16) bool {
+		e := &entries[int(idxRaw)%len(entries)]
+		for _, got := range d.Lookup(e.StrokeSeq) {
+			if got.Word == e.Word {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLookupReturnsOnlyMatchingSequencesProperty(t *testing.T) {
+	// Property: lookup results all encode to the queried sequence.
+	d := mustDefault(t)
+	entries := d.Entries()
+	f := func(idxRaw uint16) bool {
+		e := &entries[int(idxRaw)%len(entries)]
+		for _, got := range d.Lookup(e.StrokeSeq) {
+			if !got.StrokeSeq.Equal(e.StrokeSeq) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFind(t *testing.T) {
+	d := mustDefault(t)
+	if d.Find("the") == nil {
+		t.Error(`"the" missing from dictionary`)
+	}
+	if d.Find("THE") == nil {
+		t.Error("Find not case-insensitive")
+	}
+	if d.Find("zzzzqqqq") != nil {
+		t.Error("nonexistent word found")
+	}
+}
+
+func TestEntryAttributes(t *testing.T) {
+	d := mustDefault(t)
+	e := d.Find("water")
+	if e == nil {
+		t.Fatal(`"water" missing`)
+	}
+	if e.Length != 5 {
+		t.Errorf("Length = %d, want 5", e.Length)
+	}
+	if len(e.StrokeSeq) != 5 {
+		t.Errorf("StrokeSeq length = %d, want 5", len(e.StrokeSeq))
+	}
+	want, err := d.Scheme().Encode("water")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.StrokeSeq.Equal(want) {
+		t.Errorf("StrokeSeq = %v, want %v", e.StrokeSeq, want)
+	}
+}
+
+func TestPriorNormalization(t *testing.T) {
+	d := mustDefault(t)
+	sum := 0.0
+	for i := range d.Entries() {
+		e := &d.Entries()[i]
+		p := d.Prior(e)
+		if p <= 0 || p > 1 {
+			t.Fatalf("prior of %q = %g", e.Word, p)
+		}
+		sum += p
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("priors sum to %g, want 1", sum)
+	}
+}
+
+func TestTopWords(t *testing.T) {
+	d := mustDefault(t)
+	top := d.TopWords(10)
+	if len(top) != 10 {
+		t.Fatalf("TopWords(10) returned %d", len(top))
+	}
+	if top[0] != "the" {
+		t.Errorf("most frequent word = %q, want \"the\"", top[0])
+	}
+	if got := d.TopWords(1 << 20); len(got) != d.Size() {
+		t.Errorf("oversized n returned %d words", len(got))
+	}
+}
+
+func TestNewDictionaryValidation(t *testing.T) {
+	if _, err := NewDictionary(nil, []string{"a"}); err == nil {
+		t.Error("nil scheme accepted")
+	}
+	if _, err := NewDictionary(stroke.DefaultScheme(), []string{"bad-word"}); err == nil {
+		t.Error("hyphenated word accepted")
+	}
+	// Duplicates keep first occurrence.
+	d, err := NewDictionary(stroke.DefaultScheme(), []string{"go", "stop", "go"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Size() != 2 {
+		t.Errorf("Size = %d, want 2 (dedup)", d.Size())
+	}
+}
+
+func TestAmbiguityStats(t *testing.T) {
+	d := mustDefault(t)
+	st := d.Ambiguity()
+	if st.Sequences <= 0 || st.Sequences > d.Size() {
+		t.Errorf("Sequences = %d", st.Sequences)
+	}
+	if st.MaxCollisions < 1 {
+		t.Errorf("MaxCollisions = %d", st.MaxCollisions)
+	}
+	if st.MeanCollisions < 1 {
+		t.Errorf("MeanCollisions = %g", st.MeanCollisions)
+	}
+	if st.UniqueFraction <= 0 || st.UniqueFraction > 1 {
+		t.Errorf("UniqueFraction = %g", st.UniqueFraction)
+	}
+}
+
+func TestWordsByLength(t *testing.T) {
+	d := mustDefault(t)
+	words := d.WordsByLength(2, 5)
+	if len(words) != 5 {
+		t.Fatalf("got %d words, want 5", len(words))
+	}
+	for _, w := range words {
+		if len(w) != 2 {
+			t.Errorf("word %q has length %d", w, len(w))
+		}
+	}
+}
+
+func TestSortEntriesForDisplay(t *testing.T) {
+	d := mustDefault(t)
+	entries := []*Entry{d.Find("water"), d.Find("to"), d.Find("the")}
+	scores := []float64{0.9, 0.1, 0.5}
+	SortEntriesForDisplay(entries, scores)
+	// Length ascending: "to"(2), "the"(3), "water"(5).
+	if entries[0].Word != "to" || entries[1].Word != "the" || entries[2].Word != "water" {
+		t.Errorf("order = %v", []string{entries[0].Word, entries[1].Word, entries[2].Word})
+	}
+	if scores[0] != 0.1 || scores[2] != 0.9 {
+		t.Errorf("scores not permuted with entries: %v", scores)
+	}
+}
+
+func TestWordListIsClean(t *testing.T) {
+	// Every embedded word must be lowercase ASCII letters.
+	for _, w := range strings.Fields(wordList) {
+		for _, r := range w {
+			if r < 'a' || r > 'z' {
+				t.Fatalf("word %q contains %q", w, r)
+			}
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package lexicon
+
+import (
+	"testing"
+
+	"repro/internal/stroke"
+)
+
+func TestExpandMorphologyForms(t *testing.T) {
+	out := ExpandMorphology([]string{"walk", "try", "move", "watch", "box"})
+	set := make(map[string]bool, len(out))
+	for _, w := range out {
+		set[w] = true
+	}
+	for _, want := range []string{
+		"walk", "walks", "walking", "walked", "walker",
+		"tries", "trying", "tried",
+		"moves", "moving", "moved", "mover",
+		"watches", "watching", "watched",
+		"boxes", "boxing", "boxed",
+	} {
+		if !set[want] {
+			t.Errorf("missing derived form %q", want)
+		}
+	}
+}
+
+func TestExpandMorphologyNoDuplicatesAndOrder(t *testing.T) {
+	out := ExpandMorphology([]string{"run", "runs", "try"})
+	seen := map[string]bool{}
+	for _, w := range out {
+		if seen[w] {
+			t.Fatalf("duplicate %q", w)
+		}
+		seen[w] = true
+	}
+	// Base words keep their relative order at the front.
+	if out[0] != "run" || out[1] != "runs" || out[2] != "try" {
+		t.Errorf("base order lost: %v", out[:3])
+	}
+}
+
+func TestExpandMorphologySkipsShortStems(t *testing.T) {
+	out := ExpandMorphology([]string{"go", "a"})
+	for _, w := range out {
+		if w == "gos" || w == "aing" {
+			t.Errorf("short stem inflected: %q", w)
+		}
+	}
+}
+
+func TestExpandedWordsScale(t *testing.T) {
+	words := ExpandedWords()
+	if len(words) < 4000 || len(words) > 5000 {
+		t.Errorf("expanded vocabulary has %d words, want ≈5000 (paper's dictionary size)", len(words))
+	}
+	for _, w := range words {
+		for _, r := range w {
+			if r < 'a' || r > 'z' {
+				t.Fatalf("expanded word %q has non-letter %q", w, r)
+			}
+		}
+	}
+}
+
+func TestExpandedDictionaryBuilds(t *testing.T) {
+	dict, err := NewDictionary(stroke.DefaultScheme(), ExpandedWords())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dict.Size() < 4000 {
+		t.Errorf("dictionary size %d", dict.Size())
+	}
+	// More words → denser collision classes than the base dictionary.
+	base, err := Default()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dict.Ambiguity().MeanCollisions <= base.Ambiguity().MeanCollisions {
+		t.Error("expanded dictionary should be more ambiguous")
+	}
+	// Inflections still encode consistently.
+	e := dict.Find("walking")
+	if e == nil {
+		t.Fatal(`"walking" missing`)
+	}
+	want, err := stroke.DefaultScheme().Encode("walking")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.StrokeSeq.Equal(want) {
+		t.Error("inflected encoding mismatch")
+	}
+}

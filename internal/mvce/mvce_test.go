@@ -1,0 +1,177 @@
+package mvce
+
+import (
+	"math"
+	"testing"
+)
+
+// mk builds a binary spectrogram matrix frame×bin.
+func mk(frames, bins int, active func(f, b int) bool) [][]uint8 {
+	m := make([][]uint8, frames)
+	for f := range m {
+		m[f] = make([]uint8, bins)
+		for b := range m[f] {
+			if active(f, b) {
+				m[f][b] = 1
+			}
+		}
+	}
+	return m
+}
+
+func cfg() Config {
+	return Config{CarrierBin: 10, BinWidthHz: 5, SmoothWindow: 1}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := cfg().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := cfg()
+	bad.BinWidthHz = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero bin width accepted")
+	}
+	bad = cfg()
+	bad.SmoothWindow = 2
+	if err := bad.Validate(); err == nil {
+		t.Error("even smooth window accepted")
+	}
+}
+
+func TestExtractEmptyInput(t *testing.T) {
+	if _, err := Extract(nil, cfg()); err == nil {
+		t.Error("empty spectrogram accepted")
+	}
+}
+
+func TestExtractQuietFramesAreZero(t *testing.T) {
+	m := mk(5, 21, func(f, b int) bool { return false })
+	p, err := Extract(m, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range p {
+		if v != 0 {
+			t.Errorf("frame %d = %g, want 0", i, v)
+		}
+	}
+}
+
+func TestExtractPositiveDirectionPicksMax(t *testing.T) {
+	// Active bins 13..16, all above carrier (10) → mean > cf → pick max
+	// bin 16 → shift (16-10)*5 = 30 Hz.
+	m := mk(1, 21, func(f, b int) bool { return b >= 13 && b <= 16 })
+	p, err := Extract(m, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p[0] != 30 {
+		t.Errorf("shift = %g, want 30", p[0])
+	}
+}
+
+func TestExtractNegativeDirectionPicksMin(t *testing.T) {
+	m := mk(1, 21, func(f, b int) bool { return b >= 3 && b <= 7 })
+	p, err := Extract(m, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p[0] != (3-10)*5 {
+		t.Errorf("shift = %g, want %g", p[0], float64((3-10)*5))
+	}
+}
+
+func TestExtractMultipathPicksFingerExtreme(t *testing.T) {
+	// The MVCE design case: a slow arm blob (bins 11-12) and a fast
+	// finger blob (bins 15-17), both above carrier. The mean is above cf
+	// so the extractor must return the fastest (max) bin — the finger.
+	m := mk(1, 21, func(f, b int) bool {
+		return (b >= 11 && b <= 12) || (b >= 15 && b <= 17)
+	})
+	p, err := Extract(m, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p[0] != (17-10)*5 {
+		t.Errorf("shift = %g, want %g (finger extreme)", p[0], float64((17-10)*5))
+	}
+}
+
+func TestExtractDirectionVote(t *testing.T) {
+	// Majority below the carrier pulls the vote negative even when a
+	// stray pixel sits above.
+	m := mk(1, 21, func(f, b int) bool {
+		return b == 2 || b == 3 || b == 4 || b == 14
+	})
+	p, err := Extract(m, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p[0] != (2-10)*5 {
+		t.Errorf("shift = %g, want %g", p[0], float64((2-10)*5))
+	}
+}
+
+func TestExtractSmoothing(t *testing.T) {
+	// Default window (3) averages neighbors.
+	m := mk(3, 21, func(f, b int) bool {
+		switch f {
+		case 0:
+			return b == 12
+		case 1:
+			return b == 14
+		default:
+			return b == 16
+		}
+	})
+	c := cfg()
+	c.SmoothWindow = 0 // default = 3
+	p, err := Extract(m, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Raw shifts: 10, 20, 30 → smoothed center = 20.
+	if p[1] != 20 {
+		t.Errorf("smoothed center = %g, want 20", p[1])
+	}
+	if math.Abs(p[0]-15) > 1e-9 {
+		t.Errorf("smoothed edge = %g, want 15", p[0])
+	}
+}
+
+func TestExtractMaxBinDiffersFromMVCE(t *testing.T) {
+	// A spurious far-side pixel near enough not to flip the mean vote:
+	// MVCE follows the majority direction; max-bin jumps to the outlier
+	// because its |shift| is larger. This is the fluctuation fragility
+	// the paper cites (§III-B).
+	m := mk(1, 41, func(f, b int) bool {
+		return b == 23 || b == 24 || b == 25 || b == 26 || b == 10
+	})
+	c := Config{CarrierBin: 20, BinWidthHz: 5, SmoothWindow: 1}
+	mvceP, err := Extract(m, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxP, err := ExtractMaxBin(m, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mvceP[0] != (26-20)*5 {
+		t.Errorf("MVCE shift = %g, want %g (majority-side extreme)", mvceP[0], float64((26-20)*5))
+	}
+	if maxP[0] != (10-20)*5 {
+		t.Errorf("max-bin shift = %g, want %g (outlier)", maxP[0], float64((10-20)*5))
+	}
+}
+
+func TestExtractMaxBinEmptyAndErrors(t *testing.T) {
+	if _, err := ExtractMaxBin(nil, cfg()); err == nil {
+		t.Error("empty accepted")
+	}
+	bad := cfg()
+	bad.BinWidthHz = -1
+	if _, err := ExtractMaxBin(mk(1, 5, func(f, b int) bool { return false }), bad); err == nil {
+		t.Error("invalid config accepted")
+	}
+}

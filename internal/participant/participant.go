@@ -1,0 +1,359 @@
+// Package participant models the human side of EchoWrite's evaluation: how
+// a user performs stroke gestures (motor variability), how they learn the
+// input scheme (recall accuracy over practice), and how fast they write.
+// The six modeled participants substitute for the paper's six recruited
+// subjects; their parameter spread is what drives the user-diversity
+// results (Fig. 13) and the learnability study (Figs. 4–6, 18).
+package participant
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/geom"
+	"repro/internal/stroke"
+)
+
+// Participant is one modeled user. Fields are motor-control parameters; a
+// Session binds a participant to an RNG for reproducible performances.
+type Participant struct {
+	// ID is the 1-based participant number (P1..P6).
+	ID int
+	// Name labels the participant in reports.
+	Name string
+	// SpeedScale multiplies stroke durations (<1 is faster than nominal).
+	SpeedScale float64
+	// SpeedJitter is the per-performance log-normal sigma of TimeScale.
+	SpeedJitter float64
+	// AmplitudeScale multiplies gesture size.
+	AmplitudeScale float64
+	// AmplitudeJitter is the per-performance sigma of the size factor.
+	AmplitudeJitter float64
+	// WaypointJitter is the per-waypoint positional noise sigma in meters
+	// — the dominant driver of stroke-recognition errors.
+	WaypointJitter float64
+	// OffsetStd is the per-performance hand-position offset sigma (m).
+	OffsetStd float64
+	// SloppyRate is the probability a stroke is performed carelessly
+	// (waypoint jitter tripled), modeling lapses of attention.
+	SloppyRate float64
+	// RecallFloor and RecallCeil bound scheme-recall accuracy: the
+	// probability of writing the correct stroke for a letter before any
+	// practice (floor) and after full practice (ceil). See Learnability.
+	RecallFloor, RecallCeil float64
+	// LearnRateMin is the exponential learning time constant in minutes
+	// for scheme recall.
+	LearnRateMin float64
+	// Proficiency in [0, 1] models motor practice with the input method:
+	// 0 is a first-time user, 1 a fully trained one. It shortens stroke
+	// durations, inter-stroke pauses and repositioning (the drivers of
+	// the Fig. 18 speed curve). Zero value = novice.
+	Proficiency float64
+}
+
+// timing derived from proficiency: trained users write ~25 % faster
+// strokes and halve their inter-stroke dwell.
+func (p Participant) pauseScale() float64      { return 1 - 0.06*p.Proficiency }
+func (p Participant) repositionScale() float64 { return 1 - 0.52*p.Proficiency }
+func (p Participant) strokeTimeScale() float64 { return 1 - 0.28*p.Proficiency }
+
+// WithProficiency returns a copy of p at the given proficiency level,
+// clamped to [0, 1].
+func (p Participant) WithProficiency(prof float64) Participant {
+	if prof < 0 {
+		prof = 0
+	}
+	if prof > 1 {
+		prof = 1
+	}
+	p.Proficiency = prof
+	return p
+}
+
+// SessionProficiency maps a practice-session number (1-based) to a
+// proficiency level: an exponential approach that saturates around the
+// paper's 13th session (Fig. 18).
+func SessionProficiency(session int) float64 {
+	if session < 1 {
+		session = 1
+	}
+	return 1 - math.Exp(-float64(session-1)/4.0)
+}
+
+// SixParticipants returns the calibrated roster P1..P6. WaypointJitter and
+// SloppyRate vary so per-participant stroke accuracy spreads ~2.6 % with a
+// standard deviation near 1.1 %, as in Fig. 13.
+func SixParticipants() []Participant {
+	base := func(id int, wj, sloppy float64) Participant {
+		return Participant{
+			ID:              id,
+			Name:            fmt.Sprintf("P%d", id),
+			SpeedScale:      0.95 + 0.03*float64(id%3),
+			SpeedJitter:     0.10,
+			AmplitudeScale:  0.95 + 0.02*float64(id%4),
+			AmplitudeJitter: 0.08,
+			WaypointJitter:  wj,
+			OffsetStd:       0.01,
+			SloppyRate:      sloppy,
+			RecallFloor:     0.86 + 0.02*float64(id%3),
+			RecallCeil:      0.9975,
+			LearnRateMin:    3.5 + 0.5*float64(id%3),
+		}
+	}
+	return []Participant{
+		base(1, 0.0065, 0.010), // most careful
+		base(2, 0.0090, 0.030),
+		base(3, 0.0095, 0.035),
+		base(4, 0.0096, 0.035),
+		base(5, 0.0078, 0.018),
+		base(6, 0.0074, 0.015),
+	}
+}
+
+// Session binds a participant to a deterministic RNG.
+type Session struct {
+	P   Participant
+	rng *rand.Rand
+}
+
+// NewSession creates a reproducible session for participant p.
+func NewSession(p Participant, seed uint64) *Session {
+	return &Session{
+		P:   p,
+		rng: rand.New(rand.NewPCG(seed, uint64(p.ID)*0x9e3779b97f4a7c15+1)),
+	}
+}
+
+// StrokeSpan is the ground-truth timing of one performed stroke within a
+// performance's finger trajectory.
+type StrokeSpan struct {
+	Stroke stroke.Stroke
+	// Start and End are seconds from the beginning of the trajectory.
+	Start, End float64
+}
+
+// Performance is a complete finger trajectory for writing a stroke
+// sequence, with ground-truth spans.
+type Performance struct {
+	// Finger is the full trajectory including rests and repositioning.
+	Finger geom.Trajectory
+	// Spans are the ground-truth stroke intervals.
+	Spans []StrokeSpan
+	// Performed is the stroke sequence actually written (equals the
+	// request unless recall errors were injected via PerformRecalled).
+	Performed stroke.Sequence
+}
+
+// performParams bundle per-performance randomness.
+type performParams struct {
+	offset    geom.Vec3
+	sizeScale float64
+	timeScale float64
+}
+
+func (s *Session) drawPerformParams() performParams {
+	return performParams{
+		offset: geom.Vec3{
+			X: s.rng.NormFloat64() * s.P.OffsetStd,
+			Y: s.rng.NormFloat64() * s.P.OffsetStd,
+			Z: s.rng.NormFloat64() * s.P.OffsetStd,
+		},
+		sizeScale: s.P.AmplitudeScale * math.Exp(s.rng.NormFloat64()*s.P.AmplitudeJitter),
+		timeScale: s.P.SpeedScale * s.P.strokeTimeScale() * math.Exp(s.rng.NormFloat64()*s.P.SpeedJitter),
+	}
+}
+
+// shapeParamsFor draws the stochastic shape parameters for one stroke.
+func (s *Session) shapeParamsFor(st stroke.Stroke, pp performParams) stroke.ShapeParams {
+	jitter := s.P.WaypointJitter
+	if s.rng.Float64() < s.P.SloppyRate {
+		jitter *= 3
+	}
+	// Up to 4 waypoints per canonical stroke.
+	seq := make([]geom.Vec3, 4)
+	for i := range seq {
+		seq[i] = geom.Vec3{
+			X: s.rng.NormFloat64() * jitter,
+			Y: s.rng.NormFloat64() * jitter,
+			Z: s.rng.NormFloat64() * jitter,
+		}
+	}
+	return stroke.ShapeParams{
+		Offset:    pp.offset,
+		Scale:     pp.sizeScale,
+		TimeScale: pp.timeScale * math.Exp(s.rng.NormFloat64()*0.05),
+		JitterSeq: seq,
+	}
+}
+
+// Timing constants for the performance builder.
+const (
+	// leadInDur is the initial rest: the pipeline needs ~5 static frames
+	// for spectral subtraction (paper §III-A).
+	leadInDur = 0.40
+	// interStrokePause is the natural dwell after finishing a stroke
+	// before the hand starts repositioning; it gives the segmenter its
+	// quiet end-of-stroke run.
+	interStrokePause = 0.34
+	// repositionDur is the gentle between-stroke hand return; slow enough
+	// that its acceleration stays under the segmentation gate.
+	repositionDur = 1.05
+	// tailDur is the final rest.
+	tailDur = 0.45
+)
+
+// Perform builds the finger trajectory for writing seq exactly as given.
+func (s *Session) Perform(seq stroke.Sequence) (*Performance, error) {
+	return s.perform(seq, nil)
+}
+
+// wordGapDur is the extra dwell a writer naturally leaves between words
+// (on top of the usual inter-stroke pause + reposition); phrase-level
+// recognition exploits this gap to find word boundaries.
+const wordGapDur = 1.1
+
+// PerformWords writes several words in one continuous performance,
+// separated by a natural word gap. The returned counts give each word's
+// stroke count (ground truth for boundary detection).
+func (s *Session) PerformWords(seqs []stroke.Sequence) (*Performance, []int, error) {
+	if len(seqs) == 0 {
+		return nil, nil, fmt.Errorf("participant: no words")
+	}
+	var flat stroke.Sequence
+	counts := make([]int, len(seqs))
+	boundaries := make(map[int]bool, len(seqs))
+	for i, q := range seqs {
+		if len(q) == 0 {
+			return nil, nil, fmt.Errorf("participant: word %d is empty", i)
+		}
+		counts[i] = len(q)
+		flat = append(flat, q...)
+		if i < len(seqs)-1 {
+			boundaries[len(flat)] = true // extra gap before this stroke index
+		}
+	}
+	perf, err := s.perform(flat, func(i int) float64 {
+		if boundaries[i] {
+			return wordGapDur * (0.9 + 0.2*s.rng.Float64())
+		}
+		return 0
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return perf, counts, nil
+}
+
+// perform builds the trajectory; extraGap, when non-nil, returns an
+// additional dwell inserted before stroke index i.
+func (s *Session) perform(seq stroke.Sequence, extraGap func(int) float64) (*Performance, error) {
+	if len(seq) == 0 {
+		return nil, fmt.Errorf("participant: empty stroke sequence")
+	}
+	pp := s.drawPerformParams()
+	var (
+		parts []geom.Trajectory
+		spans []StrokeSpan
+		tNow  float64
+	)
+	// Initial rest at the first stroke's start point.
+	firstParams := s.shapeParamsFor(seq[0], pp)
+	start0, err := stroke.StartPoint(seq[0], firstParams)
+	if err != nil {
+		return nil, fmt.Errorf("participant: %w", err)
+	}
+	parts = append(parts, &geom.StaticTrajectory{Pos: start0, Dur: leadInDur})
+	tNow += leadInDur
+
+	prevEnd := start0
+	for i, st := range seq {
+		var sp stroke.ShapeParams
+		if i == 0 {
+			sp = firstParams
+		} else {
+			sp = s.shapeParamsFor(st, pp)
+		}
+		startPt, err := stroke.StartPoint(st, sp)
+		if err != nil {
+			return nil, fmt.Errorf("participant: %w", err)
+		}
+		if i > 0 {
+			// Dwell, then gently reposition from the previous stroke's
+			// end to this stroke's start.
+			pause := interStrokePause * s.P.pauseScale() * (0.8 + 0.4*s.rng.Float64())
+			if extraGap != nil {
+				pause += extraGap(i)
+			}
+			parts = append(parts, &geom.StaticTrajectory{Pos: prevEnd, Dur: pause})
+			tNow += pause
+			repDur := repositionDur * s.P.repositionScale() * (0.9 + 0.2*s.rng.Float64())
+			rep, err := geom.NewPolyTrajectory([]geom.Waypoint{
+				{T: 0, Pos: prevEnd},
+				{T: repDur, Pos: startPt},
+			})
+			if err != nil {
+				return nil, fmt.Errorf("participant: reposition: %w", err)
+			}
+			parts = append(parts, rep)
+			tNow += repDur
+		}
+		tr, err := stroke.Shape(st, sp)
+		if err != nil {
+			return nil, fmt.Errorf("participant: %w", err)
+		}
+		parts = append(parts, tr)
+		spans = append(spans, StrokeSpan{Stroke: st, Start: tNow, End: tNow + tr.Duration()})
+		tNow += tr.Duration()
+		prevEnd, err = stroke.EndPoint(st, sp)
+		if err != nil {
+			return nil, fmt.Errorf("participant: %w", err)
+		}
+	}
+	parts = append(parts, &geom.StaticTrajectory{Pos: prevEnd, Dur: tailDur})
+	finger, err := geom.NewCompositeTrajectory(parts...)
+	if err != nil {
+		return nil, fmt.Errorf("participant: %w", err)
+	}
+	return &Performance{Finger: finger, Spans: spans, Performed: append(stroke.Sequence(nil), seq...)}, nil
+}
+
+// RecallAccuracy returns the probability this participant writes the
+// correct stroke for a letter after practicing for the given minutes:
+// an exponential approach from RecallFloor to RecallCeil (Fig. 4's curve).
+func (p Participant) RecallAccuracy(practiceMinutes float64) float64 {
+	if practiceMinutes < 0 {
+		practiceMinutes = 0
+	}
+	return p.RecallCeil - (p.RecallCeil-p.RecallFloor)*math.Exp(-practiceMinutes/p.LearnRateMin)
+}
+
+// RecallSequence applies scheme-recall errors to the intended sequence:
+// each stroke independently survives with probability acc; otherwise the
+// participant writes a uniformly random wrong stroke. Used by the
+// learnability study where participants transcribe words from memory of
+// the scheme.
+func (s *Session) RecallSequence(intended stroke.Sequence, acc float64) stroke.Sequence {
+	out := make(stroke.Sequence, len(intended))
+	for i, st := range intended {
+		if s.rng.Float64() < acc {
+			out[i] = st
+			continue
+		}
+		// Pick a wrong stroke uniformly.
+		w := stroke.Stroke(1 + s.rng.IntN(stroke.NumStrokes-1))
+		if w >= st {
+			w++
+		}
+		out[i] = w
+	}
+	return out
+}
+
+// PerformRecalled performs seq after filtering it through scheme recall at
+// the given accuracy, returning the performance of what was actually
+// written.
+func (s *Session) PerformRecalled(intended stroke.Sequence, recallAcc float64) (*Performance, error) {
+	actual := s.RecallSequence(intended, recallAcc)
+	return s.Perform(actual)
+}

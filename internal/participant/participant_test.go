@@ -1,0 +1,232 @@
+package participant
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stroke"
+)
+
+func TestSixParticipants(t *testing.T) {
+	ps := SixParticipants()
+	if len(ps) != 6 {
+		t.Fatalf("roster has %d, want 6", len(ps))
+	}
+	for i, p := range ps {
+		if p.ID != i+1 {
+			t.Errorf("participant %d has ID %d", i, p.ID)
+		}
+		if p.WaypointJitter <= 0 || p.SpeedScale <= 0 || p.AmplitudeScale <= 0 {
+			t.Errorf("%s has non-positive motor parameters: %+v", p.Name, p)
+		}
+		if p.RecallFloor >= p.RecallCeil {
+			t.Errorf("%s recall floor %g >= ceil %g", p.Name, p.RecallFloor, p.RecallCeil)
+		}
+	}
+}
+
+func TestPerformEmptySequence(t *testing.T) {
+	s := NewSession(SixParticipants()[0], 1)
+	if _, err := s.Perform(nil); err == nil {
+		t.Error("empty sequence accepted")
+	}
+}
+
+func TestPerformSingleStroke(t *testing.T) {
+	s := NewSession(SixParticipants()[0], 1)
+	perf, err := s.Perform(stroke.Sequence{stroke.S2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(perf.Spans) != 1 {
+		t.Fatalf("spans = %d, want 1", len(perf.Spans))
+	}
+	sp := perf.Spans[0]
+	if sp.Stroke != stroke.S2 {
+		t.Errorf("span stroke = %v", sp.Stroke)
+	}
+	// Lead-in rest before the stroke.
+	if sp.Start < 0.35 {
+		t.Errorf("stroke starts at %g, want >= lead-in", sp.Start)
+	}
+	if sp.End <= sp.Start {
+		t.Error("span end before start")
+	}
+	// Trajectory covers the whole performance with a tail.
+	if perf.Finger.Duration() < sp.End+0.3 {
+		t.Errorf("trajectory %gs ends too soon after stroke end %g", perf.Finger.Duration(), sp.End)
+	}
+	if !perf.Performed.Equal(stroke.Sequence{stroke.S2}) {
+		t.Errorf("Performed = %v", perf.Performed)
+	}
+}
+
+func TestPerformMultiStrokeSpansOrdered(t *testing.T) {
+	s := NewSession(SixParticipants()[1], 7)
+	seq := stroke.Sequence{stroke.S1, stroke.S5, stroke.S3, stroke.S2}
+	perf, err := s.Perform(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(perf.Spans) != len(seq) {
+		t.Fatalf("spans = %d, want %d", len(perf.Spans), len(seq))
+	}
+	for i := 1; i < len(perf.Spans); i++ {
+		gap := perf.Spans[i].Start - perf.Spans[i-1].End
+		if gap <= 0.2 {
+			t.Errorf("gap between strokes %d,%d = %g, want > pause+reposition", i-1, i, gap)
+		}
+	}
+}
+
+func TestPerformDeterministicPerSeed(t *testing.T) {
+	seq := stroke.Sequence{stroke.S1, stroke.S4}
+	a, err := NewSession(SixParticipants()[2], 99).Perform(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSession(SixParticipants()[2], 99).Perform(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []float64{0.1, 0.7, 1.4, 2.2} {
+		if a.Finger.At(tt).Dist(b.Finger.At(tt)) > 1e-12 {
+			t.Fatal("same seed produced different trajectories")
+		}
+	}
+	c, err := NewSession(SixParticipants()[2], 100).Perform(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for _, tt := range []float64{0.5, 1.0, 1.5} {
+		if a.Finger.At(tt).Dist(c.Finger.At(tt)) > 1e-9 {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical trajectories")
+	}
+}
+
+func TestRecallAccuracyCurve(t *testing.T) {
+	p := SixParticipants()[0]
+	if got := p.RecallAccuracy(0); math.Abs(got-p.RecallFloor) > 1e-9 {
+		t.Errorf("t=0 recall = %g, want floor %g", got, p.RecallFloor)
+	}
+	if got := p.RecallAccuracy(1e6); math.Abs(got-p.RecallCeil) > 1e-9 {
+		t.Errorf("t=∞ recall = %g, want ceil %g", got, p.RecallCeil)
+	}
+	if p.RecallAccuracy(-5) != p.RecallAccuracy(0) {
+		t.Error("negative practice time not clamped")
+	}
+	// Monotone nondecreasing.
+	prev := 0.0
+	for m := 0.0; m <= 20; m += 0.5 {
+		a := p.RecallAccuracy(m)
+		if a < prev {
+			t.Fatalf("recall decreased at %g min", m)
+		}
+		prev = a
+	}
+}
+
+func TestRecallSequencePerfectAndBroken(t *testing.T) {
+	s := NewSession(SixParticipants()[0], 5)
+	seq := stroke.Sequence{stroke.S1, stroke.S2, stroke.S3, stroke.S4, stroke.S5, stroke.S6}
+	// Accuracy 1 → identical.
+	got := s.RecallSequence(seq, 1)
+	if !got.Equal(seq) {
+		t.Errorf("perfect recall altered sequence: %v", got)
+	}
+	// Accuracy 0 → every stroke replaced by a *different* valid stroke.
+	got = s.RecallSequence(seq, 0)
+	for i, st := range got {
+		if st == seq[i] {
+			t.Errorf("position %d unchanged under zero recall", i)
+		}
+		if !st.Valid() {
+			t.Errorf("position %d invalid: %v", i, st)
+		}
+	}
+}
+
+func TestRecallSequenceLengthProperty(t *testing.T) {
+	f := func(raw []uint8, accRaw uint8) bool {
+		if len(raw) == 0 || len(raw) > 20 {
+			return true
+		}
+		seq := make(stroke.Sequence, len(raw))
+		for i, b := range raw {
+			seq[i] = stroke.Stroke(int(b%stroke.NumStrokes) + 1)
+		}
+		s := NewSession(SixParticipants()[3], uint64(accRaw)+1)
+		out := s.RecallSequence(seq, float64(accRaw)/255)
+		if len(out) != len(seq) {
+			return false
+		}
+		for _, st := range out {
+			if !st.Valid() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPerformRecalled(t *testing.T) {
+	s := NewSession(SixParticipants()[4], 11)
+	intended := stroke.Sequence{stroke.S1, stroke.S2, stroke.S3}
+	perf, err := s.PerformRecalled(intended, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(perf.Performed) != len(intended) {
+		t.Errorf("performed length %d, want %d", len(perf.Performed), len(intended))
+	}
+	if len(perf.Spans) != len(intended) {
+		t.Errorf("spans %d, want %d", len(perf.Spans), len(intended))
+	}
+	for i, sp := range perf.Spans {
+		if sp.Stroke != perf.Performed[i] {
+			t.Errorf("span %d stroke %v != performed %v", i, sp.Stroke, perf.Performed[i])
+		}
+	}
+}
+
+func TestRepositionIsGentle(t *testing.T) {
+	// The between-stroke motion must stay under the segmentation
+	// acceleration gate; check the radial acceleration of the reposition
+	// region numerically.
+	s := NewSession(SixParticipants()[0], 3)
+	perf, err := s.Perform(stroke.Sequence{stroke.S2, stroke.S2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Between spans: from end of stroke 1 + pause to start of stroke 2.
+	from := perf.Spans[0].End + 0.15
+	to := perf.Spans[1].Start - 0.05
+	const dt = 0.0232 // one STFT hop
+	maxAcc := 0.0
+	prevV := 0.0
+	for tt := from; tt < to; tt += dt {
+		d0 := perf.Finger.At(tt).Norm()
+		d1 := perf.Finger.At(tt + dt).Norm()
+		v := (d1 - d0) / dt
+		acc := math.Abs(v-prevV) / dt
+		if tt > from && acc > maxAcc {
+			maxAcc = acc
+		}
+		prevV = v
+	}
+	// Radial acceleration in Doppler units: 2·f0/c·a per second, ÷ frame
+	// rate for Hz/frame; the gate is 8 Hz/frame.
+	dopplerAccPerFrame := 2 * 20000 / 340.0 * maxAcc * dt
+	if dopplerAccPerFrame > 7 {
+		t.Errorf("reposition Doppler acceleration %.1f Hz/frame too close to the 8 Hz/frame gate", dopplerAccPerFrame)
+	}
+}

@@ -1,0 +1,95 @@
+package pipeline
+
+// Burst suppression implements the paper's §VII-B proposal: bursting
+// noises (knocks, object strikes, rubbing) span the whole frequency band
+// — including the probe band — but last only a few frames. Exploiting
+// exactly the "short duration" property the paper suggests, frames whose
+// post-subtraction band occupancy is implausibly wide are treated as
+// burst-contaminated and temporally interpolated from their clean
+// neighbors before smoothing and binarization.
+
+// BurstConfig parameterizes suppression. The zero value disables it.
+type BurstConfig struct {
+	// Enabled turns suppression on.
+	Enabled bool
+	// OccupancyThreshold is the fraction of band bins that must be
+	// active (above the energy gate) for a frame to be burst-suspect;
+	// finger blobs occupy a narrow band, bursts light up most of it.
+	// Zero means 0.45.
+	OccupancyThreshold float64
+	// MaxFrames is the longest run of suspect frames still treated as a
+	// burst (longer runs are assumed to be real wideband events the
+	// pipeline should not silently erase). Zero means 16 (~370 ms: an
+	// 8192-sample STFT window smears a short knock across ~8 hops, so
+	// a 100 ms transient contaminates 12+ frames).
+	MaxFrames int
+}
+
+// DefaultBurstConfig returns the calibrated suppression settings.
+func DefaultBurstConfig() BurstConfig {
+	return BurstConfig{Enabled: true, OccupancyThreshold: 0.40, MaxFrames: 16}
+}
+
+// suppressBursts zeroes-and-interpolates burst-contaminated frames of the
+// thresholded magnitude matrix in place. It returns the indices of the
+// suspect frames (repaired or not), which Recognize uses to flag
+// detections whose segments were contaminated — the "discard signal
+// segments containing bursting noises" half of §VII-B.
+func suppressBursts(m [][]float64, cfg BurstConfig) []int {
+	if !cfg.Enabled || len(m) == 0 {
+		return nil
+	}
+	occTh := cfg.OccupancyThreshold
+	if occTh == 0 {
+		occTh = 0.45
+	}
+	maxRun := cfg.MaxFrames
+	if maxRun == 0 {
+		maxRun = 16
+	}
+	cols := len(m[0])
+	suspect := make([]bool, len(m))
+	for f, row := range m {
+		active := 0
+		for _, v := range row {
+			if v > 0 {
+				active++
+			}
+		}
+		suspect[f] = float64(active) >= occTh*float64(cols)
+	}
+	var frames []int
+	for f := 0; f < len(m); {
+		if !suspect[f] {
+			f++
+			continue
+		}
+		run := f
+		for run < len(m) && suspect[run] {
+			run++
+		}
+		for k := f; k < run; k++ {
+			frames = append(frames, k)
+		}
+		if run-f <= maxRun {
+			lo, hi := f-1, run // clean neighbors
+			for k := f; k < run; k++ {
+				for b := 0; b < cols; b++ {
+					var left, right float64
+					if lo >= 0 {
+						left = m[lo][b]
+					}
+					if hi < len(m) {
+						right = m[hi][b]
+					}
+					// Linear interpolation across the burst gap.
+					span := float64(hi - lo)
+					t := float64(k-lo) / span
+					m[k][b] = left*(1-t) + right*t
+				}
+			}
+		}
+		f = run
+	}
+	return frames
+}

@@ -1,0 +1,180 @@
+// Package pipeline is EchoWrite's core: the end-to-end signal chain that
+// turns a raw microphone stream into recognized strokes. It wires together
+// the substrate packages exactly as the paper's Fig. 7 flowchart does:
+//
+//	audio → STFT → band crop → median filter → spectral subtraction →
+//	energy gate (α) → Gaussian smoothing → zero-one normalization →
+//	binarization → flood-fill → MVCE profile → acceleration segmentation →
+//	DTW against analytic stroke templates.
+//
+// The engine records per-stage wall time so the system-overhead
+// experiments (Fig. 19–21) measure the real implementation.
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/dsp"
+	"repro/internal/dtw"
+	"repro/internal/mvce"
+	"repro/internal/segment"
+)
+
+// ContourMethod selects the profile extractor.
+type ContourMethod int
+
+// Contour extractors. MVCE is the paper's; MaxBin exists for the ablation
+// study.
+const (
+	ContourMVCE ContourMethod = iota + 1
+	ContourMaxBin
+)
+
+// Config assembles every tunable of the recognition chain. The zero value
+// is not usable; start from DefaultConfig.
+type Config struct {
+	// STFT is the front-end transform configuration, including the band
+	// of interest crop.
+	STFT dsp.STFTConfig
+	// CarrierHz is the probe tone frequency as observed in the processed
+	// stream (must sit inside the STFT band). For the full-rate pipeline
+	// this is the emitted 20 kHz; a bandpass-sampled front-end supplies
+	// the aliased carrier instead.
+	CarrierHz float64
+	// PhysicalCarrierHz is the emitted probe frequency used for template
+	// generation; zero means CarrierHz. It differs from CarrierHz only
+	// under bandpass sampling, where Doppler magnitudes are still set by
+	// the true 20 kHz carrier.
+	PhysicalCarrierHz float64
+	// InvertSpectrum marks front-ends whose band folds from an odd
+	// Nyquist zone (spectral inversion); contour extraction negates
+	// shifts to restore the physical sign convention.
+	InvertSpectrum bool
+	// StaticFrames is the number of initial frames averaged into the
+	// static-background template for spectral subtraction (paper: 5).
+	StaticFrames int
+	// EnergyThreshold is α, the post-subtraction magnitude gate
+	// (paper: 8, hardware-dependent).
+	EnergyThreshold float64
+	// GaussianKernel is the smoothing kernel size (paper: 5).
+	GaussianKernel int
+	// BinarizeThreshold is applied after zero-one normalization
+	// (paper: 0.15).
+	BinarizeThreshold float64
+	// MinComponentSize removes binary components smaller than this many
+	// pixels before contour extraction; 0 disables.
+	MinComponentSize int
+	// Contour selects the profile extractor (default MVCE).
+	Contour ContourMethod
+	// ProfileSmoothWindow is the moving-average window on the raw profile
+	// (paper: 3).
+	ProfileSmoothWindow int
+	// Burst configures wideband transient suppression (§VII-B future
+	// work; disabled in the paper's prototype and by default here).
+	Burst BurstConfig
+	// Segment holds the acceleration-gate thresholds.
+	Segment segment.Config
+	// DTW configures template matching.
+	DTW dtw.Options
+	// AmplitudeNormalize, when true, rescales both the query profile and
+	// each template to unit peak magnitude before DTW. The absolute
+	// (unnormalized) comparison empirically separates the stroke alphabet
+	// better — peak Doppler magnitude is itself a gesture signature — so
+	// the default is false; the normalized variant remains for the
+	// ablation study.
+	AmplitudeNormalize bool
+	// SoundSpeed in m/s for template generation (paper: 340).
+	SoundSpeed float64
+}
+
+// DefaultConfig returns the paper's parameterization end to end.
+func DefaultConfig() Config {
+	return Config{
+		STFT:                dsp.DefaultSTFTConfig(),
+		CarrierHz:           20000,
+		StaticFrames:        5,
+		EnergyThreshold:     8,
+		GaussianKernel:      5,
+		BinarizeThreshold:   0.15,
+		MinComponentSize:    6,
+		Contour:             ContourMVCE,
+		ProfileSmoothWindow: 3,
+		Segment:             segment.DefaultConfig(),
+		DTW:                 dtw.Options{Window: 4, Normalize: true},
+		AmplitudeNormalize:  false,
+		SoundSpeed:          340,
+	}
+}
+
+// Validate checks cross-field consistency.
+func (c Config) Validate() error {
+	if err := c.STFT.Validate(); err != nil {
+		return fmt.Errorf("pipeline: %w", err)
+	}
+	carrierBin := c.CarrierHz * float64(c.STFT.FFTSize) / c.STFT.SampleRate
+	if int(carrierBin) < c.STFT.LowBin || int(carrierBin) >= c.STFT.HighBin {
+		return fmt.Errorf("pipeline: carrier %g Hz (bin %.1f) outside STFT band [%d,%d)",
+			c.CarrierHz, carrierBin, c.STFT.LowBin, c.STFT.HighBin)
+	}
+	if c.StaticFrames < 1 {
+		return fmt.Errorf("pipeline: StaticFrames must be >= 1, got %d", c.StaticFrames)
+	}
+	if c.EnergyThreshold < 0 {
+		return fmt.Errorf("pipeline: EnergyThreshold must be >= 0, got %g", c.EnergyThreshold)
+	}
+	if c.GaussianKernel <= 0 || c.GaussianKernel%2 == 0 {
+		return fmt.Errorf("pipeline: GaussianKernel must be odd and positive, got %d", c.GaussianKernel)
+	}
+	if c.BinarizeThreshold <= 0 || c.BinarizeThreshold >= 1 {
+		return fmt.Errorf("pipeline: BinarizeThreshold must be in (0,1), got %g", c.BinarizeThreshold)
+	}
+	if c.Contour != ContourMVCE && c.Contour != ContourMaxBin {
+		return fmt.Errorf("pipeline: unknown contour method %d", c.Contour)
+	}
+	if err := c.Segment.Validate(); err != nil {
+		return fmt.Errorf("pipeline: %w", err)
+	}
+	if c.SoundSpeed <= 0 {
+		return fmt.Errorf("pipeline: SoundSpeed must be positive, got %g", c.SoundSpeed)
+	}
+	return nil
+}
+
+// carrierLocalBin returns the (fractional) local bin index of the carrier
+// within the cropped band.
+func (c Config) carrierLocalBin() float64 {
+	return c.CarrierHz*float64(c.STFT.FFTSize)/c.STFT.SampleRate - float64(c.STFT.LowBin)
+}
+
+// binWidthHz returns Hz per FFT bin.
+func (c Config) binWidthHz() float64 {
+	return c.STFT.SampleRate / float64(c.STFT.FFTSize)
+}
+
+// FrameRate returns spectrogram frames per second.
+func (c Config) FrameRate() float64 {
+	return c.STFT.SampleRate / float64(c.STFT.HopSize)
+}
+
+// mvceConfig derives the contour-extraction configuration.
+func (c Config) mvceConfig() mvce.Config {
+	w := c.ProfileSmoothWindow
+	if w == 0 {
+		w = 3
+	}
+	return mvce.Config{
+		CarrierBin:   c.carrierLocalBin(),
+		BinWidthHz:   c.binWidthHz(),
+		SmoothWindow: w,
+		Invert:       c.InvertSpectrum,
+	}
+}
+
+// PhysicalCarrier returns the emitted carrier frequency for template
+// generation.
+func (c Config) PhysicalCarrier() float64 {
+	if c.PhysicalCarrierHz != 0 {
+		return c.PhysicalCarrierHz
+	}
+	return c.CarrierHz
+}

@@ -1,0 +1,205 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/mvce"
+	"repro/internal/segment"
+)
+
+// Stream is the incremental recognizer matching the paper's prototype
+// (§IV-A): audio arrives in arbitrary chunks, STFT frames are produced as
+// soon as a hop completes, and detections are emitted as strokes finish —
+// without waiting for the recording to end.
+//
+// The static-background template for spectral subtraction is estimated
+// once from the first StaticFrames frames of the stream (the paper's
+// "initial 5 frames"), so streams must begin with a short rest, exactly
+// as the batch pipeline requires.
+//
+// A Stream keeps a bounded window of spectrogram columns (MaxWindow
+// frames); enhancement and contour extraction re-run over the window on
+// each feed, which mirrors the prototype's process-on-buffer-full loop.
+type Stream struct {
+	eng *Engine
+	// MaxWindow bounds the retained spectrogram columns; 0 means 1024
+	// frames (≈24 s at the paper's hop).
+	MaxWindow int
+	// AdaptiveStatic slowly refreshes the spectral-subtraction template
+	// during quiet frames, so a hand that comes to rest in a new spot
+	// (changing the static echo field) stops biasing later profiles. The
+	// paper's prototype re-estimates per stroke; this is the streaming
+	// equivalent. Off by default (the paper's fixed initial template).
+	AdaptiveStatic bool
+
+	samples     []float64   // residue not yet consumed into frames
+	columns     [][]float64 // raw magnitude columns in the window
+	frameOffset int         // absolute index of columns[0]
+	static      []float64   // spectral-subtraction template
+	staticAccum [][]float64 // first frames accumulated for the template
+	emittedEnd  int         // absolute frame index before which detections were emitted
+}
+
+// NewStream wraps an engine for incremental use. The engine must not be
+// used concurrently by other callers while the stream is active.
+func NewStream(eng *Engine) *Stream {
+	return &Stream{eng: eng}
+}
+
+// FramesSeen returns how many STFT frames have been produced so far.
+func (s *Stream) FramesSeen() int { return s.frameOffset + len(s.columns) }
+
+// Feed appends raw samples (at the configured sample rate) and returns
+// any strokes that completed. Detections are emitted exactly once, in
+// order, with Segment frame indices absolute from the stream start.
+func (s *Stream) Feed(chunk []float64) ([]Detection, error) {
+	s.samples = append(s.samples, chunk...)
+	cfg := s.eng.cfg.STFT
+	for len(s.samples) >= cfg.FFTSize {
+		col, err := s.eng.stft.FrameColumn(s.samples[:cfg.FFTSize])
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: stream frame: %w", err)
+		}
+		s.samples = s.samples[cfg.HopSize:]
+		if err := s.pushColumn(col); err != nil {
+			return nil, err
+		}
+	}
+	return s.process(false)
+}
+
+// Flush processes whatever remains (zero-padding the final partial frame)
+// and emits any still-open detections. The stream remains usable.
+func (s *Stream) Flush() ([]Detection, error) {
+	cfg := s.eng.cfg.STFT
+	if len(s.samples) > cfg.HopSize {
+		frame := make([]float64, cfg.FFTSize)
+		copy(frame, s.samples)
+		col, err := s.eng.stft.FrameColumn(frame)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: stream flush: %w", err)
+		}
+		s.samples = s.samples[:0]
+		if err := s.pushColumn(col); err != nil {
+			return nil, err
+		}
+	}
+	return s.process(true)
+}
+
+func (s *Stream) pushColumn(col []float64) error {
+	// Accumulate the static template from the first frames.
+	if s.static == nil {
+		s.staticAccum = append(s.staticAccum, col)
+		if len(s.staticAccum) == s.eng.cfg.StaticFrames {
+			s.static = make([]float64, len(col))
+			for _, c := range s.staticAccum {
+				for b, v := range c {
+					s.static[b] += v
+				}
+			}
+			for b := range s.static {
+				s.static[b] /= float64(len(s.staticAccum))
+			}
+			s.staticAccum = nil
+		}
+	}
+	s.columns = append(s.columns, col)
+	maxW := s.MaxWindow
+	if maxW == 0 {
+		maxW = 1024
+	}
+	// Compact the window, but never drop frames that might belong to a
+	// stroke not yet emitted.
+	if len(s.columns) > maxW {
+		drop := len(s.columns) - maxW
+		if limit := s.emittedEnd - s.frameOffset; drop > limit {
+			drop = limit
+		}
+		if drop > 0 {
+			s.columns = s.columns[drop:]
+			s.frameOffset += drop
+		}
+	}
+	return nil
+}
+
+// emitSafety is how many frames behind the stream head a segment must end
+// before it is considered final (the quiet run plus smear).
+const emitSafety = 14
+
+// process runs the enhancement chain over the current window and emits
+// newly finalized detections. When final is true, open segments are
+// emitted regardless of the safety margin.
+func (s *Stream) process(final bool) ([]Detection, error) {
+	if s.static == nil || len(s.columns) < s.eng.cfg.StaticFrames+4 {
+		return nil, nil
+	}
+	// Enhancement over the window with the stream's static template.
+	bin, bursts, err := s.eng.enhanceColumns(s.columns, s.static)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: stream enhance: %w", err)
+	}
+	profile, err := mvce.Extract(bin, s.eng.cfg.mvceConfig())
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: stream contour: %w", err)
+	}
+	segs, err := segment.Detect(profile, s.eng.cfg.Segment)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: stream segment: %w", err)
+	}
+	if s.AdaptiveStatic {
+		s.adaptStatic(bin)
+	}
+	var out []Detection
+	head := len(profile)
+	for _, sg := range segs {
+		absStart := sg.Start + s.frameOffset
+		absEnd := sg.End + s.frameOffset
+		if absStart < s.emittedEnd {
+			continue // already emitted
+		}
+		if !final && sg.End > head-emitSafety {
+			break // may still be growing
+		}
+		slice, err := segment.Slice(profile, sg)
+		if err != nil {
+			return nil, err
+		}
+		det, err := s.eng.ClassifyProfile(slice)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: stream classify: %w", err)
+		}
+		det.Segment = segment.Segment{Start: absStart, End: absEnd}
+		det.Contaminated = overlapsBurst(sg, bursts)
+		out = append(out, det)
+		s.emittedEnd = absEnd + 1
+	}
+	return out, nil
+}
+
+// staticAdaptRate is the per-quiet-frame EMA coefficient for adaptive
+// template refresh; ~60 quiet frames (1.4 s) absorb a static change.
+const staticAdaptRate = 0.03
+
+// adaptStatic folds the most recent quiet (no-foreground) frames of the
+// window into the subtraction template with a slow exponential moving
+// average. Only trailing quiet frames are used so a stroke in progress
+// never leaks into the template.
+func (s *Stream) adaptStatic(bin [][]uint8) {
+	for i := len(bin) - 1; i >= 0 && i >= len(bin)-4; i-- {
+		active := 0
+		for _, v := range bin[i] {
+			if v == 1 {
+				active++
+			}
+		}
+		if active > 0 {
+			return
+		}
+		raw := s.columns[i]
+		for b := range s.static {
+			s.static[b] = (1-staticAdaptRate)*s.static[b] + staticAdaptRate*raw[b]
+		}
+	}
+}

@@ -1,0 +1,157 @@
+// Package runtime models the system-overhead dimensions of the paper's
+// evaluation (Figs. 19–21): per-stage processing time, battery drain, and
+// CPU occupancy. Stage times are measured from the real Go pipeline on the
+// host; the energy and CPU figures then scale those measurements through a
+// documented device cost model calibrated to the paper's Huawei Mate 9
+// observations (≈3 % battery per 5 minutes; 9.5–25.6 % CPU, mean 15.2 %).
+package runtime
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/pipeline"
+)
+
+// StageBreakdown aggregates measured pipeline stage times over many
+// recognitions.
+type StageBreakdown struct {
+	// Totals accumulate wall time per stage.
+	STFT, Enhancement, Profile, Segmentation, DTW time.Duration
+	// Strokes is the number of recognized strokes the totals cover.
+	Strokes int
+}
+
+// Add accumulates one recognition's timings covering n strokes.
+func (b *StageBreakdown) Add(t pipeline.StageTimings, n int) {
+	b.STFT += t.STFT
+	b.Enhancement += t.Enhancement
+	b.Profile += t.Profile
+	b.Segmentation += t.Segmentation
+	b.DTW += t.DTW
+	if n < 1 {
+		n = 1
+	}
+	b.Strokes += n
+}
+
+// PerStroke returns mean per-stroke durations. Strokes must be > 0.
+func (b *StageBreakdown) PerStroke() (pipeline.StageTimings, error) {
+	if b.Strokes == 0 {
+		return pipeline.StageTimings{}, fmt.Errorf("runtime: no strokes recorded")
+	}
+	n := time.Duration(b.Strokes)
+	return pipeline.StageTimings{
+		STFT:         b.STFT / n,
+		Enhancement:  b.Enhancement / n,
+		Profile:      b.Profile / n,
+		Segmentation: b.Segmentation / n,
+		DTW:          b.DTW / n,
+	}, nil
+}
+
+// SignalProcessingShare returns the fraction of total time spent in signal
+// processing (STFT + enhancement + profile extraction) — the paper reports
+// over 90 %.
+func (b *StageBreakdown) SignalProcessingShare() float64 {
+	total := b.STFT + b.Enhancement + b.Profile + b.Segmentation + b.DTW
+	if total == 0 {
+		return math.NaN()
+	}
+	sp := b.STFT + b.Enhancement + b.Profile
+	return float64(sp) / float64(total)
+}
+
+// EnergyModel maps continuous EchoWrite operation to battery drain. The
+// defaults are calibrated so continuous operation drains ~3 % per 5
+// minutes (Fig. 20: 100 % → 87 % in 30 minutes).
+type EnergyModel struct {
+	// IdleDrainPerMin is the baseline battery percentage drained per
+	// minute with the screen on and the app idle.
+	IdleDrainPerMin float64
+	// SpeakerDrainPerMin adds the continuous 20 kHz emission cost.
+	SpeakerDrainPerMin float64
+	// ComputeDrainPerActiveMin adds the DSP cost, scaled by the duty
+	// cycle (fraction of time the pipeline is actually processing).
+	ComputeDrainPerActiveMin float64
+}
+
+// DefaultEnergyModel returns the Mate 9-calibrated model. Calibration
+// matches Fig. 20's measured curve (100 % → 87 % over 30 minutes, i.e.
+// ≈0.43 %/min); note the paper's prose quotes "about 3 % every 5 minutes"
+// and "2.8 hours", which is mutually inconsistent with its own figure —
+// we follow the figure.
+func DefaultEnergyModel() EnergyModel {
+	return EnergyModel{
+		IdleDrainPerMin:          0.10,
+		SpeakerDrainPerMin:       0.13,
+		ComputeDrainPerActiveMin: 0.25,
+	}
+}
+
+// BatteryLevels simulates battery percentage over total minutes of
+// continuous operation, sampled every stepMinutes, starting at 100 %. The
+// dutyCycle is the fraction of wall time spent in active DSP.
+func (m EnergyModel) BatteryLevels(totalMinutes, stepMinutes, dutyCycle float64) ([]float64, error) {
+	if totalMinutes <= 0 || stepMinutes <= 0 {
+		return nil, fmt.Errorf("runtime: durations must be positive (total %g, step %g)", totalMinutes, stepMinutes)
+	}
+	if dutyCycle < 0 || dutyCycle > 1 {
+		return nil, fmt.Errorf("runtime: duty cycle %g outside [0,1]", dutyCycle)
+	}
+	perMin := m.IdleDrainPerMin + m.SpeakerDrainPerMin + m.ComputeDrainPerActiveMin*dutyCycle
+	n := int(totalMinutes/stepMinutes) + 1
+	out := make([]float64, n)
+	for i := range out {
+		level := 100 - perMin*stepMinutes*float64(i)
+		if level < 0 {
+			level = 0
+		}
+		out[i] = level
+	}
+	return out, nil
+}
+
+// RuntimeHours returns how long a full battery lasts under continuous
+// operation at the given duty cycle (the paper: ≈2.8 h).
+func (m EnergyModel) RuntimeHours(dutyCycle float64) float64 {
+	perMin := m.IdleDrainPerMin + m.SpeakerDrainPerMin + m.ComputeDrainPerActiveMin*dutyCycle
+	if perMin <= 0 {
+		return math.Inf(1)
+	}
+	return 100 / perMin / 60
+}
+
+// CPUModel converts measured per-stroke processing time into the CPU
+// occupancy a mobile SoC would exhibit, by scaling host throughput to the
+// target device and accounting for the recognition duty cycle.
+type CPUModel struct {
+	// HostToDeviceSlowdown is how many times slower the target SoC runs
+	// this workload than the benchmark host (Mate 9 class: ~6.5×
+	// single-core against a modern x86 core).
+	HostToDeviceSlowdown float64
+	// BaselineShare is the constant audio-capture overhead share.
+	BaselineShare float64
+}
+
+// DefaultCPUModel returns the Mate 9-calibrated model.
+func DefaultCPUModel() CPUModel {
+	return CPUModel{HostToDeviceSlowdown: 6.5, BaselineShare: 0.07}
+}
+
+// Occupancy estimates the CPU fraction [0,1] while recognizing
+// continuously: processing time per stroke (measured on the host),
+// stretched by the device slowdown, divided by the wall time between
+// strokes.
+func (m CPUModel) Occupancy(perStrokeProcessing time.Duration, strokeInterval time.Duration) (float64, error) {
+	if strokeInterval <= 0 {
+		return 0, fmt.Errorf("runtime: stroke interval must be positive, got %v", strokeInterval)
+	}
+	busy := float64(perStrokeProcessing) * m.HostToDeviceSlowdown
+	occ := m.BaselineShare + busy/float64(strokeInterval)
+	if occ > 1 {
+		occ = 1
+	}
+	return occ, nil
+}

@@ -1,0 +1,261 @@
+// Package schemeopt implements the paper's §VII-C future work: support
+// for user-defined input schemes. It provides the two pieces the paper
+// says a self-adjusting EchoWrite needs:
+//
+//  1. an automatic checker that decides whether a proposed gesture set /
+//     letter grouping is usable — gesture Doppler templates must stay
+//     mutually distinguishable and the dictionary must not collapse into
+//     too-ambiguous stroke sequences; and
+//  2. an optimizer that searches letter→stroke groupings minimizing
+//     dictionary ambiguity under a workload, so a user who redefines
+//     gestures still gets an efficient scheme.
+package schemeopt
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dtw"
+	"repro/internal/lexicon"
+	"repro/internal/stroke"
+)
+
+// CheckReport is the outcome of validating a gesture/scheme combination.
+type CheckReport struct {
+	// MinTemplateDistance is the smallest pairwise DTW distance between
+	// stroke templates (Hz per aligned frame).
+	MinTemplateDistance float64
+	// TightestPair names the closest template pair ("S2-S6").
+	TightestPair string
+	// MeanCollisions is the dictionary's words-per-sequence average.
+	MeanCollisions float64
+	// MaxCollisions is the worst collision class size.
+	MaxCollisions int
+	// TopKCoverage is the fraction of words recoverable within the top-k
+	// of their collision class by frequency rank (the UI's k).
+	TopKCoverage float64
+	// OK aggregates the acceptance criteria.
+	OK bool
+	// Reasons lists failed criteria when !OK.
+	Reasons []string
+}
+
+// Thresholds gate acceptance. Zero values take defaults.
+type Thresholds struct {
+	// MinTemplateDistance in Hz/frame (default 8, matching the DTW
+	// separation at which stroke confusion becomes frequent).
+	MinTemplateDistance float64
+	// MaxMeanCollisions bounds dictionary ambiguity (default 1.6).
+	MaxMeanCollisions float64
+	// MinTopKCoverage with k=K (defaults 0.95 at K=5).
+	MinTopKCoverage float64
+	// K is the candidate list size (default 5).
+	K int
+}
+
+func (t Thresholds) normalize() Thresholds {
+	if t.MinTemplateDistance == 0 {
+		t.MinTemplateDistance = 8
+	}
+	if t.MaxMeanCollisions == 0 {
+		t.MaxMeanCollisions = 1.6
+	}
+	if t.MinTopKCoverage == 0 {
+		t.MinTopKCoverage = 0.95
+	}
+	if t.K == 0 {
+		t.K = 5
+	}
+	return t
+}
+
+// Check validates a proposed scheme over a vocabulary: template
+// distinguishability (the gesture side) and dictionary ambiguity (the
+// text side).
+func Check(scheme *stroke.Scheme, words []string, templates *stroke.TemplateSet, th Thresholds) (*CheckReport, error) {
+	if scheme == nil || templates == nil {
+		return nil, fmt.Errorf("schemeopt: nil scheme or templates")
+	}
+	th = th.normalize()
+	rep := &CheckReport{MinTemplateDistance: math.Inf(1)}
+
+	all := stroke.AllStrokes()
+	for i := 0; i < len(all); i++ {
+		for j := i + 1; j < len(all); j++ {
+			d, err := dtw.Distance(templates.Profile(all[i]), templates.Profile(all[j]),
+				dtw.Options{Window: 4, Normalize: true})
+			if err != nil {
+				return nil, fmt.Errorf("schemeopt: comparing %v-%v: %w", all[i], all[j], err)
+			}
+			if d < rep.MinTemplateDistance {
+				rep.MinTemplateDistance = d
+				rep.TightestPair = fmt.Sprintf("%v-%v", all[i], all[j])
+			}
+		}
+	}
+
+	dict, err := lexicon.NewDictionary(scheme, words)
+	if err != nil {
+		return nil, fmt.Errorf("schemeopt: %w", err)
+	}
+	amb := dict.Ambiguity()
+	rep.MeanCollisions = amb.MeanCollisions
+	rep.MaxCollisions = amb.MaxCollisions
+	rep.TopKCoverage = topKCoverage(dict, th.K)
+
+	rep.OK = true
+	if rep.MinTemplateDistance < th.MinTemplateDistance {
+		rep.OK = false
+		rep.Reasons = append(rep.Reasons, fmt.Sprintf(
+			"templates %s separated by only %.1f Hz/frame (need %.1f)",
+			rep.TightestPair, rep.MinTemplateDistance, th.MinTemplateDistance))
+	}
+	if rep.MeanCollisions > th.MaxMeanCollisions {
+		rep.OK = false
+		rep.Reasons = append(rep.Reasons, fmt.Sprintf(
+			"mean dictionary collisions %.2f exceed %.2f",
+			rep.MeanCollisions, th.MaxMeanCollisions))
+	}
+	if rep.TopKCoverage < th.MinTopKCoverage {
+		rep.OK = false
+		rep.Reasons = append(rep.Reasons, fmt.Sprintf(
+			"top-%d coverage %.1f%% below %.1f%%",
+			th.K, 100*rep.TopKCoverage, 100*th.MinTopKCoverage))
+	}
+	return rep, nil
+}
+
+// topKCoverage computes the fraction of dictionary words that rank within
+// the top k of their collision class by frequency.
+func topKCoverage(dict *lexicon.Dictionary, k int) float64 {
+	entries := dict.Entries()
+	if len(entries) == 0 {
+		return 0
+	}
+	covered := 0
+	for i := range entries {
+		e := &entries[i]
+		rank := 0
+		for _, other := range dict.Lookup(e.StrokeSeq) {
+			if other.Frequency > e.Frequency {
+				rank++
+			}
+		}
+		if rank < k {
+			covered++
+		}
+	}
+	return float64(covered) / float64(len(entries))
+}
+
+// AmbiguityCost scores a grouping: expected rank of a word within its
+// collision class, frequency-weighted — lower is better for top-1
+// recognition.
+func AmbiguityCost(scheme *stroke.Scheme, words []string) (float64, error) {
+	dict, err := lexicon.NewDictionary(scheme, words)
+	if err != nil {
+		return 0, err
+	}
+	entries := dict.Entries()
+	var cost, mass float64
+	for i := range entries {
+		e := &entries[i]
+		rank := 0
+		for _, other := range dict.Lookup(e.StrokeSeq) {
+			if other.Frequency > e.Frequency {
+				rank++
+			}
+		}
+		w := dict.Prior(e)
+		cost += w * float64(rank)
+		mass += w
+	}
+	if mass == 0 {
+		return 0, fmt.Errorf("schemeopt: empty dictionary")
+	}
+	return cost / mass, nil
+}
+
+// Optimize greedily improves a letter grouping: starting from base, it
+// repeatedly tries moving each letter to each other stroke group and
+// keeps the move that most reduces AmbiguityCost, stopping when no move
+// helps or maxMoves is reached. Groups are never emptied (each stroke
+// must keep at least one letter so the gesture stays meaningful).
+func Optimize(base *stroke.Scheme, words []string, maxMoves int) (*stroke.Scheme, float64, error) {
+	if base == nil {
+		return nil, 0, fmt.Errorf("schemeopt: nil base scheme")
+	}
+	if maxMoves <= 0 {
+		maxMoves = 10
+	}
+	groups := make(map[stroke.Stroke][]rune, stroke.NumStrokes)
+	for _, s := range stroke.AllStrokes() {
+		groups[s] = append([]rune(nil), base.Letters(s)...)
+	}
+	toScheme := func() (*stroke.Scheme, error) {
+		m := make(map[stroke.Stroke]string, stroke.NumStrokes)
+		for s, ls := range groups {
+			m[s] = string(ls)
+		}
+		return stroke.NewScheme(m)
+	}
+	cur, err := toScheme()
+	if err != nil {
+		return nil, 0, err
+	}
+	curCost, err := AmbiguityCost(cur, words)
+	if err != nil {
+		return nil, 0, err
+	}
+	for move := 0; move < maxMoves; move++ {
+		type candidate struct {
+			letter   rune
+			from, to stroke.Stroke
+			cost     float64
+		}
+		best := candidate{cost: curCost}
+		improved := false
+		for from, letters := range groups {
+			if len(letters) <= 1 {
+				continue
+			}
+			for _, l := range letters {
+				for _, to := range stroke.AllStrokes() {
+					if to == from {
+						continue
+					}
+					moveLetter(groups, l, from, to)
+					sc, err := toScheme()
+					if err == nil {
+						if c, err := AmbiguityCost(sc, words); err == nil && c < best.cost-1e-12 {
+							best = candidate{letter: l, from: from, to: to, cost: c}
+							improved = true
+						}
+					}
+					moveLetter(groups, l, to, from) // undo
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+		moveLetter(groups, best.letter, best.from, best.to)
+		curCost = best.cost
+	}
+	out, err := toScheme()
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, curCost, nil
+}
+
+func moveLetter(groups map[stroke.Stroke][]rune, l rune, from, to stroke.Stroke) {
+	src := groups[from]
+	for i, r := range src {
+		if r == l {
+			groups[from] = append(append([]rune(nil), src[:i]...), src[i+1:]...)
+			break
+		}
+	}
+	groups[to] = append(groups[to], l)
+}

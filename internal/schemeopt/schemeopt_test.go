@@ -1,0 +1,147 @@
+package schemeopt
+
+import (
+	"testing"
+
+	"repro/internal/lexicon"
+	"repro/internal/stroke"
+)
+
+func templates(t *testing.T) *stroke.TemplateSet {
+	t.Helper()
+	ts, err := stroke.NewTemplateSet(stroke.DefaultTemplateConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts
+}
+
+func TestCheckDefaultSchemePasses(t *testing.T) {
+	rep, err := Check(stroke.DefaultScheme(), lexicon.DefaultWords(), templates(t), Thresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK {
+		t.Errorf("default scheme rejected: %v", rep.Reasons)
+	}
+	if rep.MinTemplateDistance <= 0 {
+		t.Error("template distance not computed")
+	}
+	if rep.TightestPair == "" {
+		t.Error("tightest pair missing")
+	}
+	if rep.TopKCoverage <= 0.9 {
+		t.Errorf("top-k coverage %g unexpectedly low", rep.TopKCoverage)
+	}
+}
+
+func TestCheckRejectsDegenerateGrouping(t *testing.T) {
+	// Everything on one stroke except five singletons: ambiguity explodes.
+	bad, err := stroke.NewScheme(map[stroke.Stroke]string{
+		stroke.S1: "ABCDEFGHIJKLMNOPQRSTU",
+		stroke.S2: "V", stroke.S3: "W", stroke.S4: "X",
+		stroke.S5: "Y", stroke.S6: "Z",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Check(bad, lexicon.DefaultWords(), templates(t), Thresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK {
+		t.Error("degenerate grouping accepted")
+	}
+	if len(rep.Reasons) == 0 {
+		t.Error("no reasons reported")
+	}
+}
+
+func TestCheckNilInputs(t *testing.T) {
+	if _, err := Check(nil, nil, templates(t), Thresholds{}); err == nil {
+		t.Error("nil scheme accepted")
+	}
+	if _, err := Check(stroke.DefaultScheme(), lexicon.DefaultWords(), nil, Thresholds{}); err == nil {
+		t.Error("nil templates accepted")
+	}
+}
+
+func TestAmbiguityCostOrdersSchemes(t *testing.T) {
+	words := lexicon.DefaultWords()
+	good, err := AmbiguityCost(stroke.DefaultScheme(), words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := stroke.NewScheme(map[stroke.Stroke]string{
+		stroke.S1: "ABCDEFGHIJKLMNOPQRSTU",
+		stroke.S2: "V", stroke.S3: "W", stroke.S4: "X",
+		stroke.S5: "Y", stroke.S6: "Z",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	badCost, err := AmbiguityCost(bad, words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if badCost <= good {
+		t.Errorf("degenerate scheme cost %g not worse than default %g", badCost, good)
+	}
+}
+
+func TestOptimizeImprovesBadScheme(t *testing.T) {
+	words := lexicon.DefaultWords()
+	bad, err := stroke.NewScheme(map[stroke.Stroke]string{
+		stroke.S1: "ABCDEFGHIJKLMNOP",
+		stroke.S2: "QRSTUV",
+		stroke.S3: "W", stroke.S4: "X", stroke.S5: "Y", stroke.S6: "Z",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := AmbiguityCost(bad, words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, after, err := Optimize(bad, words, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after >= before {
+		t.Errorf("optimizer made no progress: %g → %g", before, after)
+	}
+	// The optimized scheme is still a valid alphabet partition.
+	total := 0
+	for _, s := range stroke.AllStrokes() {
+		n := len(opt.Letters(s))
+		if n == 0 {
+			t.Errorf("optimizer emptied group %v", s)
+		}
+		total += n
+	}
+	if total != 26 {
+		t.Errorf("optimized scheme covers %d letters", total)
+	}
+}
+
+func TestOptimizeIdempotentNearOptimum(t *testing.T) {
+	// One more pass over an already-optimized scheme should change little.
+	words := lexicon.DefaultWords()
+	opt1, c1, err := Optimize(stroke.DefaultScheme(), words, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, c2, err := Optimize(opt1, words, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2 > c1+1e-12 {
+		t.Errorf("second pass worsened cost: %g → %g", c1, c2)
+	}
+}
+
+func TestOptimizeNilBase(t *testing.T) {
+	if _, _, err := Optimize(nil, lexicon.DefaultWords(), 3); err == nil {
+		t.Error("nil base accepted")
+	}
+}

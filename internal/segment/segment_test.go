@@ -1,0 +1,241 @@
+package segment
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// bell synthesizes a positive Doppler bell of the given peak and width
+// starting at frame start, resembling one stroke.
+func bell(profile []float64, start, width int, peak float64) {
+	for i := 0; i < width; i++ {
+		x := float64(i) / float64(width-1)
+		profile[start+i] += peak * math.Sin(math.Pi*x) * math.Sin(math.Pi*x)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultConfig()
+	bad.StartThreshold = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero β accepted")
+	}
+	bad = DefaultConfig()
+	bad.EndThreshold = bad.StartThreshold * 2
+	if err := bad.Validate(); err == nil {
+		t.Error("γ > β accepted")
+	}
+	bad = DefaultConfig()
+	bad.EndRun = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero end run accepted")
+	}
+}
+
+func TestDetectEmptyAndFlat(t *testing.T) {
+	segs, err := Detect(nil, DefaultConfig())
+	if err != nil || len(segs) != 0 {
+		t.Errorf("nil profile: %v, %v", segs, err)
+	}
+	flat := make([]float64, 100)
+	segs, err = Detect(flat, DefaultConfig())
+	if err != nil || len(segs) != 0 {
+		t.Errorf("flat profile: %v, %v", segs, err)
+	}
+}
+
+func TestDetectSingleStroke(t *testing.T) {
+	profile := make([]float64, 80)
+	bell(profile, 20, 14, 100)
+	segs, err := Detect(profile, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 {
+		t.Fatalf("found %d segments, want 1: %v", len(segs), segs)
+	}
+	s := segs[0]
+	if s.Start < 16 || s.Start > 23 {
+		t.Errorf("start = %d, want ≈20", s.Start)
+	}
+	if s.End < 30 || s.End > 46 {
+		t.Errorf("end = %d, want ≈34", s.End)
+	}
+}
+
+func TestDetectTwoStrokes(t *testing.T) {
+	profile := make([]float64, 140)
+	bell(profile, 20, 14, 110)
+	bell(profile, 80, 14, -120)
+	segs, err := Detect(profile, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 2 {
+		t.Fatalf("found %d segments, want 2: %v", len(segs), segs)
+	}
+	if segs[0].End >= segs[1].Start {
+		t.Errorf("segments overlap: %v", segs)
+	}
+}
+
+func TestDetectIgnoresSlowDrift(t *testing.T) {
+	// A walking bystander: large but slowly varying shift (acceleration
+	// below β) must not segment.
+	profile := make([]float64, 300)
+	for i := range profile {
+		profile[i] = 70 * math.Sin(2*math.Pi*float64(i)/260)
+	}
+	segs, err := Detect(profile, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 0 {
+		t.Errorf("slow drift segmented: %v", segs)
+	}
+}
+
+func TestDetectStrokeAmidDrift(t *testing.T) {
+	// A stroke superimposed on slow drift should still be found.
+	profile := make([]float64, 200)
+	for i := range profile {
+		profile[i] = 12 * math.Sin(2*math.Pi*float64(i)/180)
+	}
+	bell(profile, 90, 12, 130)
+	segs, err := Detect(profile, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 {
+		t.Fatalf("found %d segments, want 1: %v", len(segs), segs)
+	}
+	if segs[0].Start < 80 || segs[0].Start > 95 {
+		t.Errorf("start = %d, want ≈90", segs[0].Start)
+	}
+}
+
+func TestDetectRespectsMinFrames(t *testing.T) {
+	profile := make([]float64, 60)
+	// A 3-frame blip with a huge jump. The detected segment includes the
+	// quiet-run margin around the blip (roughly EndRun frames), so the
+	// gate must exceed that to reject it.
+	profile[20], profile[21], profile[22] = 100, 120, 100
+	cfg := DefaultConfig()
+	cfg.MinFrames = 14
+	segs, err := Detect(profile, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 0 {
+		t.Errorf("blip segmented: %v", segs)
+	}
+}
+
+func TestDetectTruncatesAtMaxFrames(t *testing.T) {
+	// A never-ending oscillation gets chopped at MaxFrames.
+	profile := make([]float64, 400)
+	for i := range profile {
+		profile[i] = 100 * math.Sin(2*math.Pi*float64(i)/16)
+	}
+	cfg := DefaultConfig()
+	cfg.MaxFrames = 50
+	segs, err := Detect(profile, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) == 0 {
+		t.Fatal("no segments found")
+	}
+	for _, s := range segs {
+		if s.Len() > 50 {
+			t.Errorf("segment %v longer than MaxFrames", s)
+		}
+	}
+}
+
+func TestSegmentsDisjointOrderedProperty(t *testing.T) {
+	// Property: detected segments are disjoint, ordered, in bounds.
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 17))
+		profile := make([]float64, 250)
+		n := rng.IntN(4)
+		pos := 15
+		for i := 0; i < n && pos < 200; i++ {
+			w := 10 + rng.IntN(10)
+			peak := (60 + rng.Float64()*80) * float64(1-2*rng.IntN(2))
+			bell(profile, pos, w, peak)
+			pos += w + 15 + rng.IntN(30)
+		}
+		segs, err := Detect(profile, DefaultConfig())
+		if err != nil {
+			return false
+		}
+		prevEnd := -1
+		for _, s := range segs {
+			if s.Start < 0 || s.End >= len(profile) || s.Start > s.End {
+				return false
+			}
+			if s.Start <= prevEnd {
+				return false
+			}
+			prevEnd = s.End
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSlice(t *testing.T) {
+	p := []float64{0, 1, 2, 3, 4}
+	s, err := Slice(p, Segment{Start: 1, End: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 3 || s[0] != 1 || s[2] != 3 {
+		t.Errorf("slice = %v", s)
+	}
+	for _, bad := range []Segment{{-1, 2}, {0, 5}, {3, 2}} {
+		if _, err := Slice(p, bad); err == nil {
+			t.Errorf("segment %v accepted", bad)
+		}
+	}
+}
+
+func TestDetectEnergyBaseline(t *testing.T) {
+	profile := make([]float64, 100)
+	bell(profile, 20, 14, 100)
+	segs := DetectEnergy(profile, 25, 4)
+	if len(segs) != 1 {
+		t.Fatalf("energy baseline found %d segments, want 1", len(segs))
+	}
+	// The baseline's known weakness: slow drift above the threshold is
+	// segmented as if it were a stroke.
+	drift := make([]float64, 300)
+	for i := range drift {
+		drift[i] = 70 * math.Sin(2*math.Pi*float64(i)/260)
+	}
+	if segs := DetectEnergy(drift, 25, 4); len(segs) == 0 {
+		t.Error("energy baseline unexpectedly rejected drift — it should be fooled")
+	}
+	// Trailing active region is closed at the profile end.
+	tail := make([]float64, 30)
+	for i := 20; i < 30; i++ {
+		tail[i] = 50
+	}
+	if segs := DetectEnergy(tail, 25, 4); len(segs) != 1 || segs[0].End != 29 {
+		t.Errorf("tail handling wrong: %v", segs)
+	}
+}
+
+func TestSegmentLen(t *testing.T) {
+	if (Segment{Start: 3, End: 7}).Len() != 5 {
+		t.Error("Len wrong")
+	}
+}

@@ -1,0 +1,84 @@
+package stroke
+
+import (
+	"fmt"
+	"unicode"
+)
+
+// decompositions writes each uppercase letter as a sequence of the six
+// basic strokes in natural writing order — the paper's Fig. 2(a) idea
+// (after the kids'-handwriting stroke-order charts it cites). The exact
+// figure is not machine-readable in the source; this table follows
+// conventional stroke order with the shape mapping:
+//
+//	S1 horizontal bar, S2 vertical bar, S3 diagonal, S4 bar+loop
+//	(the B/P/R bowl), S5 open curve (C bowl), S6 hook (J/U tail).
+var decompositions = map[rune]Sequence{
+	'A': {S3, S3, S1},
+	'B': {S2, S4, S4},
+	'C': {S5},
+	'D': {S2, S4},
+	'E': {S2, S1, S1, S1},
+	'F': {S2, S1, S1},
+	'G': {S5, S1},
+	'H': {S2, S2, S1},
+	'I': {S2},
+	'J': {S6},
+	'K': {S2, S3, S3},
+	'L': {S2, S1},
+	'M': {S2, S3, S3, S2},
+	'N': {S2, S3, S2},
+	'O': {S5, S5},
+	'P': {S2, S4},
+	'Q': {S5, S5, S3},
+	'R': {S2, S4, S3},
+	'S': {S5, S5},
+	'T': {S1, S2},
+	'U': {S6, S2},
+	'V': {S3, S3},
+	'W': {S3, S3, S3, S3},
+	'X': {S3, S3},
+	'Y': {S3, S3, S2},
+	'Z': {S1, S3, S1},
+}
+
+// Decompose returns the basic-stroke decomposition of an uppercase
+// English letter in natural writing order (case-insensitive).
+func Decompose(r rune) (Sequence, error) {
+	r = unicode.ToUpper(r)
+	seq, ok := decompositions[r]
+	if !ok {
+		return nil, fmt.Errorf("stroke: no decomposition for %q", r)
+	}
+	return append(Sequence(nil), seq...), nil
+}
+
+// SchemeConsistency verifies the paper's stated design principle for a
+// scheme: every letter's assigned stroke appears among the first two
+// strokes of its natural decomposition ("grouping letters according to
+// their first or second strokes", §II-A). It returns the letters that
+// violate the principle.
+func SchemeConsistency(sc *Scheme) ([]rune, error) {
+	if sc == nil {
+		return nil, fmt.Errorf("stroke: nil scheme")
+	}
+	var violations []rune
+	for r := 'A'; r <= 'Z'; r++ {
+		assigned, err := sc.StrokeFor(r)
+		if err != nil {
+			return nil, err
+		}
+		dec, err := Decompose(r)
+		if err != nil {
+			return nil, err
+		}
+		ok := dec[0] == assigned
+		if !ok && len(dec) > 1 {
+			ok = dec[1] == assigned
+		}
+		if !ok {
+			violations = append(violations, r)
+		}
+	}
+	return violations, nil
+}

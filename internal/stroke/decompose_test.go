@@ -1,0 +1,71 @@
+package stroke
+
+import "testing"
+
+func TestDecomposeCoversAlphabet(t *testing.T) {
+	for r := 'A'; r <= 'Z'; r++ {
+		seq, err := Decompose(r)
+		if err != nil {
+			t.Fatalf("Decompose(%q): %v", r, err)
+		}
+		if len(seq) == 0 || len(seq) > 4 {
+			t.Errorf("%q decomposes into %d strokes", r, len(seq))
+		}
+		for _, s := range seq {
+			if !s.Valid() {
+				t.Errorf("%q contains invalid stroke %v", r, s)
+			}
+		}
+	}
+}
+
+func TestDecomposeCaseInsensitiveAndCopies(t *testing.T) {
+	lower, err := Decompose('a')
+	if err != nil {
+		t.Fatal(err)
+	}
+	upper, err := Decompose('A')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lower.Equal(upper) {
+		t.Error("case sensitivity in Decompose")
+	}
+	// The returned slice is a copy: mutating it must not poison the table.
+	lower[0] = S6
+	again, err := Decompose('A')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[0] == S6 {
+		t.Error("Decompose returned aliased storage")
+	}
+}
+
+func TestDecomposeUnknownRune(t *testing.T) {
+	if _, err := Decompose('3'); err == nil {
+		t.Error("digit accepted")
+	}
+	if _, err := Decompose('ß'); err == nil {
+		t.Error("non-English letter accepted")
+	}
+}
+
+func TestDefaultSchemeFollowsFirstOrSecondStroke(t *testing.T) {
+	// The paper's §II-A design principle, checked mechanically: every
+	// letter's group stroke is the first or second stroke of its natural
+	// decomposition.
+	violations, err := SchemeConsistency(DefaultScheme())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) != 0 {
+		t.Errorf("letters violating the first-or-second-stroke principle: %q", violations)
+	}
+}
+
+func TestSchemeConsistencyNil(t *testing.T) {
+	if _, err := SchemeConsistency(nil); err == nil {
+		t.Error("nil scheme accepted")
+	}
+}

@@ -1,0 +1,44 @@
+package stroke_test
+
+import (
+	"fmt"
+
+	"repro/internal/stroke"
+)
+
+func ExampleScheme_Encode() {
+	scheme := stroke.DefaultScheme()
+	seq, err := scheme.Encode("time")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(seq)
+	// Output: S1-S2-S2-S1
+}
+
+func ExampleScheme_Letters() {
+	scheme := stroke.DefaultScheme()
+	fmt.Println(string(scheme.Letters(stroke.S6)))
+	// Output: JU
+}
+
+func ExampleDecompose() {
+	seq, err := stroke.Decompose('T')
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(seq)
+	// Output: S1-S2
+}
+
+func ExampleParseSequenceKey() {
+	seq, err := stroke.ParseSequenceKey("251")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(seq)
+	// Output: S2-S5-S1
+}

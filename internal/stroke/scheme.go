@@ -1,0 +1,116 @@
+package stroke
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Scheme is a letter→stroke input scheme: a many-to-one assignment of the
+// 26 uppercase English letters onto the six strokes, T9-style. The default
+// scheme groups letters by the first (or, for crowded groups, second)
+// stroke of their natural uppercase writing order, the paper's stated
+// design principle.
+type Scheme struct {
+	letterToStroke [26]Stroke
+	strokeLetters  [NumStrokes][]rune
+}
+
+// DefaultSchemeGroups is the grouping used by the default scheme. The
+// paper's Fig. 3 is not machine-readable in the source text, so this
+// grouping re-derives it from the two stated principles (see DESIGN.md §4).
+var DefaultSchemeGroups = map[Stroke]string{
+	S1: "EFTZ",
+	S2: "HIKLMN",
+	S3: "AVWXY",
+	S4: "BDPR",
+	S5: "CGOQS",
+	S6: "JU",
+}
+
+// NewScheme builds a scheme from a stroke→letters grouping. Every one of
+// the 26 letters must appear exactly once across the groups.
+func NewScheme(groups map[Stroke]string) (*Scheme, error) {
+	sc := &Scheme{}
+	seen := [26]bool{}
+	for st, letters := range groups {
+		if !st.Valid() {
+			return nil, fmt.Errorf("stroke: scheme group uses invalid stroke %d", int(st))
+		}
+		for _, r := range strings.ToUpper(letters) {
+			if r < 'A' || r > 'Z' {
+				return nil, fmt.Errorf("stroke: scheme contains non-letter %q", r)
+			}
+			i := int(r - 'A')
+			if seen[i] {
+				return nil, fmt.Errorf("stroke: letter %q assigned twice", r)
+			}
+			seen[i] = true
+			sc.letterToStroke[i] = st
+			sc.strokeLetters[st.Index()] = append(sc.strokeLetters[st.Index()], r)
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			return nil, fmt.Errorf("stroke: letter %q unassigned", rune('A'+i))
+		}
+	}
+	return sc, nil
+}
+
+// DefaultScheme returns the paper-equivalent input scheme. It never fails
+// because DefaultSchemeGroups is a complete partition; the error from
+// NewScheme is asserted away in a package test.
+func DefaultScheme() *Scheme {
+	sc, err := NewScheme(DefaultSchemeGroups)
+	if err != nil {
+		// Unreachable: DefaultSchemeGroups is validated by tests.
+		panic("stroke: invalid DefaultSchemeGroups: " + err.Error())
+	}
+	return sc
+}
+
+// StrokeFor returns the stroke assigned to letter r (case-insensitive).
+func (sc *Scheme) StrokeFor(r rune) (Stroke, error) {
+	r = unicode.ToUpper(r)
+	if r < 'A' || r > 'Z' {
+		return 0, fmt.Errorf("stroke: %q is not an English letter", r)
+	}
+	return sc.letterToStroke[r-'A'], nil
+}
+
+// Letters returns the letters assigned to stroke st, in insertion order.
+// The returned slice must not be modified.
+func (sc *Scheme) Letters(st Stroke) []rune {
+	if !st.Valid() {
+		return nil
+	}
+	return sc.strokeLetters[st.Index()]
+}
+
+// Encode converts a word into its stroke sequence, one stroke per letter.
+// The word must consist solely of English letters.
+func (sc *Scheme) Encode(word string) (Sequence, error) {
+	seq := make(Sequence, 0, len(word))
+	for _, r := range word {
+		st, err := sc.StrokeFor(r)
+		if err != nil {
+			return nil, fmt.Errorf("stroke: encoding %q: %w", word, err)
+		}
+		seq = append(seq, st)
+	}
+	if len(seq) == 0 {
+		return nil, fmt.Errorf("stroke: cannot encode empty word")
+	}
+	return seq, nil
+}
+
+// GroupSizes returns the number of letters per stroke, indexed by
+// Stroke.Index. Useful for collision statistics.
+func (sc *Scheme) GroupSizes() [NumStrokes]int {
+	var out [NumStrokes]int
+	for i, ls := range sc.strokeLetters {
+		out[i] = len(ls)
+	}
+	return out
+}

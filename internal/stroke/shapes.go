@@ -1,0 +1,161 @@
+package stroke
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// ShapeParams customize a canonical stroke trajectory for one performance.
+// The zero value means "canonical": unit scale, no offset, nominal speed.
+type ShapeParams struct {
+	// Offset translates the whole gesture (meters). Models where the user
+	// holds their hand relative to the device.
+	Offset geom.Vec3
+	// Scale multiplies the gesture's spatial extent (1 = canonical,
+	// typical human range 0.7–1.4).
+	Scale float64
+	// TimeScale multiplies the gesture duration (1 = canonical; >1 is
+	// slower). Doppler magnitude scales inversely with it.
+	TimeScale float64
+	// Jitter perturbs each waypoint by the given per-axis amplitudes
+	// (meters), using JitterSeq as the displacement values consumed in
+	// order. Supplied by participant models; empty means no jitter.
+	JitterSeq []geom.Vec3
+}
+
+func (p ShapeParams) normalize() ShapeParams {
+	if p.Scale == 0 {
+		p.Scale = 1
+	}
+	if p.TimeScale == 0 {
+		p.TimeScale = 1
+	}
+	return p
+}
+
+// waypointSpec is the canonical definition of one stroke as timed
+// waypoints around a nominal writing center ~15 cm in front of the device.
+type waypointSpec struct {
+	times  []float64
+	points []geom.Vec3
+}
+
+// canonicalShapes defines the six strokes' geometry. The radial-distance
+// pattern of each (|p(t)| relative to the device at the origin) yields its
+// Doppler-profile signature:
+//
+//	S1: approach→recede (symmetric biphasic)
+//	S2: pure approach (single bell)
+//	S3: pure recede (long single bell)
+//	S4: approach, small recede, small approach (loop tail)
+//	S5: recede then approach (reverse biphasic, rounded)
+//	S6: approach then short sharp recede (hook)
+var canonicalShapes = map[Stroke]waypointSpec{
+	S1: {
+		times:  []float64{0, 0.42},
+		points: []geom.Vec3{{X: -0.10, Y: 0.165, Z: 0.02}, {X: 0.10, Y: 0.165, Z: 0.02}},
+	},
+	S2: {
+		times:  []float64{0, 0.40},
+		points: []geom.Vec3{{X: 0, Y: 0.21, Z: 0.12}, {X: 0, Y: 0.105, Z: -0.04}},
+	},
+	S3: {
+		times:  []float64{0, 0.48},
+		points: []geom.Vec3{{X: 0, Y: 0.11, Z: 0.02}, {X: 0.13, Y: 0.215, Z: -0.10}},
+	},
+	S4: {
+		times: []float64{0, 0.35, 0.55, 0.75},
+		points: []geom.Vec3{
+			{X: 0, Y: 0.21, Z: 0.11},
+			{X: 0, Y: 0.115, Z: -0.02},
+			{X: 0.05, Y: 0.17, Z: 0.03},
+			{X: 0.03, Y: 0.12, Z: -0.01},
+		},
+	},
+	S5: {
+		times: []float64{0, 0.32, 0.68},
+		points: []geom.Vec3{
+			{X: 0.05, Y: 0.105, Z: 0.05},
+			{X: -0.03, Y: 0.23, Z: 0.00},
+			{X: 0.04, Y: 0.115, Z: -0.06},
+		},
+	},
+	S6: {
+		times: []float64{0, 0.40, 0.58},
+		points: []geom.Vec3{
+			{X: 0, Y: 0.20, Z: 0.10},
+			{X: 0, Y: 0.115, Z: -0.03},
+			{X: -0.04, Y: 0.15, Z: -0.045},
+		},
+	},
+}
+
+// CanonicalDuration returns the nominal duration in seconds of stroke s at
+// TimeScale 1.
+func CanonicalDuration(s Stroke) (float64, error) {
+	spec, ok := canonicalShapes[s]
+	if !ok {
+		return 0, fmt.Errorf("stroke: no canonical shape for %v", s)
+	}
+	return spec.times[len(spec.times)-1], nil
+}
+
+// StartPoint returns the canonical first waypoint of stroke s (unit scale,
+// no offset). Participant models use it to plan the repositioning movement
+// between strokes.
+func StartPoint(s Stroke, p ShapeParams) (geom.Vec3, error) {
+	p = p.normalize()
+	spec, ok := canonicalShapes[s]
+	if !ok {
+		return geom.Vec3{}, fmt.Errorf("stroke: no canonical shape for %v", s)
+	}
+	return scalePoint(spec.points[0], p, 0), nil
+}
+
+// EndPoint returns the canonical last waypoint of stroke s under params p
+// (ignoring jitter beyond what applies to the final waypoint).
+func EndPoint(s Stroke, p ShapeParams) (geom.Vec3, error) {
+	p = p.normalize()
+	spec, ok := canonicalShapes[s]
+	if !ok {
+		return geom.Vec3{}, fmt.Errorf("stroke: no canonical shape for %v", s)
+	}
+	i := len(spec.points) - 1
+	pt := scalePoint(spec.points[i], p, i)
+	if i < len(p.JitterSeq) {
+		pt = pt.Add(p.JitterSeq[i])
+	}
+	return pt, nil
+}
+
+// scalePoint applies scale about the writing center and then the offset.
+// The writing center is the centroid-ish reference (0, 0.15, 0): scaling a
+// gesture should grow it about where the hand hovers, not about the device.
+func scalePoint(pt geom.Vec3, p ShapeParams, _ int) geom.Vec3 {
+	center := geom.Vec3{X: 0, Y: 0.15, Z: 0}
+	scaled := center.Add(pt.Sub(center).Scale(p.Scale))
+	return scaled.Add(p.Offset)
+}
+
+// Shape builds the finger trajectory for stroke s under params p.
+func Shape(s Stroke, p ShapeParams) (geom.Trajectory, error) {
+	p = p.normalize()
+	spec, ok := canonicalShapes[s]
+	if !ok {
+		return nil, fmt.Errorf("stroke: no canonical shape for %v", s)
+	}
+	wps := make([]geom.Waypoint, len(spec.points))
+	for i, pt := range spec.points {
+		q := scalePoint(pt, p, i)
+		if i < len(p.JitterSeq) {
+			q = q.Add(p.JitterSeq[i])
+		}
+		wps[i] = geom.Waypoint{T: spec.times[i] * p.TimeScale, Pos: q}
+	}
+	tr, err := geom.NewPolyTrajectory(wps)
+	if err != nil {
+		return nil, fmt.Errorf("stroke: building %v trajectory: %w", s, err)
+	}
+	return tr, nil
+}

@@ -1,0 +1,200 @@
+package stroke
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestShapeAllStrokes(t *testing.T) {
+	for _, s := range AllStrokes() {
+		tr, err := Shape(s, ShapeParams{})
+		if err != nil {
+			t.Fatalf("Shape(%v): %v", s, err)
+		}
+		dur, err := CanonicalDuration(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(tr.Duration()-dur) > 1e-9 {
+			t.Errorf("%v duration %g != canonical %g", s, tr.Duration(), dur)
+		}
+		// The whole gesture stays within arm's reach of the device.
+		for _, tt := range []float64{0, dur * 0.25, dur * 0.5, dur * 0.75, dur} {
+			d := tr.At(tt).Norm()
+			if d < 0.05 || d > 0.6 {
+				t.Errorf("%v at t=%g is %g m from device", s, tt, d)
+			}
+		}
+	}
+	if _, err := Shape(Stroke(9), ShapeParams{}); err == nil {
+		t.Error("invalid stroke accepted")
+	}
+}
+
+func TestShapeEndpointsMatchHelpers(t *testing.T) {
+	for _, s := range AllStrokes() {
+		p := ShapeParams{Scale: 1.2, Offset: geom.Vec3{X: 0.01, Y: -0.01, Z: 0.02}}
+		tr, err := Shape(s, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		start, err := StartPoint(s, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		end, err := EndPoint(s, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.At(0).Dist(start) > 1e-9 {
+			t.Errorf("%v StartPoint mismatch", s)
+		}
+		if tr.At(tr.Duration()).Dist(end) > 1e-9 {
+			t.Errorf("%v EndPoint mismatch", s)
+		}
+	}
+}
+
+func TestShapeTimeScale(t *testing.T) {
+	tr1, err := Shape(S2, ShapeParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := Shape(S2, ShapeParams{TimeScale: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tr2.Duration()-2*tr1.Duration()) > 1e-9 {
+		t.Errorf("TimeScale 2: duration %g vs %g", tr2.Duration(), tr1.Duration())
+	}
+	// Same path endpoints regardless of speed.
+	if tr1.At(0).Dist(tr2.At(0)) > 1e-9 {
+		t.Error("TimeScale moved the start point")
+	}
+}
+
+func TestShapeScaleGrowsAboutWritingCenter(t *testing.T) {
+	center := geom.Vec3{X: 0, Y: 0.15, Z: 0}
+	small, err := StartPoint(S1, ShapeParams{Scale: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := StartPoint(S1, ShapeParams{Scale: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Sub(center).Norm() >= big.Sub(center).Norm() {
+		t.Error("scale did not grow the gesture about the writing center")
+	}
+}
+
+func TestShapeJitterApplies(t *testing.T) {
+	j := geom.Vec3{X: 0.02, Y: 0, Z: 0}
+	plain, err := StartPoint(S2, ShapeParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Shape(S2, ShapeParams{JitterSeq: []geom.Vec3{j}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.At(0); got.Dist(plain.Add(j)) > 1e-9 {
+		t.Errorf("jitter not applied to first waypoint: %v", got)
+	}
+}
+
+// TestRadialSignatures verifies each stroke produces its designed
+// Doppler-profile signature (DESIGN.md §4 / shapes.go comment), since the
+// recognizer's separability depends on it.
+func TestRadialSignatures(t *testing.T) {
+	cfg := DefaultTemplateConfig()
+	signOf := func(v float64) int {
+		const eps = 8 // Hz; ignore near-zero wiggle
+		switch {
+		case v > eps:
+			return 1
+		case v < -eps:
+			return -1
+		default:
+			return 0
+		}
+	}
+	// Expected coarse sign pattern of each stroke's profile.
+	want := map[Stroke][]int{
+		S1: {1, -1},
+		S2: {1},
+		S3: {-1},
+		S4: {1, -1, 1},
+		S5: {-1, 1},
+		S6: {1, -1},
+	}
+	for _, s := range AllStrokes() {
+		profile, err := Template(s, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var pattern []int
+		last := 0
+		for _, v := range profile {
+			sg := signOf(v)
+			if sg != 0 && sg != last {
+				pattern = append(pattern, sg)
+				last = sg
+			}
+		}
+		w := want[s]
+		if len(pattern) != len(w) {
+			t.Errorf("%v sign pattern %v, want %v", s, pattern, w)
+			continue
+		}
+		for i := range w {
+			if pattern[i] != w[i] {
+				t.Errorf("%v sign pattern %v, want %v", s, pattern, w)
+				break
+			}
+		}
+	}
+}
+
+func TestCanonicalDurationInvalid(t *testing.T) {
+	if _, err := CanonicalDuration(Stroke(0)); err == nil {
+		t.Error("invalid stroke accepted")
+	}
+	if _, err := StartPoint(Stroke(0), ShapeParams{}); err == nil {
+		t.Error("invalid stroke accepted by StartPoint")
+	}
+	if _, err := EndPoint(Stroke(0), ShapeParams{}); err == nil {
+		t.Error("invalid stroke accepted by EndPoint")
+	}
+}
+
+func TestStrokeSpeedsWithinPaperBound(t *testing.T) {
+	// The paper bounds finger speed at 4 m/s (its Δf derivation); every
+	// canonical gesture must stay well inside it, and path lengths must
+	// be hand-sized.
+	for _, s := range AllStrokes() {
+		tr, err := Shape(s, ShapeParams{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := geom.PeakSpeed(tr, 2048)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v > 4 {
+			t.Errorf("%v peak speed %.2f m/s exceeds the paper's 4 m/s bound", s, v)
+		}
+		if v < 0.3 {
+			t.Errorf("%v peak speed %.2f m/s implausibly slow", s, v)
+		}
+		l, err := geom.PathLength(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l < 0.08 || l > 0.6 {
+			t.Errorf("%v path length %.2f m outside hand-writing range", s, l)
+		}
+	}
+}

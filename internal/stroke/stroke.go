@@ -1,0 +1,114 @@
+// Package stroke defines EchoWrite's six basic writing strokes, their
+// canonical in-air trajectories, the letter→stroke input scheme (the
+// paper's Fig. 3), and the analytic Doppler-profile templates that make the
+// system training-free: because a stroke's Doppler profile is intrinsic to
+// its geometry, templates are derived from the gesture definitions
+// themselves rather than from recorded user data (§III-C).
+package stroke
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Stroke identifies one of the six basic strokes S1..S6.
+type Stroke int
+
+// The six basic strokes. Their gesture shapes are chosen so that (a) each
+// produces a unique Doppler profile and (b) the natural confusion structure
+// matches the paper's §III-C observation: S2/S4/S6 err toward S1, and S5
+// errs toward S2/S6.
+const (
+	// S1 is a horizontal swipe passing over the device (approach→recede).
+	S1 Stroke = iota + 1
+	// S2 is a vertical downward swipe toward the device (pure approach).
+	S2
+	// S3 is a long down-right diagonal across the device.
+	S3
+	// S4 is a vertical stroke followed by a rightward loop (as when
+	// writing P): approach then an oscillating tail.
+	S4
+	// S5 is an open curve (as when writing C): recede–approach–recede.
+	S5
+	// S6 is a down-hook (as when writing J): approach then a hooked
+	// recede.
+	S6
+)
+
+// NumStrokes is the size of the stroke alphabet.
+const NumStrokes = 6
+
+// AllStrokes lists the strokes in order, for iteration.
+func AllStrokes() []Stroke {
+	return []Stroke{S1, S2, S3, S4, S5, S6}
+}
+
+// Valid reports whether s is one of the six defined strokes.
+func (s Stroke) Valid() bool { return s >= S1 && s <= S6 }
+
+// Index returns the zero-based index of the stroke (S1→0 … S6→5). It
+// panics on invalid strokes; use Valid first for untrusted input.
+func (s Stroke) Index() int {
+	if !s.Valid() {
+		panic(fmt.Sprintf("stroke: invalid stroke %d", int(s)))
+	}
+	return int(s) - 1
+}
+
+// String implements fmt.Stringer ("S1".."S6").
+func (s Stroke) String() string {
+	if !s.Valid() {
+		return fmt.Sprintf("Stroke(%d)", int(s))
+	}
+	return fmt.Sprintf("S%d", int(s))
+}
+
+// Sequence is an ordered list of strokes, e.g. the encoding of a word.
+type Sequence []Stroke
+
+// String renders a sequence as "S2-S5-S1".
+func (q Sequence) String() string {
+	parts := make([]string, len(q))
+	for i, s := range q {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, "-")
+}
+
+// Equal reports element-wise equality.
+func (q Sequence) Equal(other Sequence) bool {
+	if len(q) != len(other) {
+		return false
+	}
+	for i := range q {
+		if q[i] != other[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a compact map key for the sequence ("253…", one digit per
+// stroke).
+func (q Sequence) Key() string {
+	var b strings.Builder
+	b.Grow(len(q))
+	for _, s := range q {
+		b.WriteByte(byte('0' + int(s)))
+	}
+	return b.String()
+}
+
+// ParseSequenceKey inverts Sequence.Key.
+func ParseSequenceKey(key string) (Sequence, error) {
+	q := make(Sequence, 0, len(key))
+	for i := 0; i < len(key); i++ {
+		d := int(key[i] - '0')
+		s := Stroke(d)
+		if !s.Valid() {
+			return nil, fmt.Errorf("stroke: invalid sequence key char %q at %d", key[i], i)
+		}
+		q = append(q, s)
+	}
+	return q, nil
+}

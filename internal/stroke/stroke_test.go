@@ -1,0 +1,203 @@
+package stroke
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStrokeValidity(t *testing.T) {
+	for _, s := range AllStrokes() {
+		if !s.Valid() {
+			t.Errorf("%v reported invalid", s)
+		}
+	}
+	for _, s := range []Stroke{0, 7, -1} {
+		if s.Valid() {
+			t.Errorf("Stroke(%d) reported valid", int(s))
+		}
+	}
+}
+
+func TestStrokeIndexAndString(t *testing.T) {
+	if S1.Index() != 0 || S6.Index() != 5 {
+		t.Error("Index mapping wrong")
+	}
+	if S3.String() != "S3" {
+		t.Errorf("String = %q", S3.String())
+	}
+	if got := Stroke(9).String(); got != "Stroke(9)" {
+		t.Errorf("invalid String = %q", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Index on invalid stroke did not panic")
+		}
+	}()
+	_ = Stroke(0).Index()
+}
+
+func TestAllStrokesCount(t *testing.T) {
+	if len(AllStrokes()) != NumStrokes {
+		t.Fatalf("AllStrokes has %d entries, want %d", len(AllStrokes()), NumStrokes)
+	}
+}
+
+func TestSequenceStringAndEqual(t *testing.T) {
+	q := Sequence{S2, S5, S1}
+	if q.String() != "S2-S5-S1" {
+		t.Errorf("String = %q", q.String())
+	}
+	if !q.Equal(Sequence{S2, S5, S1}) {
+		t.Error("Equal(false negative)")
+	}
+	if q.Equal(Sequence{S2, S5}) {
+		t.Error("Equal ignored length")
+	}
+	if q.Equal(Sequence{S2, S5, S2}) {
+		t.Error("Equal ignored content")
+	}
+}
+
+func TestSequenceKeyRoundTripProperty(t *testing.T) {
+	// Property: ParseSequenceKey(q.Key()) == q.
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		q := make(Sequence, 0, len(raw))
+		for _, b := range raw {
+			q = append(q, Stroke(int(b%NumStrokes)+1))
+		}
+		back, err := ParseSequenceKey(q.Key())
+		return err == nil && back.Equal(q)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseSequenceKeyRejectsBadChars(t *testing.T) {
+	for _, key := range []string{"0", "7", "12a", "129"} {
+		if _, err := ParseSequenceKey(key); err == nil {
+			t.Errorf("key %q accepted", key)
+		}
+	}
+}
+
+func TestDefaultSchemeCoversAlphabet(t *testing.T) {
+	sc := DefaultScheme()
+	counts := sc.GroupSizes()
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total != 26 {
+		t.Fatalf("scheme covers %d letters, want 26", total)
+	}
+	for r := 'A'; r <= 'Z'; r++ {
+		st, err := sc.StrokeFor(r)
+		if err != nil {
+			t.Fatalf("StrokeFor(%q): %v", r, err)
+		}
+		if !st.Valid() {
+			t.Fatalf("StrokeFor(%q) = %v", r, st)
+		}
+		// The stroke's letter group must contain the letter.
+		found := false
+		for _, l := range sc.Letters(st) {
+			if l == r {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("letter %q missing from its group %v", r, st)
+		}
+	}
+}
+
+func TestStrokeForCaseInsensitive(t *testing.T) {
+	sc := DefaultScheme()
+	upper, err := sc.StrokeFor('E')
+	if err != nil {
+		t.Fatal(err)
+	}
+	lower, err := sc.StrokeFor('e')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if upper != lower {
+		t.Error("case sensitivity in StrokeFor")
+	}
+	if _, err := sc.StrokeFor('3'); err == nil {
+		t.Error("digit accepted")
+	}
+}
+
+func TestNewSchemeValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		groups map[Stroke]string
+	}{
+		{"duplicate letter", map[Stroke]string{S1: "AB", S2: "BCDEFGHIJKLMNOPQRSTUVWXYZ"}},
+		{"missing letter", map[Stroke]string{S1: "ABCDEFGHIJKLMNOPQRSTUVWXY"}},
+		{"invalid stroke", map[Stroke]string{Stroke(9): "ABCDEFGHIJKLMNOPQRSTUVWXYZ"}},
+		{"non letter", map[Stroke]string{S1: "ABCDEFGHIJKLMNOPQRSTUVWXY1"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewScheme(tc.groups); err == nil {
+				t.Error("invalid scheme accepted")
+			}
+		})
+	}
+}
+
+func TestEncode(t *testing.T) {
+	sc := DefaultScheme()
+	seq, err := sc.Encode("tea")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != 3 {
+		t.Fatalf("encoded length %d, want 3", len(seq))
+	}
+	// T→S1, E→S1, A→S3 under the default grouping.
+	want := Sequence{S1, S1, S3}
+	if !seq.Equal(want) {
+		t.Errorf("Encode(tea) = %v, want %v", seq, want)
+	}
+	if _, err := sc.Encode(""); err == nil {
+		t.Error("empty word accepted")
+	}
+	if _, err := sc.Encode("a1b"); err == nil {
+		t.Error("word with digit accepted")
+	}
+}
+
+func TestEncodeMatchesStrokeForProperty(t *testing.T) {
+	// Property: Encode(word)[i] == StrokeFor(word[i]).
+	sc := DefaultScheme()
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 || len(raw) > 24 {
+			return true
+		}
+		word := make([]rune, len(raw))
+		for i, b := range raw {
+			word[i] = rune('a' + int(b%26))
+		}
+		seq, err := sc.Encode(string(word))
+		if err != nil {
+			return false
+		}
+		for i, r := range word {
+			st, err := sc.StrokeFor(r)
+			if err != nil || seq[i] != st {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,104 @@
+package stroke
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// TemplateConfig controls analytic Doppler-profile template generation.
+type TemplateConfig struct {
+	// CarrierHz is the probe tone frequency f0 (paper: 20 kHz).
+	CarrierHz float64
+	// SoundSpeed is the speed of sound in m/s (paper: 340).
+	SoundSpeed float64
+	// FrameRate is the spectrogram frame rate in Hz (sample rate / hop;
+	// paper: 44100/1024 ≈ 43.07).
+	FrameRate float64
+}
+
+// DefaultTemplateConfig matches the paper's parameters.
+func DefaultTemplateConfig() TemplateConfig {
+	return TemplateConfig{CarrierHz: 20000, SoundSpeed: 340, FrameRate: 44100.0 / 1024.0}
+}
+
+// Validate checks config sanity.
+func (c TemplateConfig) Validate() error {
+	if c.CarrierHz <= 0 {
+		return fmt.Errorf("stroke: carrier frequency must be positive, got %g", c.CarrierHz)
+	}
+	if c.SoundSpeed <= 0 {
+		return fmt.Errorf("stroke: sound speed must be positive, got %g", c.SoundSpeed)
+	}
+	if c.FrameRate <= 0 {
+		return fmt.Errorf("stroke: frame rate must be positive, got %g", c.FrameRate)
+	}
+	return nil
+}
+
+// Template computes the analytic Doppler-shift profile (Hz per frame tick)
+// of stroke s: the frequency offset from the carrier an ideal echo from the
+// canonical trajectory would exhibit. Positive values mean the finger
+// approaches the device (compressed echo, higher frequency).
+//
+// Because the profile derives from the gesture's geometry alone — not from
+// any user's recordings — matching against these templates is what makes
+// EchoWrite training-free.
+func Template(s Stroke, cfg TemplateConfig) ([]float64, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	tr, err := Shape(s, ShapeParams{})
+	if err != nil {
+		return nil, err
+	}
+	return ProfileOf(tr, cfg), nil
+}
+
+// ProfileOf samples the Doppler-shift profile of an arbitrary trajectory at
+// the configured frame rate: Δf(t) = −2·f0·v_r(t)/c where v_r is the radial
+// speed relative to the device at the origin (Eq. 3 of the paper, with the
+// factor 2 from the reflected round trip).
+func ProfileOf(tr geom.Trajectory, cfg TemplateConfig) []float64 {
+	n := int(tr.Duration()*cfg.FrameRate) + 1
+	out := make([]float64, n)
+	dt := 1 / cfg.FrameRate
+	for i := range out {
+		t := float64(i) * dt
+		vr := geom.RadialSpeed(tr, geom.Vec3{}, t, dt/4)
+		out[i] = -2 * cfg.CarrierHz * vr / cfg.SoundSpeed
+	}
+	return out
+}
+
+// TemplateSet holds one analytic profile per stroke, ready for DTW
+// matching.
+type TemplateSet struct {
+	cfg      TemplateConfig
+	profiles [NumStrokes][]float64
+}
+
+// NewTemplateSet generates all six templates under cfg.
+func NewTemplateSet(cfg TemplateConfig) (*TemplateSet, error) {
+	ts := &TemplateSet{cfg: cfg}
+	for _, s := range AllStrokes() {
+		p, err := Template(s, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("stroke: template for %v: %w", s, err)
+		}
+		ts.profiles[s.Index()] = p
+	}
+	return ts, nil
+}
+
+// Profile returns the template profile for stroke s. The returned slice
+// must not be modified.
+func (ts *TemplateSet) Profile(s Stroke) []float64 {
+	if !s.Valid() {
+		return nil
+	}
+	return ts.profiles[s.Index()]
+}
+
+// Config returns the generation parameters.
+func (ts *TemplateSet) Config() TemplateConfig { return ts.cfg }

@@ -1,0 +1,141 @@
+package stroke
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestTemplateConfigValidate(t *testing.T) {
+	good := DefaultTemplateConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	cases := []TemplateConfig{
+		{CarrierHz: 0, SoundSpeed: 340, FrameRate: 43},
+		{CarrierHz: 20000, SoundSpeed: 0, FrameRate: 43},
+		{CarrierHz: 20000, SoundSpeed: 340, FrameRate: 0},
+	}
+	for i, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestTemplateShiftMagnitudePhysical(t *testing.T) {
+	cfg := DefaultTemplateConfig()
+	for _, s := range AllStrokes() {
+		profile, err := Template(s, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(profile) < 5 {
+			t.Fatalf("%v template only %d frames", s, len(profile))
+		}
+		peak := 0.0
+		for _, v := range profile {
+			if a := math.Abs(v); a > peak {
+				peak = a
+			}
+		}
+		// Finger speeds are well under 4 m/s, so |Δf| < 2·f0·4/340 ≈ 470
+		// Hz; and a real stroke must move, so the peak should exceed
+		// ~25 Hz (S1, the gentlest gesture, peaks near 27 Hz).
+		if peak < 24 || peak > 470 {
+			t.Errorf("%v peak shift %g Hz outside plausible range", s, peak)
+		}
+		// Endpoints are near zero (strokes start and end at rest).
+		if math.Abs(profile[0]) > 15 || math.Abs(profile[len(profile)-1]) > 15 {
+			t.Errorf("%v profile endpoints %g, %g not near rest", s, profile[0], profile[len(profile)-1])
+		}
+	}
+}
+
+func TestTemplateDopplerSignConvention(t *testing.T) {
+	// A trajectory moving straight toward the device must give a positive
+	// shift.
+	cfg := DefaultTemplateConfig()
+	tr, err := geom.NewPolyTrajectory([]geom.Waypoint{
+		{T: 0, Pos: geom.Vec3{Y: 0.3}},
+		{T: 0.5, Pos: geom.Vec3{Y: 0.1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile := ProfileOf(tr, cfg)
+	mid := profile[len(profile)/2]
+	if mid <= 0 {
+		t.Errorf("approaching finger mid-shift = %g, want positive", mid)
+	}
+	// Physical magnitude check: Δd = 0.2 m over 0.5 s, min-jerk peak
+	// speed 0.75 m/s → Δf = 2·20000·0.75/340 ≈ 88 Hz.
+	if math.Abs(mid-88) > 6 {
+		t.Errorf("mid shift = %g Hz, want ≈88", mid)
+	}
+}
+
+func TestTemplateSet(t *testing.T) {
+	ts, err := NewTemplateSet(DefaultTemplateConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range AllStrokes() {
+		if len(ts.Profile(s)) == 0 {
+			t.Errorf("missing profile for %v", s)
+		}
+	}
+	if ts.Profile(Stroke(0)) != nil {
+		t.Error("invalid stroke returned a profile")
+	}
+	if ts.Config().CarrierHz != 20000 {
+		t.Error("Config not preserved")
+	}
+}
+
+func TestTemplatesAreDistinct(t *testing.T) {
+	// Training-free recognition requires mutually distinguishable
+	// templates: pairwise mean absolute difference must be well above
+	// zero.
+	ts, err := NewTemplateSet(DefaultTemplateConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := AllStrokes()
+	for i := 0; i < len(all); i++ {
+		for j := i + 1; j < len(all); j++ {
+			a, b := ts.Profile(all[i]), ts.Profile(all[j])
+			n := len(a)
+			if len(b) > n {
+				n = len(b)
+			}
+			at := func(p []float64, k int) float64 {
+				if k < len(p) {
+					return p[k]
+				}
+				return 0 // shorter stroke has ended: finger at rest
+			}
+			diff := 0.0
+			for k := 0; k < n; k++ {
+				diff += math.Abs(at(a, k) - at(b, k))
+			}
+			diff /= float64(n)
+			if diff < 10 {
+				t.Errorf("%v vs %v mean abs diff %g Hz — too similar", all[i], all[j], diff)
+			}
+		}
+	}
+}
+
+func TestTemplateInvalidInputs(t *testing.T) {
+	if _, err := Template(S1, TemplateConfig{}); err == nil {
+		t.Error("zero config accepted")
+	}
+	if _, err := Template(Stroke(0), DefaultTemplateConfig()); err == nil {
+		t.Error("invalid stroke accepted")
+	}
+	if _, err := NewTemplateSet(TemplateConfig{}); err == nil {
+		t.Error("NewTemplateSet accepted zero config")
+	}
+}
