@@ -1,0 +1,25 @@
+# Tier-1 verification plus the race gate for the concurrent serving
+# code. `make ci` is what every PR must keep green.
+GO ?= go
+
+.PHONY: ci vet build test race bench
+
+ci: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The serve and pipeline packages contain the concurrency-sensitive
+# code (session manager, worker pool, pooled streams); race-check them
+# on every change.
+race:
+	$(GO) test -race ./internal/serve/... ./internal/pipeline/...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...

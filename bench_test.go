@@ -21,6 +21,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/participant"
+	"repro/internal/pipeline"
+	"repro/internal/serve"
 	"repro/internal/stroke"
 )
 
@@ -276,4 +278,71 @@ func BenchmarkAblationScoring(b *testing.B) {
 
 func BenchmarkAblationDictSize(b *testing.B) {
 	runExperiment(b, "ablation-dictsize", experiments.Config{Reps: 1, Participants: 1, Seed: 1}, nil)
+}
+
+// ---- Serving micro-benchmarks ----
+
+// BenchmarkStreamFeed1024 measures streaming ingest at a realistic
+// microphone delivery size (1024 samples ≈ 23 ms at 44.1 kHz), reusing
+// one pooled stream via Reset between iterations.
+func BenchmarkStreamFeed1024(b *testing.B) {
+	eng, err := pipeline.NewEngine(pipeline.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess := participant.NewSession(participant.SixParticipants()[0], 1)
+	rec, err := capture.Perform(sess, stroke.Sequence{stroke.S2},
+		acoustic.Mate9(), acoustic.StandardEnvironment(acoustic.MeetingRoom), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	samples := rec.Signal.Samples
+	stream := pipeline.NewStream(eng)
+	b.SetBytes(int64(len(samples) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stream.Reset()
+		for off := 0; off < len(samples); off += 1024 {
+			end := off + 1024
+			if end > len(samples) {
+				end = len(samples)
+			}
+			if _, err := stream.Feed(samples[off:end]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := stream.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rec.Signal.Duration()*float64(b.N)/b.Elapsed().Seconds(), "audio_s/s")
+}
+
+// BenchmarkEnginePoolCheckout measures the warm checkout/return path a
+// session pays on open/close — the cost pooling is meant to amortize
+// versus BenchmarkEnginePoolCold's full engine construction.
+func BenchmarkEnginePoolCheckout(b *testing.B) {
+	pool, err := serve.NewEnginePool(nil, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := pool.Get()
+		if err != nil {
+			b.Fatal(err)
+		}
+		pool.Put(s)
+	}
+}
+
+// BenchmarkEnginePoolCold measures building a recognizer engine from
+// scratch (FFT plan, window tables, analytic templates) — what every
+// request would pay without the pool.
+func BenchmarkEnginePoolCold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := pipeline.NewEngine(pipeline.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

@@ -1,0 +1,123 @@
+// Command ewload is the load generator for ewserve: it synthesizes N
+// concurrent writers with the acoustic simulator, streams their audio
+// chunk by chunk over the wire protocol, and reports throughput,
+// p50/p95/p99 per-stroke latency and error counts.
+//
+// Against a running server:
+//
+//	ewload -addr http://127.0.0.1:8791 -writers 32
+//
+// Self-contained (spins an in-process ewserve on a loopback port):
+//
+//	ewload -writers 16 -workers 4 -queue 8
+//
+// Saturating the worker pool is visible as backpressure 429s in the
+// report rather than unbounded memory growth on the server.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/infer"
+	"repro/internal/lexicon"
+	"repro/internal/serve"
+	"repro/internal/stroke"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "", "target ewserve base URL (empty = start one in-process)")
+		writers     = flag.Int("writers", 8, "concurrent synthetic writers")
+		word        = flag.String("word", "on", "word every writer writes")
+		signals     = flag.Int("signals", 4, "distinct synthesized recordings shared by writers")
+		chunkMs     = flag.Int("chunk-ms", 50, "ingest chunk size in milliseconds")
+		seed        = flag.Uint64("seed", 1, "simulation seed")
+		retries     = flag.Int("retries", 100, "backpressure retries per chunk")
+		workers     = flag.Int("workers", 0, "in-process server: worker goroutines (0 = GOMAXPROCS)")
+		queue       = flag.Int("queue", 0, "in-process server: ingest queue depth (0 = 4×workers)")
+		maxSessions = flag.Int("max-sessions", 256, "in-process server: session bound")
+		prewarm     = flag.Int("prewarm", 4, "in-process server: engines built at startup")
+	)
+	flag.Parse()
+	if err := run(*addr, *writers, *word, *signals, *chunkMs, *seed, *retries,
+		*workers, *queue, *maxSessions, *prewarm); err != nil {
+		fmt.Fprintln(os.Stderr, "ewload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, writers int, word string, signals, chunkMs int, seed uint64,
+	retries, workers, queue, maxSessions, prewarm int) error {
+	client := http.DefaultClient
+	if addr == "" {
+		base, shutdown, err := startInProcess(workers, queue, maxSessions, prewarm)
+		if err != nil {
+			return err
+		}
+		defer shutdown()
+		addr = base
+		fmt.Printf("in-process ewserve on %s\n", addr)
+	}
+
+	chunkSamples := 44100 * chunkMs / 1000
+	fmt.Printf("synthesizing %d recording(s) of %q, driving %d writers (%d-sample chunks)…\n",
+		signals, word, writers, chunkSamples)
+	report, err := serve.RunLoad(serve.LoadConfig{
+		BaseURL:             addr,
+		Writers:             writers,
+		Word:                word,
+		Signals:             signals,
+		ChunkSamples:        chunkSamples,
+		Seed:                seed,
+		BackpressureRetries: retries,
+		Client:              client,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Print(report)
+	return nil
+}
+
+// startInProcess boots a loopback ewserve with word candidates enabled
+// and returns its base URL plus a shutdown function.
+func startInProcess(workers, queue, maxSessions, prewarm int) (string, func(), error) {
+	dict, err := lexicon.NewDictionary(stroke.DefaultScheme(), lexicon.DefaultWords())
+	if err != nil {
+		return "", nil, err
+	}
+	rec, err := infer.NewRecognizer(dict, infer.DefaultConfusion(), lexicon.DefaultBigram(), infer.DefaultConfig())
+	if err != nil {
+		return "", nil, err
+	}
+	mgr, err := serve.NewManager(serve.Config{
+		Recognizer:  rec,
+		MaxSessions: maxSessions,
+		Workers:     workers,
+		QueueDepth:  queue,
+		Prewarm:     prewarm,
+	})
+	if err != nil {
+		return "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		mgr.Shutdown()
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: serve.NewServer(mgr).Handler()}
+	go srv.Serve(ln)
+	shutdown := func() {
+		srv.Close()
+		mgr.Shutdown()
+	}
+	// Give the listener a beat; Serve is ready as soon as it runs.
+	time.Sleep(10 * time.Millisecond)
+	return "http://" + ln.Addr().String(), shutdown, nil
+}

@@ -6,6 +6,7 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/stroke"
 )
@@ -199,4 +200,44 @@ func StdDev(xs []float64) float64 {
 		sum += d * d
 	}
 	return math.Sqrt(sum / float64(len(xs)))
+}
+
+// Percentile returns the p-th percentile of xs (p in [0,100]) using
+// linear interpolation between closest ranks — the convention load
+// reports use for p50/p95/p99. The input is not modified. NaN for empty
+// input or p outside [0,100].
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 || p < 0 || p > 100 || math.IsNaN(p) {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// LatencySummary is the percentile triple every serving report quotes.
+type LatencySummary struct {
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+}
+
+// SummarizeLatencies computes the standard p50/p95/p99 triple. All
+// fields are NaN for empty input.
+func SummarizeLatencies(xs []float64) LatencySummary {
+	return LatencySummary{
+		P50: Percentile(xs, 50),
+		P95: Percentile(xs, 95),
+		P99: Percentile(xs, 99),
+	}
 }

@@ -193,3 +193,45 @@ func TestMeanStdDev(t *testing.T) {
 		t.Errorf("StdDev = %g, want 2", got)
 	}
 }
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2, 5} // unsorted on purpose
+	cases := []struct {
+		p, want float64
+	}{
+		{0, 1}, {50, 3}, {100, 5}, {25, 2}, {75, 4}, {90, 4.6},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Percentile(%g) = %g, want %g", c.p, got, c.want)
+		}
+	}
+	// Input must not be reordered.
+	if xs[0] != 4 || xs[4] != 5 {
+		t.Error("Percentile mutated its input")
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("empty input should be NaN")
+	}
+	if !math.IsNaN(Percentile(xs, 101)) || !math.IsNaN(Percentile(xs, -1)) {
+		t.Error("out-of-range p should be NaN")
+	}
+	if got := Percentile([]float64{7}, 99); got != 7 {
+		t.Errorf("single element = %g, want 7", got)
+	}
+}
+
+func TestSummarizeLatencies(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i + 1) // 1..100
+	}
+	s := SummarizeLatencies(xs)
+	if math.Abs(s.P50-50.5) > 1e-9 || math.Abs(s.P95-95.05) > 1e-9 || math.Abs(s.P99-99.01) > 1e-9 {
+		t.Errorf("summary = %+v", s)
+	}
+	empty := SummarizeLatencies(nil)
+	if !math.IsNaN(empty.P50) || !math.IsNaN(empty.P95) || !math.IsNaN(empty.P99) {
+		t.Errorf("empty summary = %+v, want NaNs", empty)
+	}
+}

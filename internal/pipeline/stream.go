@@ -1,11 +1,23 @@
 package pipeline
 
 import (
+	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/mvce"
 	"repro/internal/segment"
 )
+
+// ErrOversizedChunk is returned by Stream.Feed when a single call would
+// grow the buffered residue past the stream's chunk cap. Callers should
+// split the input into smaller chunks; the stream state is unchanged.
+var ErrOversizedChunk = errors.New("pipeline: chunk exceeds stream residue cap")
+
+// DefaultMaxChunk bounds how many samples one Feed call may buffer
+// (≈24 s at 44.1 kHz). A serving front end exposed to untrusted clients
+// should set Stream.MaxChunk far lower (one network frame).
+const DefaultMaxChunk = 1 << 20
 
 // Stream is the incremental recognizer matching the paper's prototype
 // (§IV-A): audio arrives in arbitrary chunks, STFT frames are produced as
@@ -31,6 +43,10 @@ type Stream struct {
 	// paper's prototype re-estimates per stroke; this is the streaming
 	// equivalent. Off by default (the paper's fixed initial template).
 	AdaptiveStatic bool
+	// MaxChunk caps how many samples a single Feed call may leave
+	// buffered; 0 means DefaultMaxChunk. Oversized calls fail with
+	// ErrOversizedChunk instead of growing memory without bound.
+	MaxChunk int
 
 	samples     []float64   // residue not yet consumed into frames
 	columns     [][]float64 // raw magnitude columns in the window
@@ -38,6 +54,7 @@ type Stream struct {
 	static      []float64   // spectral-subtraction template
 	staticAccum [][]float64 // first frames accumulated for the template
 	emittedEnd  int         // absolute frame index before which detections were emitted
+	timings     StageTimings
 }
 
 // NewStream wraps an engine for incremental use. The engine must not be
@@ -49,12 +66,56 @@ func NewStream(eng *Engine) *Stream {
 // FramesSeen returns how many STFT frames have been produced so far.
 func (s *Stream) FramesSeen() int { return s.frameOffset + len(s.columns) }
 
+// Engine returns the engine this stream wraps. The engine stays bound to
+// the stream for its whole pooled lifetime; callers must not use it
+// concurrently with Feed/Flush.
+func (s *Stream) Engine() *Engine { return s.eng }
+
+// Timings returns the accumulated per-stage processing time since the
+// stream was created or last Reset. The streaming chain re-runs
+// enhancement over its window each feed, so these measure real serving
+// cost rather than the batch pipeline's one-pass cost.
+func (s *Stream) Timings() StageTimings { return s.timings }
+
+// Reset clears all per-recording state — buffered samples, spectrogram
+// window, the static-background template, and emission bookkeeping — so
+// the stream (and its engine's FFT machinery) can be reused for a new
+// recording without reallocation. Tuning fields (MaxWindow,
+// AdaptiveStatic, MaxChunk) are preserved. A reset stream behaves
+// identically to a freshly constructed one.
+func (s *Stream) Reset() {
+	s.samples = s.samples[:0]
+	s.columns = s.columns[:0]
+	s.frameOffset = 0
+	s.static = nil
+	s.staticAccum = nil
+	s.emittedEnd = 0
+	s.timings = StageTimings{}
+}
+
+// maxChunk resolves the residue cap.
+func (s *Stream) maxChunk() int {
+	if s.MaxChunk > 0 {
+		return s.MaxChunk
+	}
+	return DefaultMaxChunk
+}
+
 // Feed appends raw samples (at the configured sample rate) and returns
 // any strokes that completed. Detections are emitted exactly once, in
 // order, with Segment frame indices absolute from the stream start.
+//
+// A call that would buffer more than MaxChunk samples fails with an
+// error wrapping ErrOversizedChunk before any state changes; the caller
+// can split the chunk and retry.
 func (s *Stream) Feed(chunk []float64) ([]Detection, error) {
+	if total := len(s.samples) + len(chunk); total > s.maxChunk() {
+		return nil, fmt.Errorf("%w: %d buffered samples (cap %d)",
+			ErrOversizedChunk, total, s.maxChunk())
+	}
 	s.samples = append(s.samples, chunk...)
 	cfg := s.eng.cfg.STFT
+	t0 := time.Now()
 	for len(s.samples) >= cfg.FFTSize {
 		col, err := s.eng.stft.FrameColumn(s.samples[:cfg.FFTSize])
 		if err != nil {
@@ -65,6 +126,7 @@ func (s *Stream) Feed(chunk []float64) ([]Detection, error) {
 			return nil, err
 		}
 	}
+	s.timings.STFT += time.Since(t0)
 	return s.process(false)
 }
 
@@ -136,18 +198,24 @@ func (s *Stream) process(final bool) ([]Detection, error) {
 		return nil, nil
 	}
 	// Enhancement over the window with the stream's static template.
+	t0 := time.Now()
 	bin, bursts, err := s.eng.enhanceColumns(s.columns, s.static)
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: stream enhance: %w", err)
 	}
+	s.timings.Enhancement += time.Since(t0)
+	t0 = time.Now()
 	profile, err := mvce.Extract(bin, s.eng.cfg.mvceConfig())
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: stream contour: %w", err)
 	}
+	s.timings.Profile += time.Since(t0)
+	t0 = time.Now()
 	segs, err := segment.Detect(profile, s.eng.cfg.Segment)
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: stream segment: %w", err)
 	}
+	s.timings.Segmentation += time.Since(t0)
 	if s.AdaptiveStatic {
 		s.adaptStatic(bin)
 	}
@@ -166,7 +234,9 @@ func (s *Stream) process(final bool) ([]Detection, error) {
 		if err != nil {
 			return nil, err
 		}
+		t0 = time.Now()
 		det, err := s.eng.ClassifyProfile(slice)
+		s.timings.DTW += time.Since(t0)
 		if err != nil {
 			return nil, fmt.Errorf("pipeline: stream classify: %w", err)
 		}

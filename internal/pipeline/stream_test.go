@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -331,4 +332,101 @@ func TestStreamAdaptiveStatic(t *testing.T) {
 // mvceExtractForTest exposes contour extraction on a binary window.
 func mvceExtractForTest(eng *Engine, bin [][]uint8) ([]float64, error) {
 	return mvce.Extract(bin, eng.cfg.mvceConfig())
+}
+
+func TestStreamResetMatchesFresh(t *testing.T) {
+	// A pooled stream is Reset between recordings; after Reset it must be
+	// indistinguishable from a freshly constructed stream on the canonical
+	// six-stroke alphabet.
+	eng, err := NewEngine(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := stroke.Sequence{stroke.S1, stroke.S2, stroke.S3, stroke.S4, stroke.S5, stroke.S6}
+	sig := synthesizeSequence(t, seq)
+
+	run := func(stream *Stream) []Detection {
+		var got []Detection
+		for start := 0; start < len(sig.Samples); start += 4096 {
+			end := min(start+4096, len(sig.Samples))
+			dets, err := stream.Feed(sig.Samples[start:end])
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, dets...)
+		}
+		tail, err := stream.Flush()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return append(got, tail...)
+	}
+
+	fresh := run(NewStream(eng))
+
+	// Dirty a stream with part of the same audio, then Reset and rerun.
+	reused := NewStream(eng)
+	if _, err := reused.Feed(sig.Samples[:len(sig.Samples)/3]); err != nil {
+		t.Fatal(err)
+	}
+	reused.Reset()
+	if reused.FramesSeen() != 0 {
+		t.Fatalf("FramesSeen = %d after Reset, want 0", reused.FramesSeen())
+	}
+	again := run(reused)
+
+	if len(fresh) != len(again) {
+		t.Fatalf("fresh stream emitted %d detections, reset stream %d", len(fresh), len(again))
+	}
+	for i := range fresh {
+		if fresh[i].Stroke != again[i].Stroke {
+			t.Errorf("detection %d: fresh %v, reset %v", i, fresh[i].Stroke, again[i].Stroke)
+		}
+		if fresh[i].Segment != again[i].Segment {
+			t.Errorf("detection %d: fresh segment %+v, reset segment %+v",
+				i, fresh[i].Segment, again[i].Segment)
+		}
+	}
+}
+
+func TestStreamFeedOversizedChunk(t *testing.T) {
+	eng, err := NewEngine(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := NewStream(eng)
+	stream.MaxChunk = 10000
+
+	// Oversized in one call: typed error, no state change.
+	if _, err := stream.Feed(make([]float64, 10001)); !errors.Is(err, ErrOversizedChunk) {
+		t.Fatalf("Feed(10001) error = %v, want ErrOversizedChunk", err)
+	}
+	if stream.FramesSeen() != 0 {
+		t.Errorf("rejected feed still produced %d frames", stream.FramesSeen())
+	}
+
+	// The cap applies to buffered residue, not just the chunk: two calls
+	// that together exceed it must also fail.
+	if _, err := stream.Feed(make([]float64, 6000)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stream.Feed(make([]float64, 9000)); !errors.Is(err, ErrOversizedChunk) {
+		t.Fatalf("cumulative overflow error = %v, want ErrOversizedChunk", err)
+	}
+
+	// Within the cap everything keeps working.
+	if _, err := stream.Feed(make([]float64, 1000)); err != nil {
+		t.Fatalf("in-cap feed failed: %v", err)
+	}
+}
+
+func TestStreamDefaultChunkCap(t *testing.T) {
+	eng, err := NewEngine(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := NewStream(eng)
+	if _, err := stream.Feed(make([]float64, DefaultMaxChunk+1)); !errors.Is(err, ErrOversizedChunk) {
+		t.Fatalf("default cap error = %v, want ErrOversizedChunk", err)
+	}
 }

@@ -9,6 +9,7 @@ package runtime
 import (
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"repro/internal/pipeline"
@@ -154,4 +155,27 @@ func (m CPUModel) Occupancy(perStrokeProcessing time.Duration, strokeInterval ti
 		occ = 1
 	}
 	return occ, nil
+}
+
+// SharedBreakdown is a concurrency-safe StageBreakdown for serving
+// contexts where many sessions report timings from worker goroutines
+// (internal/serve). Aggregation happens under one mutex; snapshots are
+// value copies so readers never observe a torn update.
+type SharedBreakdown struct {
+	mu sync.Mutex
+	b  StageBreakdown
+}
+
+// Add accumulates one recognition's timings covering n strokes.
+func (s *SharedBreakdown) Add(t pipeline.StageTimings, n int) {
+	s.mu.Lock()
+	s.b.Add(t, n)
+	s.mu.Unlock()
+}
+
+// Snapshot returns a copy of the aggregated breakdown.
+func (s *SharedBreakdown) Snapshot() StageBreakdown {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b
 }

@@ -1,0 +1,305 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/acoustic"
+	"repro/internal/audio"
+	"repro/internal/capture"
+	"repro/internal/metrics"
+	"repro/internal/participant"
+	"repro/internal/stroke"
+)
+
+// LoadConfig drives RunLoad, the multi-writer load generator behind
+// cmd/ewload. Writers are synthetic users: each opens a session against
+// BaseURL, streams a pre-synthesized recording chunk by chunk over the
+// wire protocol, flushes, and closes.
+type LoadConfig struct {
+	// BaseURL targets an ewserve instance, e.g. "http://127.0.0.1:8791".
+	BaseURL string
+	// Writers is the number of concurrent sessions (default 8).
+	Writers int
+	// Word is what every writer writes (default "on" — short, so a run
+	// stays quick; any letters-only word works).
+	Word string
+	// Signals is how many distinct recordings to synthesize; writers
+	// share them round-robin so load scales without paying synthesis per
+	// writer (default min(Writers, 4)).
+	Signals int
+	// ChunkSamples is the ingest chunk size (default 2205 = 50 ms at
+	// 44.1 kHz).
+	ChunkSamples int
+	// Seed varies the synthesized scenes.
+	Seed uint64
+	// BackpressureRetries bounds how often one chunk is retried after a
+	// 429 before the writer gives up on it (default 100). Retrying keeps
+	// the audio contiguous, which recognition needs.
+	BackpressureRetries int
+	// Client overrides the HTTP client (default http.DefaultClient).
+	Client *http.Client
+}
+
+func (c LoadConfig) withDefaults() LoadConfig {
+	if c.Writers <= 0 {
+		c.Writers = 8
+	}
+	if c.Word == "" {
+		c.Word = "on"
+	}
+	if c.Signals <= 0 {
+		c.Signals = min(c.Writers, 4)
+	}
+	if c.ChunkSamples <= 0 {
+		c.ChunkSamples = 2205
+	}
+	if c.BackpressureRetries <= 0 {
+		c.BackpressureRetries = 100
+	}
+	if c.Client == nil {
+		c.Client = http.DefaultClient
+	}
+	return c
+}
+
+// LoadReport is RunLoad's aggregated result.
+type LoadReport struct {
+	Writers      int
+	ChunksSent   int
+	Detections   int
+	Words        int // writers whose flush produced ≥1 word candidate
+	Backpressure int // 429 responses observed (before retry)
+	Errors       int // non-backpressure failures (chunks dropped, HTTP errors)
+	Elapsed      time.Duration
+	AudioSeconds float64 // total audio streamed across writers
+
+	// StrokeLatencyMs summarizes wall time from submitting the chunk
+	// whose processing completed a stroke to receiving that detection.
+	StrokeLatencyMs metrics.LatencySummary
+	// ChunkLatencyMs summarizes the round-trip of every audio POST.
+	ChunkLatencyMs metrics.LatencySummary
+}
+
+// RealTimeFactor is audio seconds processed per wall-clock second — the
+// headline concurrency number (>1 means faster than real time in
+// aggregate).
+func (r *LoadReport) RealTimeFactor() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return r.AudioSeconds / r.Elapsed.Seconds()
+}
+
+// String renders the human-readable summary cmd/ewload prints.
+func (r *LoadReport) String() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "writers            %d\n", r.Writers)
+	fmt.Fprintf(&b, "audio streamed     %.1f s (%.2f× real time)\n", r.AudioSeconds, r.RealTimeFactor())
+	fmt.Fprintf(&b, "chunks sent        %d in %v (%.0f chunks/s)\n",
+		r.ChunksSent, r.Elapsed.Round(time.Millisecond),
+		float64(r.ChunksSent)/r.Elapsed.Seconds())
+	fmt.Fprintf(&b, "detections         %d\n", r.Detections)
+	fmt.Fprintf(&b, "writers with words %d\n", r.Words)
+	fmt.Fprintf(&b, "backpressure 429s  %d\n", r.Backpressure)
+	fmt.Fprintf(&b, "errors             %d\n", r.Errors)
+	fmt.Fprintf(&b, "chunk latency ms   p50 %.2f  p95 %.2f  p99 %.2f\n",
+		r.ChunkLatencyMs.P50, r.ChunkLatencyMs.P95, r.ChunkLatencyMs.P99)
+	fmt.Fprintf(&b, "stroke latency ms  p50 %.2f  p95 %.2f  p99 %.2f\n",
+		r.StrokeLatencyMs.P50, r.StrokeLatencyMs.P95, r.StrokeLatencyMs.P99)
+	return b.String()
+}
+
+// RunLoad synthesizes the writer recordings, drives Writers concurrent
+// sessions against the server and aggregates the report.
+func RunLoad(cfg LoadConfig) (*LoadReport, error) {
+	cfg = cfg.withDefaults()
+	signals, err := synthesizeWriters(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	var (
+		mu        sync.Mutex
+		report    = LoadReport{Writers: cfg.Writers}
+		chunkLat  []float64
+		strokeLat []float64
+		wg        sync.WaitGroup
+	)
+	start := time.Now()
+	for w := 0; w < cfg.Writers; w++ {
+		sig := signals[w%len(signals)]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res := driveWriter(cfg, sig)
+			mu.Lock()
+			report.ChunksSent += res.chunks
+			report.Detections += res.detections
+			report.Backpressure += res.backpressure
+			report.Errors += res.errors
+			report.AudioSeconds += sig.Duration()
+			if res.words > 0 {
+				report.Words++
+			}
+			chunkLat = append(chunkLat, res.chunkLat...)
+			strokeLat = append(strokeLat, res.strokeLat...)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	report.Elapsed = time.Since(start)
+	report.ChunkLatencyMs = metrics.SummarizeLatencies(chunkLat)
+	report.StrokeLatencyMs = metrics.SummarizeLatencies(strokeLat)
+	return &report, nil
+}
+
+// synthesizeWriters renders the distinct recordings writers share.
+func synthesizeWriters(cfg LoadConfig) ([]*audio.Signal, error) {
+	roster := participant.SixParticipants()
+	signals := make([]*audio.Signal, cfg.Signals)
+	for i := range signals {
+		sess := participant.NewSession(roster[i%len(roster)], cfg.Seed+uint64(i))
+		rec, err := capture.PerformWord(sess, stroke.DefaultScheme(), cfg.Word,
+			acoustic.Mate9(), acoustic.StandardEnvironment(acoustic.MeetingRoom),
+			cfg.Seed+uint64(i))
+		if err != nil {
+			return nil, fmt.Errorf("serve: synthesize writer %d: %w", i, err)
+		}
+		signals[i] = rec.Signal
+	}
+	return signals, nil
+}
+
+type writerResult struct {
+	chunks, detections, words int
+	backpressure, errors      int
+	chunkLat, strokeLat       []float64
+}
+
+// driveWriter runs one synthetic user end to end. Failures count into
+// errors rather than aborting the run: a load test should report a sick
+// server, not crash on it.
+func driveWriter(cfg LoadConfig, sig *audio.Signal) writerResult {
+	var res writerResult
+	id, err := openSession(cfg)
+	if err != nil {
+		res.errors++
+		return res
+	}
+	defer closeSession(cfg, id)
+
+	for off := 0; off < len(sig.Samples); off += cfg.ChunkSamples {
+		end := min(off+cfg.ChunkSamples, len(sig.Samples))
+		body := EncodePCM16(sig.Samples[off:end])
+		n, lat, err := postChunk(cfg, id, body, &res)
+		if err != nil {
+			res.errors++
+			continue
+		}
+		res.chunks++
+		latMs := float64(lat) / float64(time.Millisecond)
+		res.chunkLat = append(res.chunkLat, latMs)
+		if n > 0 {
+			res.detections += n
+			// The stroke became available with this chunk's round trip.
+			res.strokeLat = append(res.strokeLat, latMs)
+		}
+	}
+
+	dets, words, err := flushSession(cfg, id)
+	if err != nil {
+		res.errors++
+		return res
+	}
+	res.detections += dets
+	res.words = words
+	return res
+}
+
+func openSession(cfg LoadConfig) (string, error) {
+	resp, err := cfg.Client.Post(cfg.BaseURL+"/v1/sessions", "application/json", nil)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("open: status %d", resp.StatusCode)
+	}
+	var out struct {
+		Session string `json:"session"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return "", err
+	}
+	return out.Session, nil
+}
+
+// postChunk sends one chunk, retrying on backpressure so the audio stays
+// contiguous. Returns the number of detections and the (final) round
+// trip time.
+func postChunk(cfg LoadConfig, id string, body []byte, res *writerResult) (int, time.Duration, error) {
+	url := cfg.BaseURL + "/v1/sessions/" + id + "/audio"
+	for attempt := 0; ; attempt++ {
+		t0 := time.Now()
+		resp, err := cfg.Client.Post(url, "application/octet-stream", bytes.NewReader(body))
+		if err != nil {
+			return 0, 0, err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			resp.Body.Close()
+			res.backpressure++
+			if attempt >= cfg.BackpressureRetries {
+				return 0, 0, fmt.Errorf("chunk dropped after %d backpressure retries", attempt)
+			}
+			time.Sleep(2 * time.Millisecond)
+			continue
+		}
+		lat := time.Since(t0)
+		var out struct {
+			Detections []DetectionJSON `json:"detections"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&out)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return 0, 0, fmt.Errorf("audio: status %d", resp.StatusCode)
+		}
+		if err != nil {
+			return 0, 0, err
+		}
+		return len(out.Detections), lat, nil
+	}
+}
+
+func flushSession(cfg LoadConfig, id string) (dets, words int, err error) {
+	resp, err := cfg.Client.Post(cfg.BaseURL+"/v1/sessions/"+id+"/flush", "application/json", nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, 0, fmt.Errorf("flush: status %d", resp.StatusCode)
+	}
+	var out struct {
+		Detections []DetectionJSON `json:"detections"`
+		Words      []CandidateJSON `json:"words"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, 0, err
+	}
+	return len(out.Detections), len(out.Words), nil
+}
+
+func closeSession(cfg LoadConfig, id string) {
+	req, err := http.NewRequest(http.MethodDelete, cfg.BaseURL+"/v1/sessions/"+id, nil)
+	if err != nil {
+		return
+	}
+	if resp, err := cfg.Client.Do(req); err == nil {
+		resp.Body.Close()
+	}
+}

@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"net/http/httptest"
+	"testing"
+)
+
+// TestRunLoadInProcess exercises the whole serving stack the way
+// cmd/ewload does: concurrent writers over HTTP against an in-process
+// server, aggregated into a throughput/latency report.
+func TestRunLoadInProcess(t *testing.T) {
+	mgr, err := NewManager(Config{MaxSessions: 8, Workers: 2, QueueDepth: 16, Prewarm: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Shutdown()
+	ts := httptest.NewServer(NewServer(mgr).Handler())
+	defer ts.Close()
+
+	report, err := RunLoad(LoadConfig{
+		BaseURL:      ts.URL,
+		Writers:      4,
+		Signals:      1,
+		Word:         "on",
+		ChunkSamples: 8192,
+		Seed:         7,
+		Client:       ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", report)
+
+	if report.Errors != 0 {
+		t.Errorf("load run hit %d errors", report.Errors)
+	}
+	if report.ChunksSent == 0 || report.AudioSeconds <= 0 {
+		t.Errorf("no traffic recorded: %+v", report)
+	}
+	// Every writer writes a real word, so strokes must be detected and
+	// the latency quantiles populated and ordered.
+	if report.Detections == 0 {
+		t.Error("no detections under load")
+	}
+	c := report.ChunkLatencyMs
+	if !(c.P50 > 0 && c.P50 <= c.P95 && c.P95 <= c.P99) {
+		t.Errorf("chunk latency quantiles unordered: %+v", c)
+	}
+	s := report.StrokeLatencyMs
+	if !(s.P50 > 0 && s.P50 <= s.P95 && s.P95 <= s.P99) {
+		t.Errorf("stroke latency quantiles unordered: %+v", s)
+	}
+	if report.RealTimeFactor() <= 0 {
+		t.Errorf("real-time factor = %g", report.RealTimeFactor())
+	}
+
+	// The server side saw the same traffic.
+	st := mgr.Snapshot()
+	if st.Chunks == 0 || st.ActiveSessions != 0 {
+		t.Errorf("server snapshot %+v after load", st)
+	}
+}

@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"testing"
+
+	"repro/internal/pipeline"
+)
+
+func TestEnginePoolPrewarmAndReuse(t *testing.T) {
+	pool, err := NewEnginePool(nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := pool.Stats(); st.Created != 2 || st.Free != 2 {
+		t.Fatalf("after prewarm stats = %+v, want Created 2 Free 2", st)
+	}
+
+	a, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("pool handed out the same stream twice")
+	}
+	if st := pool.Stats(); st.Created != 2 || st.Free != 0 {
+		t.Fatalf("after two gets stats = %+v, want Created 2 Free 0", st)
+	}
+
+	// Draining the free list builds a fresh engine instead of blocking.
+	c, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := pool.Stats(); st.Created != 3 {
+		t.Fatalf("cold get did not build: stats = %+v", st)
+	}
+
+	// Dirty a stream, return it, and check the next checkout gets it back
+	// reset (LIFO) without building engine #4.
+	if _, err := a.Feed(make([]float64, 9000)); err != nil {
+		t.Fatal(err)
+	}
+	if a.FramesSeen() == 0 {
+		t.Fatal("feed produced no frames; test premise broken")
+	}
+	pool.Put(a)
+	got, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != a {
+		t.Error("free list is not LIFO: expected the just-returned stream")
+	}
+	if got.FramesSeen() != 0 {
+		t.Errorf("checked-out stream not reset: FramesSeen = %d", got.FramesSeen())
+	}
+	if st := pool.Stats(); st.Created != 3 {
+		t.Errorf("reuse built a new engine: stats = %+v", st)
+	}
+
+	pool.Put(b)
+	pool.Put(c)
+	pool.Put(nil) // must be a no-op
+	if st := pool.Stats(); st.Free != 2 {
+		t.Errorf("final stats = %+v, want Free 2", st)
+	}
+}
+
+func TestEnginePoolCustomFactory(t *testing.T) {
+	calls := 0
+	factory := func() (*pipeline.Engine, error) {
+		calls++
+		return pipeline.NewEngine(pipeline.DefaultConfig())
+	}
+	pool, err := NewEnginePool(factory, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 {
+		t.Errorf("factory called %d times during prewarm, want 3", calls)
+	}
+	if _, err := pool.Get(); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 {
+		t.Errorf("warm get invoked the factory (calls = %d)", calls)
+	}
+}

@@ -1,0 +1,245 @@
+package serve
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/infer"
+	"repro/internal/pipeline"
+)
+
+// Server is the chunked-ingest HTTP front end. Wire protocol:
+//
+//	POST   /v1/sessions            → {"session":"s000001"}
+//	POST   /v1/sessions/{id}/audio → body: 16-bit little-endian mono PCM
+//	                                 at the engine's sample rate;
+//	                                 response: completed detections
+//	POST   /v1/sessions/{id}/flush → drains the partial frame; response
+//	                                 adds word candidates for the
+//	                                 accumulated stroke sequence
+//	DELETE /v1/sessions/{id}       → close the session
+//	GET    /statsz                 → Stats snapshot (JSON)
+//
+// Backpressure surfaces as 429 (retry the same chunk), an oversized
+// chunk as 413, an unknown/evicted session as 404, and a full session
+// table as 503.
+type Server struct {
+	mgr *Manager
+	mux *http.ServeMux
+}
+
+// NewServer wires the routes around an existing manager.
+func NewServer(mgr *Manager) *Server {
+	s := &Server{mgr: mgr, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/sessions", s.handleOpen)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/audio", s.handleAudio)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/flush", s.handleFlush)
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleClose)
+	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	return s
+}
+
+// Handler returns the route table for use with http.Server or tests.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// RunEvictor loops idle-session eviction every interval until stop is
+// closed. cmd/ewserve runs it next to ListenAndServe.
+func (s *Server) RunEvictor(interval time.Duration, stop <-chan struct{}) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.mgr.EvictIdle()
+		case <-stop:
+			return
+		}
+	}
+}
+
+// DetectionJSON is one recognized stroke on the wire. Frame indices are
+// absolute from session start at the engine's hop rate.
+type DetectionJSON struct {
+	Stroke       string `json:"stroke"`
+	StartFrame   int    `json:"start_frame"`
+	EndFrame     int    `json:"end_frame"`
+	Contaminated bool   `json:"contaminated,omitempty"`
+}
+
+// CandidateJSON is one scored word suggestion on the wire.
+type CandidateJSON struct {
+	Word      string  `json:"word"`
+	Score     float64 `json:"score"`
+	Corrected bool    `json:"corrected,omitempty"`
+}
+
+type openResponse struct {
+	Session string `json:"session"`
+}
+
+type audioResponse struct {
+	Session    string          `json:"session"`
+	Detections []DetectionJSON `json:"detections"`
+}
+
+type flushResponse struct {
+	Session    string          `json:"session"`
+	Detections []DetectionJSON `json:"detections"`
+	Words      []CandidateJSON `json:"words"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleOpen(w http.ResponseWriter, r *http.Request) {
+	id, err := s.mgr.Open()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, openResponse{Session: id})
+}
+
+func (s *Server) handleAudio(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	chunk, err := readPCM16(w, r, s.maxBodyBytes())
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	dets, err := s.mgr.Feed(id, chunk)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, audioResponse{Session: id, Detections: detectionsJSON(dets)})
+}
+
+func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	dets, cands, err := s.mgr.Flush(id)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, flushResponse{
+		Session:    id,
+		Detections: detectionsJSON(dets),
+		Words:      candidatesJSON(cands),
+	})
+}
+
+func (s *Server) handleClose(w http.ResponseWriter, r *http.Request) {
+	if err := s.mgr.Close(r.PathValue("id")); err != nil {
+		writeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.mgr.Snapshot())
+}
+
+// maxBodyBytes caps an audio POST at the manager's per-feed sample cap.
+func (s *Server) maxBodyBytes() int64 {
+	max := s.mgr.cfg.MaxChunk
+	if max <= 0 {
+		max = pipeline.DefaultMaxChunk
+	}
+	return 2 * int64(max)
+}
+
+// errBadBody marks malformed request bodies (maps to 400).
+var errBadBody = errors.New("serve: malformed audio body")
+
+// readPCM16 decodes a request body of 16-bit little-endian mono PCM into
+// the [-1,1) float samples the pipeline consumes.
+func readPCM16(w http.ResponseWriter, r *http.Request, maxBytes int64) ([]float64, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBytes))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return nil, fmt.Errorf("%w: body over %d bytes", pipeline.ErrOversizedChunk, maxBytes)
+		}
+		return nil, fmt.Errorf("%w: %v", errBadBody, err)
+	}
+	if len(body)%2 != 0 {
+		return nil, fmt.Errorf("%w: odd byte count %d", errBadBody, len(body))
+	}
+	out := make([]float64, len(body)/2)
+	for i := range out {
+		out[i] = float64(int16(binary.LittleEndian.Uint16(body[2*i:]))) / 32768
+	}
+	return out, nil
+}
+
+// EncodePCM16 converts float samples to the wire format (clipping to
+// [-1,1)). Exported for load generators and client tooling.
+func EncodePCM16(samples []float64) []byte {
+	out := make([]byte, 2*len(samples))
+	for i, v := range samples {
+		if v > 1 {
+			v = 1
+		} else if v < -1 {
+			v = -1
+		}
+		n := int32(v * 32767)
+		binary.LittleEndian.PutUint16(out[2*i:], uint16(int16(n)))
+	}
+	return out
+}
+
+func detectionsJSON(dets []pipeline.Detection) []DetectionJSON {
+	out := make([]DetectionJSON, len(dets))
+	for i, d := range dets {
+		out[i] = DetectionJSON{
+			Stroke:       d.Stroke.String(),
+			StartFrame:   d.Segment.Start,
+			EndFrame:     d.Segment.End,
+			Contaminated: d.Contaminated,
+		}
+	}
+	return out
+}
+
+func candidatesJSON(cands []infer.Candidate) []CandidateJSON {
+	out := make([]CandidateJSON, len(cands))
+	for i, c := range cands {
+		out[i] = CandidateJSON{Word: c.Word, Score: c.Score, Corrected: c.Corrected}
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are out; nothing useful left to do.
+		_ = err
+	}
+}
+
+// writeError maps typed service errors onto HTTP statuses.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrBackpressure):
+		status = http.StatusTooManyRequests
+	case errors.Is(err, ErrUnknownSession):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrSessionLimit), errors.Is(err, ErrClosed):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, pipeline.ErrOversizedChunk):
+		status = http.StatusRequestEntityTooLarge
+	case errors.Is(err, errBadBody):
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
