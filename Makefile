@@ -2,9 +2,9 @@
 # code. `make ci` is what every PR must keep green.
 GO ?= go
 
-.PHONY: ci vet build test race bench
+.PHONY: ci vet build test race fuzz-smoke stress bench
 
-ci: vet build test race
+ci: vet build test race fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -16,10 +16,22 @@ test:
 	$(GO) test ./...
 
 # The serve and pipeline packages contain the concurrency-sensitive
-# code (session manager, worker pool, pooled streams); race-check them
-# on every change.
+# code (sharded session manager, worker pools, pooled streams);
+# race-check them on every change. The serve tree additionally runs at
+# -cpu=1,4 so shard scheduling is exercised both starved and parallel.
 race:
-	$(GO) test -race ./internal/serve/... ./internal/pipeline/...
+	$(GO) test -race -cpu=1,4 ./internal/serve/...
+	$(GO) test -race ./internal/pipeline/...
+
+# A 10-second native-fuzz smoke of the streaming chunking invariance;
+# regressions in Stream.Feed surface here before the long fuzzers run.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzStreamFeed -fuzztime 10s ./internal/pipeline
+
+# The long-running adversarial soak: the stress suite with its goroutine
+# and iteration counts multiplied (see internal/serve/stress).
+stress:
+	EW_STRESS=long $(GO) test -race -v -timeout 30m ./internal/serve/stress/
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...

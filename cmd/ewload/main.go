@@ -1,21 +1,26 @@
 // Command ewload is the load generator for ewserve: it synthesizes N
 // concurrent writers with the acoustic simulator, streams their audio
 // chunk by chunk over the wire protocol, and reports throughput,
-// p50/p95/p99 per-stroke latency and error counts.
+// p50/p95/p99 per-stroke latency, error counts, and the server's
+// per-shard backpressure picture from /statsz.
 //
 // Against a running server:
 //
 //	ewload -addr http://127.0.0.1:8791 -writers 32
 //
-// Self-contained (spins an in-process ewserve on a loopback port):
+// Self-contained (spins an in-process sharded ewserve on a loopback port):
 //
-//	ewload -writers 16 -workers 4 -queue 8
+//	ewload -writers 16 -shards 4 -workers 4 -queue 8
 //
-// Saturating the worker pool is visible as backpressure 429s in the
-// report rather than unbounded memory growth on the server.
+// Saturating the worker pools is visible as backpressure 429s in the
+// report rather than unbounded memory growth on the server. With
+// -max-error-rate set below 1, ewload exits non-zero when the fraction
+// of failed operations exceeds the threshold, so CI can use a short run
+// as a serving smoke gate.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
@@ -31,31 +36,33 @@ import (
 
 func main() {
 	var (
-		addr        = flag.String("addr", "", "target ewserve base URL (empty = start one in-process)")
-		writers     = flag.Int("writers", 8, "concurrent synthetic writers")
-		word        = flag.String("word", "on", "word every writer writes")
-		signals     = flag.Int("signals", 4, "distinct synthesized recordings shared by writers")
-		chunkMs     = flag.Int("chunk-ms", 50, "ingest chunk size in milliseconds")
-		seed        = flag.Uint64("seed", 1, "simulation seed")
-		retries     = flag.Int("retries", 100, "backpressure retries per chunk")
-		workers     = flag.Int("workers", 0, "in-process server: worker goroutines (0 = GOMAXPROCS)")
-		queue       = flag.Int("queue", 0, "in-process server: ingest queue depth (0 = 4×workers)")
-		maxSessions = flag.Int("max-sessions", 256, "in-process server: session bound")
-		prewarm     = flag.Int("prewarm", 4, "in-process server: engines built at startup")
+		addr         = flag.String("addr", "", "target ewserve base URL (empty = start one in-process)")
+		writers      = flag.Int("writers", 8, "concurrent synthetic writers")
+		word         = flag.String("word", "on", "word every writer writes")
+		signals      = flag.Int("signals", 4, "distinct synthesized recordings shared by writers")
+		chunkMs      = flag.Int("chunk-ms", 50, "ingest chunk size in milliseconds")
+		seed         = flag.Uint64("seed", 1, "simulation seed")
+		retries      = flag.Int("retries", 100, "backpressure retries per chunk")
+		maxErrorRate = flag.Float64("max-error-rate", 1.0, "exit non-zero when the failed-operation fraction exceeds this (1 disables)")
+		shards       = flag.Int("shards", 0, "in-process server: session-manager shards (0 = GOMAXPROCS)")
+		workers      = flag.Int("workers", 0, "in-process server: worker goroutines across shards (0 = GOMAXPROCS)")
+		queue        = flag.Int("queue", 0, "in-process server: ingest queue depth across shards (0 = 4×workers)")
+		maxSessions  = flag.Int("max-sessions", 256, "in-process server: session bound")
+		prewarm      = flag.Int("prewarm", 4, "in-process server: engines built at startup")
 	)
 	flag.Parse()
-	if err := run(*addr, *writers, *word, *signals, *chunkMs, *seed, *retries,
-		*workers, *queue, *maxSessions, *prewarm); err != nil {
+	if err := run(*addr, *writers, *word, *signals, *chunkMs, *seed, *retries, *maxErrorRate,
+		*shards, *workers, *queue, *maxSessions, *prewarm); err != nil {
 		fmt.Fprintln(os.Stderr, "ewload:", err)
 		os.Exit(1)
 	}
 }
 
 func run(addr string, writers int, word string, signals, chunkMs int, seed uint64,
-	retries, workers, queue, maxSessions, prewarm int) error {
+	retries int, maxErrorRate float64, shards, workers, queue, maxSessions, prewarm int) error {
 	client := http.DefaultClient
 	if addr == "" {
-		base, shutdown, err := startInProcess(workers, queue, maxSessions, prewarm)
+		base, shutdown, err := startInProcess(shards, workers, queue, maxSessions, prewarm)
 		if err != nil {
 			return err
 		}
@@ -82,12 +89,44 @@ func run(addr string, writers int, word string, signals, chunkMs int, seed uint6
 	}
 	fmt.Println()
 	fmt.Print(report)
+	printServerShards(client, addr)
+
+	if rate := report.ErrorRate(); rate > maxErrorRate {
+		return fmt.Errorf("error rate %.2f%% exceeds threshold %.2f%%", 100*rate, 100*maxErrorRate)
+	}
 	return nil
 }
 
-// startInProcess boots a loopback ewserve with word candidates enabled
-// and returns its base URL plus a shutdown function.
-func startInProcess(workers, queue, maxSessions, prewarm int) (string, func(), error) {
+// printServerShards fetches /statsz and reports the server-side
+// per-shard 429 (backpressure) and queue picture, so a load run shows
+// which shards ran hot. Best-effort: a server without the endpoint just
+// skips the section.
+func printServerShards(client *http.Client, addr string) {
+	resp, err := client.Get(addr + "/statsz")
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return
+	}
+	var st serve.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return
+	}
+	fmt.Printf("server 429s        %d total", st.Backpressure)
+	if len(st.Shards) > 0 {
+		fmt.Print(" — per shard:")
+		for i, sh := range st.Shards {
+			fmt.Printf(" s%d=%d", i, sh.Backpressure)
+		}
+	}
+	fmt.Println()
+}
+
+// startInProcess boots a loopback sharded ewserve with word candidates
+// enabled and returns its base URL plus a shutdown function.
+func startInProcess(shards, workers, queue, maxSessions, prewarm int) (string, func(), error) {
 	dict, err := lexicon.NewDictionary(stroke.DefaultScheme(), lexicon.DefaultWords())
 	if err != nil {
 		return "", nil, err
@@ -96,13 +135,13 @@ func startInProcess(workers, queue, maxSessions, prewarm int) (string, func(), e
 	if err != nil {
 		return "", nil, err
 	}
-	mgr, err := serve.NewManager(serve.Config{
+	mgr, err := serve.NewShardedManager(serve.Config{
 		Recognizer:  rec,
 		MaxSessions: maxSessions,
 		Workers:     workers,
 		QueueDepth:  queue,
 		Prewarm:     prewarm,
-	})
+	}, shards)
 	if err != nil {
 		return "", nil, err
 	}

@@ -1,8 +1,11 @@
 // Command ewserve runs the EchoWrite multi-session recognition service:
 // an HTTP front end where many concurrent clients stream audio chunks
 // and receive stroke detections and word candidates as they complete.
+// Sessions are hash-partitioned across -shards independent managers
+// (default GOMAXPROCS), each with its own queue, session table and
+// engine pool, so no lock is shared between shards on the hot path.
 //
-//	ewserve -addr :8791 -max-sessions 256 -workers 8
+//	ewserve -addr :8791 -max-sessions 256 -workers 8 -shards 8
 //
 // Wire protocol (see internal/serve):
 //
@@ -36,8 +39,9 @@ import (
 func main() {
 	var (
 		addr        = flag.String("addr", ":8791", "listen address")
-		maxSessions = flag.Int("max-sessions", 256, "bound on concurrent sessions")
-		workers     = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		maxSessions = flag.Int("max-sessions", 256, "bound on concurrent sessions (total across shards)")
+		shards      = flag.Int("shards", 0, "session-manager shards (0 = GOMAXPROCS)")
+		workers     = flag.Int("workers", 0, "worker goroutines, total across shards (0 = GOMAXPROCS)")
 		queue       = flag.Int("queue", 0, "ingest queue depth (0 = 4×workers)")
 		prewarm     = flag.Int("prewarm", 4, "engines built at startup")
 		idle        = flag.Duration("idle", 2*time.Minute, "idle-session eviction timeout")
@@ -47,13 +51,13 @@ func main() {
 		noWords     = flag.Bool("no-words", false, "disable word candidates on flush")
 	)
 	flag.Parse()
-	if err := run(*addr, *maxSessions, *workers, *queue, *prewarm, *idle, *maxChunk, *window, *calibrated, *noWords); err != nil {
+	if err := run(*addr, *maxSessions, *shards, *workers, *queue, *prewarm, *idle, *maxChunk, *window, *calibrated, *noWords); err != nil {
 		fmt.Fprintln(os.Stderr, "ewserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, maxSessions, workers, queue, prewarm int, idle time.Duration,
+func run(addr string, maxSessions, shards, workers, queue, prewarm int, idle time.Duration,
 	maxChunk, window int, calibrated, noWords bool) error {
 	factory := serve.EngineFactory(nil)
 	if calibrated {
@@ -70,7 +74,7 @@ func run(addr string, maxSessions, workers, queue, prewarm int, idle time.Durati
 		}
 	}
 
-	mgr, err := serve.NewManager(serve.Config{
+	mgr, err := serve.NewShardedManager(serve.Config{
 		Engines:     factory,
 		Recognizer:  recognizer,
 		MaxSessions: maxSessions,
@@ -80,7 +84,7 @@ func run(addr string, maxSessions, workers, queue, prewarm int, idle time.Durati
 		Prewarm:     prewarm,
 		MaxChunk:    maxChunk,
 		MaxWindow:   window,
-	})
+	}, shards)
 	if err != nil {
 		return err
 	}
@@ -95,8 +99,8 @@ func run(addr string, maxSessions, workers, queue, prewarm int, idle time.Durati
 	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	fmt.Printf("ewserve listening on %s (sessions ≤ %d, workers %d)\n",
-		addr, maxSessions, workersOrDefault(workers))
+	fmt.Printf("ewserve listening on %s (sessions ≤ %d, workers %d, shards %d)\n",
+		addr, maxSessions, workersOrDefault(workers), mgr.NumShards())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

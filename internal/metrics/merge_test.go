@@ -1,0 +1,123 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+// seq returns [1, 2, …, n] as float64s.
+func seq(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(i + 1)
+	}
+	return out
+}
+
+// TestMergeLatencies drives the quantile merge the aggregated /statsz
+// endpoint relies on: pooling per-shard reservoirs must behave like one
+// reservoir that saw every sample.
+func TestMergeLatencies(t *testing.T) {
+	cases := []struct {
+		name   string
+		groups [][]float64
+		want   LatencySummary // NaN fields mean "expect NaN"
+	}{
+		{
+			name:   "all empty",
+			groups: [][]float64{nil, {}, nil},
+			want:   LatencySummary{P50: math.NaN(), P95: math.NaN(), P99: math.NaN()},
+		},
+		{
+			name:   "no groups",
+			groups: nil,
+			want:   LatencySummary{P50: math.NaN(), P95: math.NaN(), P99: math.NaN()},
+		},
+		{
+			name:   "single sample in one shard",
+			groups: [][]float64{nil, {7.5}, nil},
+			want:   LatencySummary{P50: 7.5, P95: 7.5, P99: 7.5},
+		},
+		{
+			name:   "identical constant shards",
+			groups: [][]float64{{3, 3, 3}, {3, 3}},
+			want:   LatencySummary{P50: 3, P95: 3, P99: 3},
+		},
+		{
+			name: "skewed shard sizes match pooled percentiles",
+			// One hot shard with 99 samples, one nearly idle with 1: the
+			// merge must weight by sample count, not average summaries.
+			groups: [][]float64{seq(99), {100}},
+			want: LatencySummary{
+				P50: Percentile(seq(100), 50),
+				P95: Percentile(seq(100), 95),
+				P99: Percentile(seq(100), 99),
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := MergeLatencies(tc.groups...)
+			check := func(name string, got, want float64) {
+				if math.IsNaN(want) {
+					if !math.IsNaN(got) {
+						t.Errorf("%s = %g, want NaN", name, got)
+					}
+					return
+				}
+				if math.Abs(got-want) > 1e-9 {
+					t.Errorf("%s = %g, want %g", name, got, want)
+				}
+			}
+			check("P50", got.P50, tc.want.P50)
+			check("P95", got.P95, tc.want.P95)
+			check("P99", got.P99, tc.want.P99)
+		})
+	}
+}
+
+// TestMergeLatenciesMonotone checks p50 ≤ p95 ≤ p99 across merges of
+// arbitrarily skewed groups — the ordering the /statsz consumers assume.
+func TestMergeLatenciesMonotone(t *testing.T) {
+	groupSets := [][][]float64{
+		{seq(1), seq(2), seq(3)},
+		{seq(500), {0.001}},
+		{{9, 1, 5}, {2, 2, 2, 2, 2, 2, 2, 2}, {100}},
+		{seq(4096), seq(1)},
+	}
+	for i, groups := range groupSets {
+		s := MergeLatencies(groups...)
+		if !(s.P50 <= s.P95 && s.P95 <= s.P99) {
+			t.Errorf("set %d: quantiles not monotone: %+v", i, s)
+		}
+	}
+}
+
+func TestReservoirBoundsAndEviction(t *testing.T) {
+	r, err := NewReservoir(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 0 || len(r.Samples()) != 0 {
+		t.Fatalf("fresh reservoir not empty: len %d", r.Len())
+	}
+	for i := 1; i <= 10; i++ {
+		r.Add(float64(i))
+	}
+	if r.Len() != 4 {
+		t.Fatalf("reservoir len = %d, want capacity 4", r.Len())
+	}
+	// The four most recent samples (7..10) survive, oldest evicted.
+	got := map[float64]bool{}
+	for _, x := range r.Samples() {
+		got[x] = true
+	}
+	for _, want := range []float64{7, 8, 9, 10} {
+		if !got[want] {
+			t.Errorf("recent sample %g evicted; retained %v", want, r.Samples())
+		}
+	}
+	if _, err := NewReservoir(0); err == nil {
+		t.Error("NewReservoir(0) accepted a non-positive capacity")
+	}
+}

@@ -225,6 +225,63 @@ func Percentile(xs []float64, p float64) float64 {
 	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
+// Reservoir is a bounded ring of recent latency samples. Once full, new
+// samples overwrite the oldest, so the reservoir always summarizes the
+// most recent Cap observations. It is not safe for concurrent use; the
+// owner (e.g. one serve.Manager shard) guards it with its own lock.
+type Reservoir struct {
+	samples []float64
+	next    int
+	full    bool
+}
+
+// NewReservoir creates a reservoir bounded at capacity samples
+// (capacity must be positive).
+func NewReservoir(capacity int) (*Reservoir, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("metrics: reservoir capacity must be positive, got %d", capacity)
+	}
+	return &Reservoir{samples: make([]float64, 0, capacity)}, nil
+}
+
+// Add records one sample, evicting the oldest when full.
+func (r *Reservoir) Add(x float64) {
+	if !r.full && len(r.samples) < cap(r.samples) {
+		r.samples = append(r.samples, x)
+		if len(r.samples) == cap(r.samples) {
+			r.full = true
+		}
+		return
+	}
+	r.samples[r.next] = x
+	r.next = (r.next + 1) % len(r.samples)
+}
+
+// Len reports how many samples the reservoir currently holds.
+func (r *Reservoir) Len() int { return len(r.samples) }
+
+// Samples returns a copy of the retained samples in unspecified order
+// (quantiles do not depend on order).
+func (r *Reservoir) Samples() []float64 {
+	return append([]float64(nil), r.samples...)
+}
+
+// MergeLatencies pools several per-shard sample sets into one summary by
+// concatenation — exact for quantiles over the union of the retained
+// samples, with shards weighted by how many samples each retained. All
+// fields are NaN when every group is empty.
+func MergeLatencies(groups ...[]float64) LatencySummary {
+	total := 0
+	for _, g := range groups {
+		total += len(g)
+	}
+	pooled := make([]float64, 0, total)
+	for _, g := range groups {
+		pooled = append(pooled, g...)
+	}
+	return SummarizeLatencies(pooled)
+}
+
 // LatencySummary is the percentile triple every serving report quotes.
 type LatencySummary struct {
 	P50 float64 `json:"p50"`

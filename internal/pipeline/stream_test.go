@@ -13,8 +13,9 @@ import (
 )
 
 // synthesizeSequence renders a multi-stroke writing in a quiet scene with
-// rests and gentle repositions between strokes.
-func synthesizeSequence(t *testing.T, seq stroke.Sequence) *audio.Signal {
+// rests and gentle repositions between strokes. testing.TB so the fuzz
+// harness can seed its corpus with the same audio.
+func synthesizeSequence(t testing.TB, seq stroke.Sequence) *audio.Signal {
 	t.Helper()
 	var parts []geom.Trajectory
 	prev, err := stroke.StartPoint(seq[0], stroke.ShapeParams{})

@@ -37,6 +37,18 @@ func (b *StageBreakdown) Add(t pipeline.StageTimings, n int) {
 	b.Strokes += n
 }
 
+// Merge adds another breakdown's totals and stroke count into b — the
+// aggregation step when several independent accumulators (e.g. manager
+// shards) are summarized as one.
+func (b *StageBreakdown) Merge(o StageBreakdown) {
+	b.STFT += o.STFT
+	b.Enhancement += o.Enhancement
+	b.Profile += o.Profile
+	b.Segmentation += o.Segmentation
+	b.DTW += o.DTW
+	b.Strokes += o.Strokes
+}
+
 // PerStroke returns mean per-stroke durations. Strokes must be > 0.
 func (b *StageBreakdown) PerStroke() (pipeline.StageTimings, error) {
 	if b.Strokes == 0 {

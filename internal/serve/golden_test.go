@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/stroke"
+)
+
+// TestServerGoldenAlphabet is the end-to-end golden test: one writer
+// performs the full six-stroke alphabet S1…S6 in a single recording,
+// streamed through the HTTP front end of a sharded service, and the
+// decoded stroke sequence must come back exactly — covering the whole
+// open → audio… → flush → close lifecycle in one pass.
+func TestServerGoldenAlphabet(t *testing.T) {
+	golden := stroke.Sequence(stroke.AllStrokes())
+	sig := synthesizeSequence(t, golden, 5)
+
+	sm, err := NewShardedManager(Config{MaxSessions: 8, Workers: 3, Prewarm: 1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sm.Shutdown()
+	ts := httptest.NewServer(NewServer(sm).Handler())
+	defer ts.Close()
+
+	// Open.
+	var opened struct {
+		Session string `json:"session"`
+	}
+	if code := postJSON(t, ts.Client(), ts.URL+"/v1/sessions", nil, &opened); code != http.StatusOK {
+		t.Fatalf("open status %d", code)
+	}
+	if opened.Session == "" {
+		t.Fatal("open returned no session id")
+	}
+
+	// Audio, chunk by chunk.
+	wire := EncodePCM16(sig.Samples)
+	var got stroke.Sequence
+	const chunkBytes = 2 * 8192
+	for off := 0; off < len(wire); off += chunkBytes {
+		end := min(off+chunkBytes, len(wire))
+		var out audioResponse
+		code := postJSON(t, ts.Client(), ts.URL+"/v1/sessions/"+opened.Session+"/audio", wire[off:end], &out)
+		if code != http.StatusOK {
+			t.Fatalf("audio status %d at offset %d", code, off)
+		}
+		for _, d := range out.Detections {
+			seq, err := stroke.ParseSequenceKey(d.Stroke[1:])
+			if err != nil {
+				t.Fatalf("bad stroke %q: %v", d.Stroke, err)
+			}
+			got = append(got, seq...)
+		}
+	}
+
+	// Flush.
+	var fl flushResponse
+	if code := postJSON(t, ts.Client(), ts.URL+"/v1/sessions/"+opened.Session+"/flush", nil, &fl); code != http.StatusOK {
+		t.Fatalf("flush status %d", code)
+	}
+	for _, d := range fl.Detections {
+		seq, err := stroke.ParseSequenceKey(d.Stroke[1:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, seq...)
+	}
+
+	if !got.Equal(golden) {
+		t.Errorf("served alphabet = %v, want %v", got, golden)
+	}
+
+	// Close, and the session is really gone.
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/sessions/"+opened.Session, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Errorf("delete status %d", resp.StatusCode)
+	}
+	if code := postJSON(t, ts.Client(), ts.URL+"/v1/sessions/"+opened.Session+"/audio",
+		bytes.Repeat([]byte{0}, 64), nil); code != http.StatusNotFound {
+		t.Errorf("audio after close status %d, want 404", code)
+	}
+
+	// The aggregated statsz saw exactly this traffic.
+	var st Stats
+	sresp, err := ts.Client().Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if st.ActiveSessions != 0 {
+		t.Errorf("statsz active sessions = %d, want 0", st.ActiveSessions)
+	}
+	if st.Detections != uint64(len(golden)) {
+		t.Errorf("statsz detections = %d, want %d", st.Detections, len(golden))
+	}
+	if len(st.Shards) != 3 {
+		t.Errorf("statsz shards = %d, want 3", len(st.Shards))
+	}
+}

@@ -95,6 +95,18 @@ func (r *LoadReport) RealTimeFactor() float64 {
 	return r.AudioSeconds / r.Elapsed.Seconds()
 }
 
+// ErrorRate is the fraction of attempted operations that failed
+// outright (backpressure retries that eventually succeeded do not
+// count). cmd/ewload exits non-zero when this exceeds its threshold, so
+// a load run doubles as a CI smoke gate.
+func (r *LoadReport) ErrorRate() float64 {
+	total := r.ChunksSent + r.Errors
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Errors) / float64(total)
+}
+
 // String renders the human-readable summary cmd/ewload prints.
 func (r *LoadReport) String() string {
 	var b bytes.Buffer
@@ -106,7 +118,7 @@ func (r *LoadReport) String() string {
 	fmt.Fprintf(&b, "detections         %d\n", r.Detections)
 	fmt.Fprintf(&b, "writers with words %d\n", r.Words)
 	fmt.Fprintf(&b, "backpressure 429s  %d\n", r.Backpressure)
-	fmt.Fprintf(&b, "errors             %d\n", r.Errors)
+	fmt.Fprintf(&b, "errors             %d (%.2f%% of chunks)\n", r.Errors, 100*r.ErrorRate())
 	fmt.Fprintf(&b, "chunk latency ms   p50 %.2f  p95 %.2f  p99 %.2f\n",
 		r.ChunkLatencyMs.P50, r.ChunkLatencyMs.P95, r.ChunkLatencyMs.P99)
 	fmt.Fprintf(&b, "stroke latency ms  p50 %.2f  p95 %.2f  p99 %.2f\n",

@@ -64,6 +64,12 @@ type Config struct {
 	// Clock supplies time for idle accounting (default time.Now); tests
 	// inject a fake.
 	Clock func() time.Time
+	// JobStartHook, when set, runs at the top of every worker job with
+	// the job's session ID. It exists for fault injection: the stress
+	// suite uses it to stall chosen sessions, saturate queues
+	// deterministically, and shake goroutine interleavings. Production
+	// configs leave it nil.
+	JobStartHook func(sessionID string)
 }
 
 func (c Config) withDefaults() Config {
@@ -118,9 +124,8 @@ type Manager struct {
 	evictions  atomic.Uint64
 	stages     ewruntime.SharedBreakdown
 
-	latMu   sync.Mutex
-	latMs   []float64
-	latNext int
+	latMu sync.Mutex
+	lat   *metrics.Reservoir
 
 	// testJobStart, when set, runs at the top of every worker job; tests
 	// use it to hold workers and saturate the queue deterministically.
@@ -166,13 +171,17 @@ func NewManager(cfg Config) (*Manager, error) {
 	if err != nil {
 		return nil, err
 	}
+	lat, err := metrics.NewReservoir(latencyRing)
+	if err != nil {
+		return nil, err
+	}
 	m := &Manager{
 		cfg:      cfg,
 		pool:     pool,
 		jobs:     make(chan *job, cfg.QueueDepth),
 		quit:     make(chan struct{}),
 		sessions: make(map[string]*session),
-		latMs:    make([]float64, 0, latencyRing),
+		lat:      lat,
 	}
 	m.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -185,11 +194,34 @@ func NewManager(cfg Config) (*Manager, error) {
 // full it first attempts idle eviction; if the table is still full the
 // call fails with ErrSessionLimit.
 func (m *Manager) Open() (string, error) {
+	return m.open("")
+}
+
+// OpenWithID registers a session under a caller-chosen ID — the hook a
+// ShardedManager uses to mint IDs that hash to the shard it routes
+// through. The ID must be non-empty and not currently in the table.
+func (m *Manager) OpenWithID(id string) error {
+	if id == "" {
+		return fmt.Errorf("serve: empty session id")
+	}
+	_, err := m.open(id)
+	return err
+}
+
+// open shares the admission path of Open and OpenWithID: an empty id
+// means "mint the next sequential one".
+func (m *Manager) open(id string) (string, error) {
 	for attempt := 0; ; attempt++ {
 		m.mu.Lock()
 		if m.closed {
 			m.mu.Unlock()
 			return "", ErrClosed
+		}
+		if id != "" {
+			if _, dup := m.sessions[id]; dup {
+				m.mu.Unlock()
+				return "", fmt.Errorf("serve: duplicate session id %q", id)
+			}
 		}
 		if len(m.sessions) < m.cfg.MaxSessions {
 			break // holds m.mu
@@ -199,8 +231,10 @@ func (m *Manager) Open() (string, error) {
 			return "", ErrSessionLimit
 		}
 	}
-	m.nextID++
-	id := fmt.Sprintf("s%06d", m.nextID)
+	if id == "" {
+		m.nextID++
+		id = fmt.Sprintf("s%06d", m.nextID)
+	}
 	sess := &session{id: id}
 	sess.lastActive.Store(m.cfg.Clock().UnixNano())
 	m.sessions[id] = sess
@@ -385,6 +419,9 @@ func (m *Manager) runJob(j *job) {
 	if m.testJobStart != nil {
 		m.testJobStart()
 	}
+	if m.cfg.JobStartHook != nil {
+		m.cfg.JobStartHook(j.sess.id)
+	}
 	sess := j.sess
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
@@ -439,13 +476,25 @@ func (m *Manager) accountStages(sess *session, strokes int) {
 func (m *Manager) recordLatency(d time.Duration) {
 	ms := float64(d) / float64(time.Millisecond)
 	m.latMu.Lock()
-	if len(m.latMs) < latencyRing {
-		m.latMs = append(m.latMs, ms)
-	} else {
-		m.latMs[m.latNext] = ms
-		m.latNext = (m.latNext + 1) % latencyRing
-	}
+	m.lat.Add(ms)
 	m.latMu.Unlock()
+}
+
+// latencySamples copies the retained feed-latency samples; the sharded
+// aggregator pools them across shards for merged quantiles.
+func (m *Manager) latencySamples() []float64 {
+	m.latMu.Lock()
+	defer m.latMu.Unlock()
+	return m.lat.Samples()
+}
+
+// MaxChunk reports the per-feed sample cap admission control enforces
+// (the HTTP front end derives its body limit from it).
+func (m *Manager) MaxChunk() int {
+	if m.cfg.MaxChunk > 0 {
+		return m.cfg.MaxChunk
+	}
+	return pipeline.DefaultMaxChunk
 }
 
 // StageMillis is the per-stroke stage cost view exposed by Snapshot,
@@ -460,9 +509,24 @@ type StageMillis struct {
 	Strokes      int     `json:"strokes"`
 }
 
+// ShardStats is one shard's contribution to an aggregated snapshot:
+// enough to spot a hot shard (deep queue, heavy backpressure) from
+// /statsz without scraping each shard separately.
+type ShardStats struct {
+	ActiveSessions int    `json:"active_sessions"`
+	QueueLen       int    `json:"queue_len"`
+	QueueCap       int    `json:"queue_cap"`
+	Chunks         uint64 `json:"chunks_processed"`
+	Detections     uint64 `json:"detections"`
+	Backpressure   uint64 `json:"backpressure_rejects"`
+	Evictions      uint64 `json:"idle_evictions"`
+}
+
 // Stats is the /statsz snapshot: service health, pool occupancy,
 // throughput counters, feed-latency quantiles and per-stroke stage cost
-// aggregated across all sessions.
+// aggregated across all sessions. For a ShardedManager the top-level
+// fields aggregate every shard (latency quantiles are merged over the
+// pooled per-shard samples) and Shards carries the per-shard view.
 type Stats struct {
 	ActiveSessions int                    `json:"active_sessions"`
 	MaxSessions    int                    `json:"max_sessions"`
@@ -476,6 +540,7 @@ type Stats struct {
 	Evictions      uint64                 `json:"idle_evictions"`
 	FeedLatencyMs  metrics.LatencySummary `json:"feed_latency_ms"`
 	PerStroke      StageMillis            `json:"per_stroke_ms"`
+	Shards         []ShardStats           `json:"shards,omitempty"`
 }
 
 // Snapshot assembles a consistent-enough stats view for monitoring. NaN
@@ -485,9 +550,6 @@ func (m *Manager) Snapshot() Stats {
 	m.mu.Lock()
 	active := len(m.sessions)
 	m.mu.Unlock()
-	m.latMu.Lock()
-	lat := append([]float64(nil), m.latMs...)
-	m.latMu.Unlock()
 	s := Stats{
 		ActiveSessions: active,
 		MaxSessions:    m.cfg.MaxSessions,
@@ -499,22 +561,29 @@ func (m *Manager) Snapshot() Stats {
 		Detections:     m.detections.Load(),
 		Backpressure:   m.rejected.Load(),
 		Evictions:      m.evictions.Load(),
-		FeedLatencyMs:  zeroNaN(metrics.SummarizeLatencies(lat)),
-	}
-	b := m.stages.Snapshot()
-	if per, err := b.PerStroke(); err == nil {
-		ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
-		s.PerStroke = StageMillis{
-			STFT:         ms(per.STFT),
-			Enhancement:  ms(per.Enhancement),
-			Profile:      ms(per.Profile),
-			Segmentation: ms(per.Segmentation),
-			DTW:          ms(per.DTW),
-			Total:        ms(per.Total()),
-			Strokes:      b.Strokes,
-		}
+		FeedLatencyMs:  zeroNaN(metrics.SummarizeLatencies(m.latencySamples())),
+		PerStroke:      stageMillis(m.stages.Snapshot()),
 	}
 	return s
+}
+
+// stageMillis converts an aggregated stage breakdown into the per-stroke
+// millisecond view /statsz exposes (zero value when no strokes yet).
+func stageMillis(b ewruntime.StageBreakdown) StageMillis {
+	per, err := b.PerStroke()
+	if err != nil {
+		return StageMillis{}
+	}
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	return StageMillis{
+		STFT:         ms(per.STFT),
+		Enhancement:  ms(per.Enhancement),
+		Profile:      ms(per.Profile),
+		Segmentation: ms(per.Segmentation),
+		DTW:          ms(per.DTW),
+		Total:        ms(per.Total()),
+		Strokes:      b.Strokes,
+	}
 }
 
 func zeroNaN(s metrics.LatencySummary) metrics.LatencySummary {

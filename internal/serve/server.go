@@ -29,12 +29,32 @@ import (
 // chunk as 413, an unknown/evicted session as 404, and a full session
 // table as 503.
 type Server struct {
-	mgr *Manager
+	mgr Service
 	mux *http.ServeMux
 }
 
-// NewServer wires the routes around an existing manager.
-func NewServer(mgr *Manager) *Server {
+// Service is the session-manager surface the HTTP front end drives.
+// *Manager and *ShardedManager both implement it; embedders can wrap
+// either with their own middleware.
+type Service interface {
+	Open() (string, error)
+	Feed(id string, chunk []float64) ([]pipeline.Detection, error)
+	Flush(id string) ([]pipeline.Detection, []infer.Candidate, error)
+	Close(id string) error
+	EvictIdle() int
+	Snapshot() Stats
+	MaxChunk() int
+	Shutdown()
+}
+
+var (
+	_ Service = (*Manager)(nil)
+	_ Service = (*ShardedManager)(nil)
+)
+
+// NewServer wires the routes around an existing manager (sharded or
+// single).
+func NewServer(mgr Service) *Server {
 	s := &Server{mgr: mgr, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /v1/sessions", s.handleOpen)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/audio", s.handleAudio)
@@ -149,11 +169,7 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 
 // maxBodyBytes caps an audio POST at the manager's per-feed sample cap.
 func (s *Server) maxBodyBytes() int64 {
-	max := s.mgr.cfg.MaxChunk
-	if max <= 0 {
-		max = pipeline.DefaultMaxChunk
-	}
-	return 2 * int64(max)
+	return 2 * int64(s.mgr.MaxChunk())
 }
 
 // errBadBody marks malformed request bodies (maps to 400).

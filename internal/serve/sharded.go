@@ -1,0 +1,190 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	stdruntime "runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/infer"
+	"repro/internal/metrics"
+	"repro/internal/pipeline"
+	ewruntime "repro/internal/runtime"
+)
+
+// ShardedManager hash-partitions sessions by session ID across N
+// independent Manager shards. Each shard owns its own session table, job
+// queue, worker pool and EnginePool, so no mutex or channel is shared
+// between sessions on different shards — the single Manager's global
+// queue/lock disappears from every hot path. Backpressure and idle
+// eviction are per-shard: a hot shard 429s its own sessions while the
+// rest of the service keeps serving.
+//
+// Session IDs are minted centrally from an atomic counter and routed by
+// FNV-1a hash, so any holder of an ID (HTTP handlers, load generators)
+// reaches the owning shard without a routing table. Sequential counter
+// values hash near-uniformly, which keeps shards balanced.
+type ShardedManager struct {
+	shards []*Manager
+	nextID atomic.Uint64
+}
+
+// ShardFor returns the index of the shard that owns (or would own) a
+// session ID. Exposed for the stress/invariant test layer.
+func (sm *ShardedManager) ShardFor(id string) int {
+	return shardIndex(id, len(sm.shards))
+}
+
+// NumShards reports the shard count.
+func (sm *ShardedManager) NumShards() int { return len(sm.shards) }
+
+// shardIndex is FNV-1a over the ID, reduced mod n.
+func shardIndex(id string, n int) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= 16777619
+	}
+	return int(h % uint32(n))
+}
+
+// NewShardedManager splits cfg's totals across shards and starts them.
+// shards <= 0 defaults to GOMAXPROCS. The config's MaxSessions, Workers,
+// QueueDepth and Prewarm are service-wide totals, divided per shard (at
+// least one each); under hash skew a single shard may therefore fill
+// slightly before the service-wide session total is reached.
+func NewShardedManager(cfg Config, shards int) (*ShardedManager, error) {
+	if shards <= 0 {
+		shards = stdruntime.GOMAXPROCS(0)
+	}
+	cfg = cfg.withDefaults() // resolve totals before dividing
+	per := cfg
+	per.MaxSessions = ceilDiv(cfg.MaxSessions, shards)
+	per.Workers = max(1, cfg.Workers/shards)
+	per.QueueDepth = max(1, cfg.QueueDepth/shards)
+	per.Prewarm = ceilDiv(cfg.Prewarm, shards)
+
+	sm := &ShardedManager{shards: make([]*Manager, shards)}
+	for i := range sm.shards {
+		m, err := NewManager(per)
+		if err != nil {
+			for _, built := range sm.shards[:i] {
+				built.Shutdown()
+			}
+			return nil, fmt.Errorf("serve: shard %d: %w", i, err)
+		}
+		sm.shards[i] = m
+	}
+	return sm, nil
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+func (sm *ShardedManager) shard(id string) *Manager {
+	return sm.shards[shardIndex(id, len(sm.shards))]
+}
+
+// Open mints a fresh session ID and opens it on the shard the ID hashes
+// to. When that shard's table is full, a new ID is minted (which hashes
+// elsewhere) for up to NumShards attempts before giving up with the
+// shard's error — so one full shard does not refuse the whole service.
+func (sm *ShardedManager) Open() (string, error) {
+	var lastErr error
+	for attempt := 0; attempt < len(sm.shards); attempt++ {
+		id := fmt.Sprintf("s%08d", sm.nextID.Add(1))
+		err := sm.shard(id).OpenWithID(id)
+		if err == nil {
+			return id, nil
+		}
+		lastErr = err
+		if !errors.Is(err, ErrSessionLimit) {
+			return "", err
+		}
+	}
+	return "", lastErr
+}
+
+// Feed routes one audio chunk to the owning shard.
+func (sm *ShardedManager) Feed(id string, chunk []float64) ([]pipeline.Detection, error) {
+	return sm.shard(id).Feed(id, chunk)
+}
+
+// Flush drains a session on its owning shard.
+func (sm *ShardedManager) Flush(id string) ([]pipeline.Detection, []infer.Candidate, error) {
+	return sm.shard(id).Flush(id)
+}
+
+// Close removes a session from its owning shard.
+func (sm *ShardedManager) Close(id string) error {
+	return sm.shard(id).Close(id)
+}
+
+// EvictIdle sweeps every shard and returns the total evicted. Each shard
+// holds only its own lock during its sweep.
+func (sm *ShardedManager) EvictIdle() int {
+	n := 0
+	for _, m := range sm.shards {
+		n += m.EvictIdle()
+	}
+	return n
+}
+
+// Shutdown stops every shard, in parallel so slow drains overlap.
+func (sm *ShardedManager) Shutdown() {
+	var wg sync.WaitGroup
+	for _, m := range sm.shards {
+		wg.Add(1)
+		go func(m *Manager) {
+			defer wg.Done()
+			m.Shutdown()
+		}(m)
+	}
+	wg.Wait()
+}
+
+// MaxChunk reports the per-feed sample cap (identical on every shard).
+func (sm *ShardedManager) MaxChunk() int { return sm.shards[0].MaxChunk() }
+
+// Snapshot aggregates every shard into one Stats view: counters and
+// occupancy sum, feed-latency quantiles merge over the pooled per-shard
+// samples (shards weighted by how much traffic each retained), stage
+// breakdowns merge before the per-stroke division, and Shards carries
+// the per-shard queue/backpressure/eviction detail.
+func (sm *ShardedManager) Snapshot() Stats {
+	var (
+		agg      Stats
+		stages   ewruntime.StageBreakdown
+		latency  = make([][]float64, 0, len(sm.shards))
+		perShard = make([]ShardStats, len(sm.shards))
+	)
+	for i, m := range sm.shards {
+		s := m.Snapshot()
+		agg.ActiveSessions += s.ActiveSessions
+		agg.MaxSessions += s.MaxSessions
+		agg.Workers += s.Workers
+		agg.QueueLen += s.QueueLen
+		agg.QueueCap += s.QueueCap
+		agg.Pool.Created += s.Pool.Created
+		agg.Pool.Free += s.Pool.Free
+		agg.Chunks += s.Chunks
+		agg.Detections += s.Detections
+		agg.Backpressure += s.Backpressure
+		agg.Evictions += s.Evictions
+		stages.Merge(m.stages.Snapshot())
+		latency = append(latency, m.latencySamples())
+		perShard[i] = ShardStats{
+			ActiveSessions: s.ActiveSessions,
+			QueueLen:       s.QueueLen,
+			QueueCap:       s.QueueCap,
+			Chunks:         s.Chunks,
+			Detections:     s.Detections,
+			Backpressure:   s.Backpressure,
+			Evictions:      s.Evictions,
+		}
+	}
+	agg.FeedLatencyMs = zeroNaN(metrics.MergeLatencies(latency...))
+	agg.PerStroke = stageMillis(stages)
+	agg.Shards = perShard
+	return agg
+}

@@ -1,0 +1,217 @@
+package stress
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// TestShardBackpressureIsolation proves graceful per-shard degradation:
+// with one shard's only worker wedged and its queue full, sessions on
+// that shard get ErrBackpressure while sessions on every other shard
+// keep feeding normally.
+func TestShardBackpressureIsolation(t *testing.T) {
+	const shards = 4
+	victimGate := make(chan struct{})
+	var victimID string
+	var mu sync.Mutex
+
+	sm, err := serve.NewShardedManager(serve.Config{
+		MaxSessions: 8 * shards,
+		Workers:     shards, // one worker per shard
+		QueueDepth:  shards, // queue depth one per shard
+		Prewarm:     1,
+		JobStartHook: func(id string) {
+			mu.Lock()
+			wedge := id == victimID
+			mu.Unlock()
+			if wedge {
+				<-victimGate // wedge the victim shard's worker
+			}
+		},
+	}, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sm.Shutdown()
+
+	// Open sessions until we hold one on every shard.
+	byShard := map[int]string{}
+	for len(byShard) < shards {
+		id, err := sm.Open()
+		if err != nil {
+			t.Fatal(err)
+		}
+		byShard[sm.ShardFor(id)] = id
+	}
+	victimShard := 0
+	mu.Lock()
+	victimID = byShard[victimShard]
+	mu.Unlock()
+
+	chunk := make([]float64, 256)
+	// Job 1 wedges the victim shard's worker.
+	wedged := make(chan error, 1)
+	go func() {
+		_, err := sm.Feed(byShard[victimShard], chunk)
+		wedged <- err
+	}()
+	// Job 2 fills the shard's queue slot. It may need a few tries to
+	// arrive after job 1 is actually holding the worker.
+	queued := make(chan error, 1)
+	go func() {
+		for {
+			_, err := sm.Feed(byShard[victimShard], chunk)
+			if !errors.Is(err, serve.ErrBackpressure) {
+				queued <- err
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	// Wait until the victim shard reports a full queue.
+	deadline := time.After(10 * time.Second)
+	for {
+		st := sm.Snapshot()
+		if st.Shards[victimShard].QueueLen == st.Shards[victimShard].QueueCap &&
+			st.Shards[victimShard].QueueCap > 0 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("victim shard queue never filled")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// The victim shard now sheds load…
+	if _, err := sm.Feed(byShard[victimShard], chunk); !errors.Is(err, serve.ErrBackpressure) {
+		t.Fatalf("wedged shard feed error = %v, want ErrBackpressure", err)
+	}
+	// …while every other shard still serves.
+	for sh, id := range byShard {
+		if sh == victimShard {
+			continue
+		}
+		if _, err := sm.Feed(id, chunk); err != nil {
+			t.Errorf("healthy shard %d degraded by wedged shard: %v", sh, err)
+		}
+	}
+
+	st := sm.Snapshot()
+	if st.Shards[victimShard].Backpressure == 0 {
+		t.Error("victim shard recorded no backpressure")
+	}
+	for sh := range byShard {
+		if sh != victimShard && st.Shards[sh].Backpressure != 0 {
+			t.Errorf("healthy shard %d recorded backpressure %d", sh, st.Shards[sh].Backpressure)
+		}
+	}
+
+	mu.Lock()
+	victimID = "" // un-arm before releasing, so cleanup can't re-wedge
+	mu.Unlock()
+	close(victimGate)
+	if err := <-wedged; err != nil {
+		t.Errorf("wedged feed failed after release: %v", err)
+	}
+	if err := <-queued; err != nil {
+		t.Errorf("queued feed failed after release: %v", err)
+	}
+}
+
+// TestShardRebalanceAfterEviction: sessions evicted from a full shard
+// free exactly that shard's capacity; reopening lands new sessions
+// without disturbing survivors, and routing stays consistent throughout.
+func TestShardRebalanceAfterEviction(t *testing.T) {
+	now := time.Unix(5000, 0)
+	var clockMu sync.Mutex
+	clock := func() time.Time { clockMu.Lock(); defer clockMu.Unlock(); return now }
+	advance := func(d time.Duration) { clockMu.Lock(); now = now.Add(d); clockMu.Unlock() }
+
+	const shards = 4
+	sm, err := serve.NewShardedManager(serve.Config{
+		MaxSessions: 8 * shards,
+		Workers:     shards,
+		Prewarm:     1,
+		IdleTimeout: time.Minute,
+		Clock:       clock,
+	}, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sm.Shutdown()
+
+	// Fill the service, tracking shard membership.
+	var ids []string
+	perShard := map[int]int{}
+	for {
+		id, err := sm.Open()
+		if err != nil {
+			if !errors.Is(err, serve.ErrSessionLimit) {
+				t.Fatal(err)
+			}
+			break
+		}
+		ids = append(ids, id)
+		perShard[sm.ShardFor(id)]++
+	}
+	if len(ids) < 8*shards/2 {
+		t.Fatalf("opened only %d sessions at capacity %d", len(ids), 8*shards)
+	}
+
+	// Keep every third session fresh; let the rest go idle.
+	advance(45 * time.Second)
+	var fresh, stale []string
+	for i, id := range ids {
+		if i%3 == 0 {
+			if _, err := sm.Feed(id, make([]float64, 64)); err != nil {
+				t.Fatal(err)
+			}
+			fresh = append(fresh, id)
+		} else {
+			stale = append(stale, id)
+		}
+	}
+	advance(30 * time.Second)
+
+	if n := sm.EvictIdle(); n != len(stale) {
+		t.Fatalf("evicted %d, want %d", n, len(stale))
+	}
+	st := sm.Snapshot()
+	if st.ActiveSessions != len(fresh) {
+		t.Fatalf("active = %d after eviction, want %d", st.ActiveSessions, len(fresh))
+	}
+	// Per-shard actives must reflect exactly the fresh survivors' hashes.
+	wantPerShard := map[int]int{}
+	for _, id := range fresh {
+		wantPerShard[sm.ShardFor(id)]++
+	}
+	for sh, s := range st.Shards {
+		if s.ActiveSessions != wantPerShard[sh] {
+			t.Errorf("shard %d active = %d, want %d", sh, s.ActiveSessions, wantPerShard[sh])
+		}
+	}
+
+	// Freed capacity is reusable and routing of survivors is intact.
+	reopened := 0
+	for i := 0; i < len(stale); i++ {
+		if _, err := sm.Open(); err != nil {
+			break
+		}
+		reopened++
+	}
+	if reopened < len(stale)/2 {
+		t.Errorf("reopened only %d of %d evicted slots", reopened, len(stale))
+	}
+	for _, id := range fresh {
+		if _, err := sm.Feed(id, make([]float64, 64)); err != nil {
+			t.Errorf("survivor %q lost after rebalance: %v", id, err)
+		}
+	}
+}
