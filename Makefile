@@ -1,13 +1,19 @@
-# Tier-1 verification plus the race gate for the concurrent serving
-# code. `make ci` is what every PR must keep green.
+# Tier-1 verification plus the race and lint gates for the concurrent
+# serving code. `make ci` is what every PR must keep green.
 GO ?= go
 
-.PHONY: ci vet build test race fuzz-smoke stress bench
+.PHONY: ci vet lint build test race fuzz-smoke stress bench
 
-ci: vet build test race fuzz-smoke
+ci: vet lint build test race fuzz-smoke
 
 vet:
 	$(GO) vet ./...
+
+# The project-specific analyzer suite (internal/analysis, driven by
+# cmd/ewvet): lock discipline, guarded fields, float equality, hot-path
+# allocations, goroutine lifecycles. Exits non-zero on any finding.
+lint:
+	$(GO) run ./cmd/ewvet .
 
 build:
 	$(GO) build ./...
@@ -15,13 +21,12 @@ build:
 test:
 	$(GO) test ./...
 
-# The serve and pipeline packages contain the concurrency-sensitive
-# code (sharded session manager, worker pools, pooled streams);
-# race-check them on every change. The serve tree additionally runs at
-# -cpu=1,4 so shard scheduling is exercised both starved and parallel.
+# Race-check the whole module. The serve tree additionally runs at
+# -cpu=1,4 so shard scheduling (sharded session manager, worker pools,
+# pooled streams) is exercised both starved and parallel.
 race:
+	$(GO) test -race ./...
 	$(GO) test -race -cpu=1,4 ./internal/serve/...
-	$(GO) test -race ./internal/pipeline/...
 
 # A 10-second native-fuzz smoke of the streaming chunking invariance;
 # regressions in Stream.Feed surface here before the long fuzzers run.

@@ -1,0 +1,81 @@
+// Command ewvet runs EchoWrite's project-specific static-analysis
+// suite (internal/analysis) over the whole module: lock discipline in
+// the serving layer, float-equality hygiene in the DSP core,
+// allocation budgets on annotated hot paths, guarded-field access and
+// goroutine lifecycle rules. It prints findings as file:line:col and
+// exits non-zero when any are found, so `make lint` gates CI on it.
+//
+// Usage:
+//
+//	ewvet [-list] [-only name,name] [dir]
+//
+// dir defaults to the current directory; the module containing it is
+// analyzed in full (testdata fixture packages are skipped, exactly as
+// the go tool skips them).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default all)")
+	flag.Parse()
+
+	analyzers := analysis.Registry()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name(), a.Doc())
+		}
+		return
+	}
+	if *only != "" {
+		want := make(map[string]bool)
+		for _, name := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		var kept []analysis.Analyzer
+		for _, a := range analyzers {
+			if want[a.Name()] {
+				kept = append(kept, a)
+				delete(want, a.Name())
+			}
+		}
+		for name := range want {
+			fatalf("ewvet: unknown analyzer %q", name)
+		}
+		analyzers = kept
+	}
+
+	dir := "."
+	if flag.NArg() > 0 {
+		dir = flag.Arg(0)
+	}
+	root, err := analysis.FindModuleRoot(dir)
+	if err != nil {
+		fatalf("ewvet: %v", err)
+	}
+	pkgs, err := analysis.LoadModule(root)
+	if err != nil {
+		fatalf("ewvet: %v", err)
+	}
+	findings := analysis.Run(pkgs, analyzers)
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fatalf("ewvet: %d finding(s) in %d package(s)", len(findings), len(pkgs))
+	}
+	fmt.Printf("ewvet: %d packages clean (%d analyzers)\n", len(pkgs), len(analyzers))
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

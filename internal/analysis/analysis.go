@@ -1,0 +1,143 @@
+// Package analysis is EchoWrite's project-specific static-analysis
+// framework: a pure-stdlib loader (go/parser + go/types) plus a set of
+// analyzers that encode invariants generic `go vet` cannot see — lock
+// discipline in the serving layer, float-equality hygiene in the DSP
+// core, allocation budgets on annotated hot paths, and goroutine
+// lifecycle rules. cmd/ewvet drives the suite over the whole module;
+// `make lint` wires it into CI.
+//
+// Annotation grammar (all comments, same line or the line above unless
+// noted):
+//
+//	// guarded by <field>   on a struct field: the field may only be
+//	                        accessed while the sibling mutex <field> is
+//	                        held (enforced by the guardedfield analyzer).
+//	// ew:holds <expr>.<mu> on a function's doc comment: the function
+//	                        requires the caller to hold the named lock;
+//	                        the lock is treated as held throughout.
+//	// ew:hotpath           on a function's doc comment: the hotalloc
+//	                        analyzer audits every loop in the body.
+//	// ew:exact             on a float ==/!= comparison: the comparison
+//	                        is deliberately exact (zero or a sentinel
+//	                        value assigned verbatim, never computed).
+//	// ew:allow <analyzer>  suppresses one analyzer at this site; use
+//	                        only with a justifying comment.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Finding is one analyzer hit, formatted file:line:col style by
+// cmd/ewvet.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Package is one loaded, type-checked package: everything an analyzer
+// needs to reason about it.
+type Package struct {
+	// Path is the import path ("repro/internal/serve").
+	Path string
+	// Dir is the absolute directory the files were read from.
+	Dir string
+	// Fset positions every token in Files.
+	Fset *token.FileSet
+	// Files are the parsed non-test sources, with comments.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info carries the type-checker's expression/object tables.
+	Info *types.Info
+	// Notes indexes the ew:* annotations by file and line.
+	Notes *Annotations
+}
+
+// Analyzer is one invariant check. Run must be stateless: the driver
+// may call it for many packages.
+type Analyzer interface {
+	// Name is the short identifier used in findings and ew:allow tags.
+	Name() string
+	// Doc is a one-line description for ewvet -list.
+	Doc() string
+	// Match reports whether the analyzer wants to see the package with
+	// the given import path (fixture paths under testdata always match).
+	Match(path string) bool
+	// Run analyzes one package and returns its findings.
+	Run(pkg *Package) []Finding
+}
+
+// Registry returns the full analyzer suite in stable order.
+func Registry() []Analyzer {
+	return []Analyzer{
+		Lockhold{},
+		Guardedfield{},
+		Floateq{},
+		Hotalloc{},
+		Goexit{},
+	}
+}
+
+// Run applies every matching analyzer to every package and returns the
+// findings sorted by position.
+func Run(pkgs []*Package, analyzers []Analyzer) []Finding {
+	var out []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if !a.Match(pkg.Path) {
+				continue
+			}
+			out = append(out, a.Run(pkg)...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// isFixturePath reports whether path points into the analyzer fixture
+// tree; analyzers always match their fixtures so the golden tests can
+// drive them through the same Match gate ewvet uses.
+func isFixturePath(path, analyzer string) bool {
+	return pathHasSuffix(path, "internal/analysis/testdata/src/"+analyzer)
+}
+
+// pathHasSuffix is strings.HasSuffix over /-separated path elements.
+func pathHasSuffix(path, suffix string) bool {
+	if len(path) < len(suffix) {
+		return false
+	}
+	if path[len(path)-len(suffix):] != suffix {
+		return false
+	}
+	return len(path) == len(suffix) || path[len(path)-len(suffix)-1] == '/'
+}
+
+// pathIsIn reports whether path equals prefix or lies beneath it.
+func pathIsIn(path, prefix string) bool {
+	if len(path) < len(prefix) || path[:len(prefix)] != prefix {
+		return false
+	}
+	return len(path) == len(prefix) || path[len(prefix)] == '/'
+}

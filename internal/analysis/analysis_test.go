@@ -1,0 +1,116 @@
+package analysis_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// wantRe extracts golden expectations from fixture comments:
+// `// want "substring"` (several per comment allowed). A finding on
+// the comment's line must contain the substring; every want must be
+// matched, so weakening an analyzer fails its fixture test.
+var wantRe = regexp.MustCompile(`want "([^"]*)"`)
+
+type want struct {
+	file string
+	line int
+	sub  string
+}
+
+func (w want) String() string { return fmt.Sprintf("%s:%d: %q", w.file, w.line, w.sub) }
+
+// collectWants scans a fixture package's comments for expectations.
+func collectWants(pkg *analysis.Package) []want {
+	var out []want
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+					pos := pkg.Fset.Position(c.Pos())
+					out = append(out, want{file: pos.Filename, line: pos.Line, sub: m[1]})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TestAnalyzerFixtures runs each analyzer over its fixture package and
+// compares findings against the `want` expectations in both
+// directions: an unexpected finding is a false positive, an unmatched
+// want means the analyzer has been weakened.
+func TestAnalyzerFixtures(t *testing.T) {
+	modRoot, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range analysis.Registry() {
+		t.Run(a.Name(), func(t *testing.T) {
+			dir := filepath.Join(modRoot, "internal", "analysis", "testdata", "src", a.Name())
+			pkg, err := analysis.LoadDir(modRoot, dir)
+			if err != nil {
+				t.Fatalf("loading fixture: %v", err)
+			}
+			if !a.Match(pkg.Path) {
+				t.Fatalf("analyzer %s does not Match its own fixture path %q", a.Name(), pkg.Path)
+			}
+			findings := analysis.Run([]*analysis.Package{pkg}, []analysis.Analyzer{a})
+			wants := collectWants(pkg)
+			if len(wants) == 0 {
+				t.Fatal("fixture has no want expectations")
+			}
+
+			matched := make([]bool, len(wants))
+			for _, f := range findings {
+				ok := false
+				for i, w := range wants {
+					if w.file == f.Pos.Filename && w.line == f.Pos.Line && contains(f.Message, w.sub) {
+						matched[i] = true
+						ok = true
+					}
+				}
+				if !ok {
+					t.Errorf("unexpected finding: %s", f)
+				}
+			}
+			for i, w := range wants {
+				if !matched[i] {
+					t.Errorf("expected finding not reported (analyzer weakened?): %s", w)
+				}
+			}
+		})
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// TestModuleClean loads the whole module and asserts the suite reports
+// nothing: the tree must stay annotation-clean, exactly as `make lint`
+// requires.
+func TestModuleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module type-check is slow; run without -short")
+	}
+	modRoot, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := analysis.LoadModule(modRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range analysis.Run(pkgs, analysis.Registry()) {
+		t.Errorf("%s", f)
+	}
+}

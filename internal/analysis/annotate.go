@@ -1,0 +1,182 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Annotations indexes every `ew:` comment directive in a package by
+// file and line, so analyzers can answer "is this site annotated?" in
+// O(1) without re-walking comment lists.
+type Annotations struct {
+	fset *token.FileSet
+	// tags maps filename → line → directive bodies found on that line
+	// (the text after "ew:", e.g. "exact" or "allow lockhold").
+	tags map[string]map[int][]string
+}
+
+// NewAnnotations scans the comment lists of files.
+func NewAnnotations(fset *token.FileSet, files []*ast.File) *Annotations {
+	a := &Annotations{fset: fset, tags: make(map[string]map[int][]string)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				idx := strings.Index(text, "ew:")
+				if idx < 0 {
+					continue
+				}
+				body := strings.TrimSpace(text[idx+len("ew:"):])
+				// A directive ends at the first period or double space so
+				// prose can follow: "// ew:allow lockhold: reply is buffered".
+				if cut := strings.IndexAny(body, ".;"); cut >= 0 {
+					body = body[:cut]
+				}
+				body = strings.TrimSpace(body)
+				if body == "" {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				byLine := a.tags[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int][]string)
+					a.tags[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], body)
+				// A directive inside a multi-line comment group also covers
+				// the statement the group is attached to, so register it at
+				// the group's last line as well (onOrAbove looks one line up).
+				if end := fset.Position(cg.End()).Line; end != pos.Line {
+					byLine[end] = append(byLine[end], body)
+				}
+			}
+		}
+	}
+	return a
+}
+
+// at returns the directives on the given file line.
+func (a *Annotations) at(filename string, line int) []string {
+	return a.tags[filename][line]
+}
+
+// onOrAbove reports whether a directive matching ok appears on pos's
+// line or the line directly above it (the two idiomatic placements).
+func (a *Annotations) onOrAbove(pos token.Pos, ok func(string) bool) bool {
+	p := a.fset.Position(pos)
+	for _, line := range []int{p.Line, p.Line - 1} {
+		for _, tag := range a.at(p.Filename, line) {
+			if ok(tag) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Allowed reports whether the site at pos carries `ew:allow <analyzer>`.
+func (a *Annotations) Allowed(pos token.Pos, analyzer string) bool {
+	return a.onOrAbove(pos, func(tag string) bool {
+		rest, found := strings.CutPrefix(tag, "allow")
+		if !found {
+			return false
+		}
+		fields := strings.Fields(strings.TrimPrefix(strings.TrimSpace(rest), ":"))
+		// The analyzer name may be followed by explanatory prose introduced
+		// with a colon: "ew:allow lockhold: reply is buffered".
+		return len(fields) > 0 && strings.TrimRight(fields[0], ":,") == analyzer
+	})
+}
+
+// Exact reports whether the comparison at pos carries `ew:exact`,
+// optionally followed by prose ("ew:exact (same sentinel)").
+func (a *Annotations) Exact(pos token.Pos) bool {
+	return a.onOrAbove(pos, func(tag string) bool {
+		rest, found := strings.CutPrefix(tag, "exact")
+		return found && (rest == "" || rest[0] == ' ' || rest[0] == ':' || rest[0] == '(')
+	})
+}
+
+// docDirective scans a function's doc comment for a directive with the
+// given keyword, returning its argument list and whether it was found.
+func docDirective(doc *ast.CommentGroup, keyword string) ([]string, bool) {
+	if doc == nil {
+		return nil, false
+	}
+	for _, c := range doc.List {
+		text := c.Text
+		idx := strings.Index(text, "ew:"+keyword)
+		if idx < 0 {
+			continue
+		}
+		rest := text[idx+len("ew:")+len(keyword):]
+		if cut := strings.IndexByte(rest, ';'); cut >= 0 {
+			rest = rest[:cut]
+		}
+		// Arguments are identifier chains like "sess.mu"; explanatory prose
+		// after them (— such as this) is dropped at the first non-argument
+		// token. Cutting at '.' would split the chains themselves.
+		var args []string
+		for _, f := range strings.Fields(rest) {
+			if !isExprToken(f) {
+				break
+			}
+			args = append(args, f)
+		}
+		return args, true
+	}
+	return nil, false
+}
+
+// isExprToken reports whether f looks like a directive argument — an
+// identifier chain such as "mu" or "sess.mu" — rather than prose.
+func isExprToken(f string) bool {
+	for i, r := range f {
+		switch {
+		case r == '_' || ('a' <= r && r <= 'z') || ('A' <= r && r <= 'Z'):
+		case i > 0 && (r == '.' || ('0' <= r && r <= '9')):
+		default:
+			return false
+		}
+	}
+	return f != ""
+}
+
+// IsHotpath reports whether fn's doc carries `ew:hotpath`.
+func IsHotpath(fn *ast.FuncDecl) bool {
+	_, ok := docDirective(fn.Doc, "hotpath")
+	return ok
+}
+
+// HeldOnEntry returns the lock expressions a function's `ew:holds`
+// directives assert are held by every caller (e.g. "sess.mu").
+func HeldOnEntry(fn *ast.FuncDecl) []string {
+	args, ok := docDirective(fn.Doc, "holds")
+	if !ok {
+		return nil
+	}
+	return args
+}
+
+// guardComment extracts the guard field name from a struct field's
+// `// guarded by <name>` comment (doc or trailing), if present.
+func guardComment(field *ast.Field) (string, bool) {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			text := c.Text
+			idx := strings.Index(text, "guarded by ")
+			if idx < 0 {
+				continue
+			}
+			fields := strings.Fields(text[idx+len("guarded by "):])
+			if len(fields) > 0 {
+				return strings.TrimRight(fields[0], ".,;"), true
+			}
+		}
+	}
+	return "", false
+}

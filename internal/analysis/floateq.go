@@ -1,0 +1,68 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Floateq flags `==` and `!=` between floating-point operands in the
+// DSP core packages. The pipeline mixes computed Hz values, bin
+// indices converted through float math, and normalized magnitudes;
+// exact comparison on any of those silently stops matching after an
+// innocuous-looking refactor (the classic Hz-vs-bin unit slip).
+//
+// Deliberately exact comparisons — against a literal zero that was
+// assigned verbatim, or a sentinel like math.MaxFloat64 that is copied
+// but never computed — carry `// ew:exact` on the comparison line.
+type Floateq struct{}
+
+func (Floateq) Name() string { return "floateq" }
+func (Floateq) Doc() string {
+	return "float ==/!= in DSP code; use a tolerance or annotate ew:exact"
+}
+
+func (Floateq) Match(path string) bool {
+	return pathContains(path, "internal/dsp") ||
+		pathContains(path, "internal/segment") ||
+		pathContains(path, "internal/mvce") ||
+		pathContains(path, "internal/dtw") ||
+		isFixturePath(path, "floateq")
+}
+
+func (f Floateq) Run(pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			x, y := pkg.Info.Types[bin.X], pkg.Info.Types[bin.Y]
+			if !isFloat(x.Type) && !isFloat(y.Type) {
+				return true
+			}
+			if x.Value != nil && y.Value != nil {
+				return true // constant-folded at compile time
+			}
+			if pkg.Notes.Exact(bin.Pos()) {
+				return true
+			}
+			out = append(out, Finding{
+				Analyzer: f.Name(),
+				Pos:      pkg.Fset.Position(bin.OpPos),
+				Message:  "floating-point " + bin.Op.String() + " comparison; use a tolerance or annotate // ew:exact",
+			})
+			return true
+		})
+	}
+	return out
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,261 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// Goexit audits `go` statements for the two goroutine-lifecycle
+// hazards that leak under serving load:
+//
+//  1. A goroutine with no visible stop mechanism — its body (or the
+//     body of the same-package function it calls) contains no channel
+//     operation, select, context use, or sync.WaitGroup call, and for
+//     cross-package callees no channel/context argument is passed.
+//     Such a goroutine can outlive its owner with nothing to end it.
+//  2. A closure that captures an enclosing loop variable instead of
+//     receiving it as an argument. Per-iteration loop semantics make
+//     this well-defined since Go 1.22, but the explicit argument keeps
+//     the data flow auditable and survives backports.
+//
+// Process-lifetime goroutines (an HTTP server in a main package)
+// carry `// ew:allow goexit` with a justification.
+type Goexit struct{}
+
+func (Goexit) Name() string { return "goexit" }
+func (Goexit) Doc() string {
+	return "`go` statement with no stop mechanism, or capturing a loop variable"
+}
+
+// Match accepts every package: goroutine hygiene is global.
+func (Goexit) Match(path string) bool { return true }
+
+func (g Goexit) Run(pkg *Package) []Finding {
+	var out []Finding
+	decls := packageFuncDecls(pkg)
+	report := func(n ast.Node, msg string) {
+		if pkg.Notes.Allowed(n.Pos(), g.Name()) {
+			return
+		}
+		out = append(out, Finding{Analyzer: g.Name(), Pos: pkg.Fset.Position(n.Pos()), Message: msg})
+	}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			g.checkFunc(pkg, fn, decls, report)
+		}
+	}
+	return out
+}
+
+// checkFunc walks fn tracking the loop variables in scope at each `go`
+// statement.
+func (g Goexit) checkFunc(pkg *Package, fn *ast.FuncDecl, decls map[*types.Func]*ast.FuncDecl, report func(ast.Node, string)) {
+	var loopVars []types.Object
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		if n == nil {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			mark := len(loopVars)
+			for _, e := range []ast.Expr{n.Key, n.Value} {
+				if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+					if obj := pkg.Info.Defs[id]; obj != nil {
+						loopVars = append(loopVars, obj)
+					}
+				}
+			}
+			children(n, walk)
+			loopVars = loopVars[:mark]
+			return
+		case *ast.ForStmt:
+			mark := len(loopVars)
+			if init, ok := n.Init.(*ast.AssignStmt); ok {
+				for _, e := range init.Lhs {
+					if id, ok := e.(*ast.Ident); ok {
+						if obj := pkg.Info.Defs[id]; obj != nil {
+							loopVars = append(loopVars, obj)
+						}
+					}
+				}
+			}
+			children(n, walk)
+			loopVars = loopVars[:mark]
+			return
+		case *ast.GoStmt:
+			g.checkGo(pkg, n, loopVars, decls, report)
+		}
+		children(n, walk)
+	}
+	walk(fn.Body)
+}
+
+func (g Goexit) checkGo(pkg *Package, stmt *ast.GoStmt, loopVars []types.Object, decls map[*types.Func]*ast.FuncDecl, report func(ast.Node, string)) {
+	call := stmt.Call
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		for _, lv := range loopVars {
+			if usesObject(pkg, lit.Body, lv) {
+				report(stmt, fmt.Sprintf("goroutine closure captures loop variable %q; pass it as a call argument", lv.Name()))
+				break
+			}
+		}
+		if !hasStopMechanism(pkg, lit.Body) && !argsCarryStop(pkg, call) {
+			report(stmt, "goroutine has no stop mechanism (channel, select, context, or WaitGroup) in its body")
+		}
+		return
+	}
+	// Named function or method.
+	obj, _ := calleeObject(pkg, call).(*types.Func)
+	if obj == nil {
+		// Dynamic call through a function value: the value itself could
+		// do anything; only require a stop argument.
+		if !argsCarryStop(pkg, call) {
+			report(stmt, "goroutine launches a function value with no channel or context argument")
+		}
+		return
+	}
+	if decl := decls[obj]; decl != nil && decl.Body != nil {
+		if !hasStopMechanism(pkg, decl.Body) && !argsCarryStop(pkg, call) {
+			report(stmt, fmt.Sprintf("goroutine %s has no stop mechanism (channel, select, context, or WaitGroup)", obj.Name()))
+		}
+		return
+	}
+	// Cross-package callee: the body is out of reach, so require a
+	// channel or context in the call (receiver included).
+	if !argsCarryStop(pkg, call) && !recvCarriesStop(pkg, call) {
+		report(stmt, fmt.Sprintf("goroutine calls %s with no channel or context argument to stop it", obj.Name()))
+	}
+}
+
+// hasStopMechanism reports whether body contains any construct that
+// can end or coordinate the goroutine: channel ops, select, close,
+// sync.WaitGroup calls, or context method calls.
+func hasStopMechanism(pkg *Package, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				found = true
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" {
+				if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+					found = true
+				}
+			}
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func); ok {
+					if recv := recvNamed(fn); recv != nil && recv.Obj().Pkg() != nil {
+						switch recv.Obj().Pkg().Path() {
+						case "sync":
+							if recv.Obj().Name() == "WaitGroup" {
+								found = true
+							}
+						case "context":
+							found = true
+						}
+					} else if fn.Pkg() != nil && fn.Pkg().Path() == "context" {
+						found = true
+					}
+					// Interface method calls (context.Context.Done).
+					if isContextType(pkg.Info.Types[sel.X].Type) {
+						found = true
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// argsCarryStop reports whether any call argument is a channel,
+// context, or function value — something the callee can use to stop.
+func argsCarryStop(pkg *Package, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		t := pkg.Info.Types[arg].Type
+		if t == nil {
+			continue
+		}
+		switch t.Underlying().(type) {
+		case *types.Chan, *types.Signature:
+			return true
+		}
+		if isContextType(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// recvCarriesStop reports whether a method call's receiver is itself a
+// context or channel (rare, but cheap to accept).
+func recvCarriesStop(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	t := pkg.Info.Types[sel.X].Type
+	if t == nil {
+		return false
+	}
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	return isContextType(t)
+}
+
+func isContextType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// usesObject reports whether body references obj.
+func usesObject(pkg *Package, body ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pkg.Info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// packageFuncDecls indexes the package's function declarations by
+// their type-checker objects, so goexit can chase same-package callees.
+func packageFuncDecls(pkg *Package) map[*types.Func]*ast.FuncDecl {
+	out := make(map[*types.Func]*ast.FuncDecl)
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok {
+				if obj, ok := pkg.Info.Defs[fn.Name].(*types.Func); ok {
+					out[obj] = fn
+				}
+			}
+		}
+	}
+	return out
+}

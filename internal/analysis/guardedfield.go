@@ -1,0 +1,187 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// Guardedfield enforces `// guarded by <mu>` annotations on struct
+// fields: any access to an annotated field must occur while the named
+// sibling mutex of the same receiver expression is provably held
+// (Lock/RLock earlier in the function, a defer-Unlock region, or an
+// `ew:holds` precondition on the enclosing function).
+//
+// Accesses through a value freshly built from a composite literal in
+// the same function are exempt — constructors initialize fields before
+// the value can be shared. Anything else needs the lock or an
+// `// ew:allow guardedfield` annotation with a justification.
+type Guardedfield struct{}
+
+func (Guardedfield) Name() string { return "guardedfield" }
+func (Guardedfield) Doc() string {
+	return "struct field annotated `guarded by <mu>` accessed without the guard held"
+}
+
+// Match accepts every package: the analyzer is annotation-driven and
+// silent where no `guarded by` comments exist.
+func (Guardedfield) Match(path string) bool { return true }
+
+func (g Guardedfield) Run(pkg *Package) []Finding {
+	guards, bad := collectGuards(pkg)
+	out := bad
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			fresh := freshLocals(pkg, fn)
+			WalkHeld(pkg, fn, func(n ast.Node, held heldSet) {
+				inspectNoFuncLit(n, func(c ast.Node) bool {
+					sel, ok := c.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					selection := pkg.Info.Selections[sel]
+					if selection == nil || selection.Kind() != types.FieldVal {
+						return true
+					}
+					field, ok := selection.Obj().(*types.Var)
+					if !ok {
+						return true
+					}
+					guard, guarded := guards[field]
+					if !guarded {
+						return true
+					}
+					base := exprKey(sel.X)
+					if base != "" && held[base+"."+guard] {
+						return true
+					}
+					if obj := rootObject(pkg, sel.X); obj != nil && fresh[obj] {
+						return true
+					}
+					if pkg.Notes.Allowed(sel.Pos(), g.Name()) {
+						return true
+					}
+					want := guard
+					if base != "" {
+						want = base + "." + guard
+					}
+					out = append(out, Finding{
+						Analyzer: g.Name(),
+						Pos:      pkg.Fset.Position(sel.Pos()),
+						Message: fmt.Sprintf("field %s is guarded by %s, which is not held here",
+							field.Name(), want),
+					})
+					return true
+				})
+			})
+		}
+	}
+	return out
+}
+
+// collectGuards maps annotated field objects to their guard field
+// name, reporting annotations whose guard does not name a sibling
+// field.
+func collectGuards(pkg *Package) (map[*types.Var]string, []Finding) {
+	guards := make(map[*types.Var]string)
+	var bad []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			names := make(map[string]bool)
+			for _, f := range st.Fields.List {
+				for _, name := range f.Names {
+					names[name.Name] = true
+				}
+			}
+			for _, f := range st.Fields.List {
+				guard, ok := guardComment(f)
+				if !ok {
+					continue
+				}
+				if !names[guard] {
+					bad = append(bad, Finding{
+						Analyzer: "guardedfield",
+						Pos:      pkg.Fset.Position(f.Pos()),
+						Message:  fmt.Sprintf("guard %q is not a field of this struct", guard),
+					})
+					continue
+				}
+				for _, name := range f.Names {
+					if obj, ok := pkg.Info.Defs[name].(*types.Var); ok {
+						guards[obj] = guard
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards, bad
+}
+
+// freshLocals finds variables assigned a composite literal (or its
+// address) anywhere in fn: values still private to the constructor.
+func freshLocals(pkg *Package, fn *ast.FuncDecl) map[types.Object]bool {
+	fresh := make(map[types.Object]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || len(asg.Lhs) != len(asg.Rhs) {
+			return true
+		}
+		for i, rhs := range asg.Rhs {
+			if !isCompositeLit(rhs) {
+				continue
+			}
+			id, ok := asg.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if obj := pkg.Info.Defs[id]; obj != nil {
+				fresh[obj] = true
+			} else if obj := pkg.Info.Uses[id]; obj != nil {
+				fresh[obj] = true
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+func isCompositeLit(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op.String() == "&" {
+			_, ok := ast.Unparen(e.X).(*ast.CompositeLit)
+			return ok
+		}
+	}
+	return false
+}
+
+// rootObject resolves the leftmost identifier of a selector chain.
+func rootObject(pkg *Package, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if obj := pkg.Info.Uses[x]; obj != nil {
+				return obj
+			}
+			return pkg.Info.Defs[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Hotalloc audits functions annotated `// ew:hotpath`: inside their
+// loops it flags make calls, append growth, closure creation, and
+// implicit interface conversions (boxing) in call arguments — the
+// allocation classes that turn a per-column DSP loop into GC pressure
+// under serving load.
+//
+// Error-handling branches (`if err != nil { ... }`) are treated as
+// cold and skipped: allocating while constructing an error is fine.
+// Deliberate per-iteration allocations carry `// ew:allow hotalloc`.
+type Hotalloc struct{}
+
+func (Hotalloc) Name() string { return "hotalloc" }
+func (Hotalloc) Doc() string {
+	return "allocation (make/append/closure/boxing) inside a loop of an ew:hotpath function"
+}
+
+// Match accepts every package: the analyzer only audits functions that
+// opt in via the annotation.
+func (Hotalloc) Match(path string) bool { return true }
+
+func (h Hotalloc) Run(pkg *Package) []Finding {
+	var out []Finding
+	report := func(n ast.Node, msg string) {
+		if pkg.Notes.Allowed(n.Pos(), h.Name()) {
+			return
+		}
+		out = append(out, Finding{Analyzer: h.Name(), Pos: pkg.Fset.Position(n.Pos()), Message: msg})
+	}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !IsHotpath(fn) {
+				continue
+			}
+			h.walk(pkg, fn.Body, false, report)
+		}
+	}
+	return out
+}
+
+// walk recurses through a hotpath body tracking whether the current
+// node sits inside a loop.
+func (h Hotalloc) walk(pkg *Package, n ast.Node, inLoop bool, report func(ast.Node, string)) {
+	if n == nil {
+		return
+	}
+	switch n := n.(type) {
+	case *ast.ForStmt:
+		h.walk(pkg, n.Init, inLoop, report)
+		h.walk(pkg, n.Cond, inLoop, report)
+		h.walk(pkg, n.Post, true, report)
+		h.walk(pkg, n.Body, true, report)
+		return
+	case *ast.RangeStmt:
+		h.walk(pkg, n.X, inLoop, report)
+		h.walk(pkg, n.Body, true, report)
+		return
+	case *ast.IfStmt:
+		if isErrCheck(pkg, n.Cond) {
+			// Cold error path: allocations building the error are fine,
+			// but the fallthrough after the if is still hot.
+			h.walk(pkg, n.Else, inLoop, report)
+			return
+		}
+	case *ast.FuncLit:
+		if inLoop {
+			report(n, "closure allocated inside hot loop; hoist it out of the loop")
+		}
+		// A closure body runs on its own schedule; audit it as non-loop
+		// code unless it contains loops of its own.
+		h.walk(pkg, n.Body, false, report)
+		return
+	case *ast.CallExpr:
+		if inLoop {
+			h.checkCall(pkg, n, report)
+		}
+	}
+	// Generic recursion over children, preserving loop context.
+	children(n, func(c ast.Node) { h.walk(pkg, c, inLoop, report) })
+}
+
+func (h Hotalloc) checkCall(pkg *Package, call *ast.CallExpr, report func(ast.Node, string)) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pkg.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				report(call, "make allocates inside hot loop; preallocate outside")
+				return
+			case "append":
+				report(call, "append may grow its backing array inside hot loop; preallocate with known capacity")
+				return
+			}
+			return
+		}
+	}
+	// Boxing: a concrete argument passed to an interface parameter
+	// allocates on every iteration.
+	tv, ok := pkg.Info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	if params.Len() == 0 {
+		return
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		if sig.Variadic() && i >= params.Len()-1 {
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		} else if i < params.Len() {
+			pt = params.At(i).Type()
+		} else {
+			break
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at := pkg.Info.Types[arg]
+		if at.Type == nil || types.IsInterface(at.Type) || at.IsNil() {
+			continue
+		}
+		report(arg, "argument boxed into interface parameter inside hot loop")
+	}
+}
+
+// isErrCheck matches `err != nil` / `err == nil` style conditions.
+func isErrCheck(pkg *Package, cond ast.Expr) bool {
+	bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.NEQ && bin.Op != token.EQL) {
+		return false
+	}
+	isErr := func(e ast.Expr) bool {
+		t := pkg.Info.Types[e].Type
+		if t == nil {
+			return false
+		}
+		named, ok := t.(*types.Named)
+		return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+	}
+	return isErr(bin.X) || isErr(bin.Y)
+}
+
+// children invokes f on each direct child node of n.
+func children(n ast.Node, f func(ast.Node)) {
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			f(c)
+		}
+		return false
+	})
+}

@@ -1,0 +1,47 @@
+// Package floateq is the floateq analyzer fixture: exact float
+// comparisons flagged, tolerant and annotated forms accepted. The
+// `want` comments are golden expectations checked by the analysis
+// tests.
+package floateq
+
+import "math"
+
+const eps = 1e-9
+
+// equalExact compares two computed floats exactly.
+func equalExact(a, b float64) bool {
+	return a == b // want "floating-point == comparison"
+}
+
+// nonzeroExact compares a float against an untyped constant.
+func nonzeroExact(a float64) bool {
+	return a != 0 // want "floating-point != comparison"
+}
+
+// equalTolerant compares within a tolerance: accepted.
+func equalTolerant(a, b float64) bool {
+	return math.Abs(a-b) < eps
+}
+
+// zeroSentinel compares against a verbatim sentinel: annotated,
+// accepted.
+func zeroSentinel(shift float64) bool {
+	return shift == 0 // ew:exact (zero is assigned literally, never computed)
+}
+
+// sentinelAbove carries the annotation on the line above: accepted.
+func sentinelAbove(cost float64) bool {
+	// ew:exact: MaxFloat64 is copied from the initialization, never
+	// the result of arithmetic.
+	return cost == math.MaxFloat64
+}
+
+// constFold compares two constants, folded at compile time: accepted.
+func constFold() bool {
+	return eps == 1e-9
+}
+
+// intsFine compares integers: not a float comparison, accepted.
+func intsFine(a, b int) bool {
+	return a == b
+}

@@ -1,0 +1,124 @@
+// Package goexit is the goexit analyzer fixture: goroutines without a
+// stop mechanism and loop-variable captures flagged, stoppable and
+// argument-passing forms accepted. The `want` comments are golden
+// expectations checked by the analysis tests.
+package goexit
+
+import (
+	"context"
+	"sync"
+)
+
+// leaky spins a goroutine nothing can stop.
+func leaky() {
+	go func() { // want "no stop mechanism"
+		for {
+			_ = 1
+		}
+	}()
+}
+
+// stopped polls a quit channel: accepted.
+func stopped(quit chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-quit:
+				return
+			default:
+			}
+		}
+	}()
+}
+
+// captures closes over the range variable instead of passing it.
+func captures(jobs []int, done chan int) {
+	for _, j := range jobs {
+		go func() { // want "captures loop variable"
+			done <- j
+		}()
+	}
+}
+
+// argPassed hands the loop variable to the goroutine explicitly:
+// accepted.
+func argPassed(jobs []int, done chan int) {
+	for _, j := range jobs {
+		go func(j int) {
+			done <- j
+		}(j)
+	}
+}
+
+// indexCapture closes over a for-loop index.
+func indexCapture(done chan int) {
+	for i := 0; i < 4; i++ {
+		go func() { // want "captures loop variable"
+			done <- i
+		}()
+	}
+}
+
+// runForever has no stop mechanism in its body.
+func runForever() {
+	for {
+		_ = 1
+	}
+}
+
+// spawnNamed launches a same-package function whose body the analyzer
+// chases.
+func spawnNamed() {
+	go runForever() // want "runForever has no stop mechanism"
+}
+
+// serveForever is process-lifetime by design — a justified, annotated
+// exception: accepted.
+func serveForever() {
+	// ew:allow goexit: process-lifetime worker, stopped only by exit.
+	go runForever()
+}
+
+// drain stops when its channel closes; spawnDrain passes that channel,
+// so both sides are visible: accepted.
+func drain(ch chan int) {
+	for range ch {
+	}
+}
+
+func spawnDrain(ch chan int) {
+	go drain(ch)
+}
+
+// watch hands its goroutine a context to stop it: accepted.
+func watch(ctx context.Context, tick func()) {
+	go poll(ctx, tick)
+}
+
+func poll(ctx context.Context, tick func()) {
+	<-ctx.Done()
+	tick()
+}
+
+// waits coordinates through a WaitGroup: accepted.
+func waits(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_ = i
+		}(i)
+	}
+	wg.Wait()
+}
+
+// dynamic launches an opaque function value with nothing to stop it.
+func dynamic(f func()) {
+	go f() // want "function value with no channel or context argument"
+}
+
+// dynamicStopped hands the function value a quit channel: accepted.
+func dynamicStopped(f func(chan struct{}), quit chan struct{}) {
+	go f(quit)
+}

@@ -1,0 +1,70 @@
+// Package guardedfield is the guardedfield analyzer fixture: accesses
+// to `guarded by` fields with and without the guard held. The `want`
+// comments are golden expectations checked by the analysis tests.
+package guardedfield
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	// guarded by mu
+	n int
+	// hits counts reads. guarded by mu
+	hits int
+}
+
+// incLocked holds the guard across the access: accepted.
+func (c *counter) incLocked() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// incUnlocked touches the field without the guard.
+func (c *counter) incUnlocked() {
+	c.n++ // want "field n is guarded by c.mu, which is not held here"
+}
+
+// readDefer reads inside a defer-unlock region: accepted.
+func (c *counter) readDefer() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hits++
+	return c.n
+}
+
+// readEarlyUnlock reads after the guard has been released.
+func (c *counter) readEarlyUnlock() int {
+	c.mu.Lock()
+	c.mu.Unlock()
+	return c.n // want "field n is guarded by c.mu"
+}
+
+// newCounter writes fields of a value it just built, still private to
+// the constructor: accepted.
+func newCounter() *counter {
+	c := &counter{}
+	c.n = 1
+	c.hits = 0
+	return c
+}
+
+// snapshotLocked declares the caller-holds precondition, so the body
+// may access guarded fields freely: accepted.
+//
+// ew:holds c.mu — every caller locks the counter first.
+func (c *counter) snapshotLocked() int {
+	return c.n + c.hits
+}
+
+// resetAllowed carries a justified suppression: accepted.
+func (c *counter) resetAllowed() {
+	c.n = 0 // ew:allow guardedfield: only called before the counter is shared.
+}
+
+// badGuard names a guard that is not a sibling field; the annotation
+// itself is the defect.
+type badGuard struct {
+	// guarded by lock
+	v int // want "is not a field of this struct"
+}

@@ -1,0 +1,113 @@
+// Package hotalloc is the hotalloc analyzer fixture: per-iteration
+// allocations inside ew:hotpath loops flagged, hoisted and cold-path
+// allocations accepted. The `want` comments are golden expectations
+// checked by the analysis tests.
+package hotalloc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// process allocates scratch per column instead of hoisting it.
+//
+// ew:hotpath
+func process(cols [][]float64) []float64 {
+	out := make([]float64, len(cols)) // accepted: outside the loop
+	for i, col := range cols {
+		tmp := make([]float64, len(col)) // want "make allocates inside hot loop"
+		copy(tmp, col)
+		out[i] = sum(tmp)
+	}
+	return out
+}
+
+// gather grows its result by append instead of preallocating.
+//
+// ew:hotpath
+func gather(cols [][]float64) []float64 {
+	var out []float64
+	for _, col := range cols {
+		out = append(out, sum(col)) // want "append may grow its backing array"
+	}
+	return out
+}
+
+// closures builds a closure per iteration.
+//
+// ew:hotpath
+func closures(xs []float64) []func() float64 {
+	out := make([]func() float64, len(xs))
+	for i, x := range xs {
+		out[i] = func() float64 { return x } // want "closure allocated inside hot loop"
+	}
+	return out
+}
+
+// boxed passes a concrete float to an interface parameter each
+// iteration, allocating the box.
+//
+// ew:hotpath
+func boxed(xs []float64) {
+	for _, x := range xs {
+		record(x) // want "argument boxed into interface parameter"
+	}
+}
+
+func record(v interface{}) { _ = v }
+
+// checked allocates only while constructing an error, which the
+// analyzer treats as a cold path: accepted.
+//
+// ew:hotpath
+func checked(cols [][]float64) ([]float64, error) {
+	out := make([]float64, len(cols))
+	for i, col := range cols {
+		v, err := first(col)
+		if err != nil {
+			return nil, fmt.Errorf("column %d: %w", i, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// retained allocates a row that escapes to the caller — a justified,
+// annotated exception: accepted.
+//
+// ew:hotpath
+func retained(xs []float64) [][]float64 {
+	out := make([][]float64, len(xs))
+	for i, x := range xs {
+		// ew:allow hotalloc: each emitted row escapes to the caller.
+		row := make([]float64, 1)
+		row[0] = x
+		out[i] = row
+	}
+	return out
+}
+
+// cold is not annotated, so the analyzer ignores its loops entirely:
+// accepted.
+func cold(cols [][]float64) [][]float64 {
+	var out [][]float64
+	for _, col := range cols {
+		out = append(out, append([]float64(nil), col...))
+	}
+	return out
+}
+
+func first(col []float64) (float64, error) {
+	if len(col) == 0 {
+		return 0, errors.New("empty column")
+	}
+	return col[0], nil
+}
+
+func sum(col []float64) float64 {
+	var t float64
+	for _, v := range col {
+		t += v
+	}
+	return t
+}

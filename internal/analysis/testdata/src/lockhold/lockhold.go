@@ -1,0 +1,99 @@
+// Package lockhold is the lockhold analyzer fixture: each blocking
+// class appears once flagged and once in an accepted form. The `want`
+// comments are golden expectations checked by the analysis tests.
+package lockhold
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/pipeline"
+)
+
+type server struct {
+	mu   sync.Mutex
+	ch   chan int
+	done chan struct{}
+	str  *pipeline.Stream
+}
+
+// sendHeld blocks on a channel send with the lock held.
+func (s *server) sendHeld(v int) {
+	s.mu.Lock()
+	s.ch <- v // want "channel send may block while holding s.mu"
+	s.mu.Unlock()
+}
+
+// sendReleased sends only after releasing the lock: accepted.
+func (s *server) sendReleased(v int) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.ch <- v
+}
+
+// recvHeld receives inside a defer-unlock region, so the lock is held
+// for the whole body.
+func (s *server) recvHeld() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-s.ch // want "channel receive may block"
+}
+
+// sleepHeld sleeps with the lock held.
+func (s *server) sleepHeld() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want "time.Sleep runs while holding s.mu"
+	s.mu.Unlock()
+}
+
+// feedHeld runs the full DSP pass with the lock held.
+func (s *server) feedHeld(chunk []float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.str.Feed(chunk) // want "pipeline Stream.Feed"
+}
+
+// selectHeld blocks in a select with no default.
+func (s *server) selectHeld() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want "select with no default may block"
+	case <-s.done:
+	case v := <-s.ch:
+		_ = v
+	}
+}
+
+// selectDefault polls with a default clause, which never blocks:
+// accepted.
+func (s *server) selectDefault() (v int, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v = <-s.ch:
+		ok = true
+	default:
+	}
+	return v, ok
+}
+
+// branchRelease unlocks on every path before the send, which the
+// must-hold join proves: accepted.
+func (s *server) branchRelease(v int, fast bool) {
+	s.mu.Lock()
+	if fast {
+		s.mu.Unlock()
+	} else {
+		s.mu.Unlock()
+	}
+	s.ch <- v
+}
+
+// replyAllowed sends on a caller-supplied reply channel under the
+// lock; the suppression documents why it cannot block.
+func (s *server) replyAllowed(reply chan int, v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// ew:allow lockhold: reply has capacity 1 and exactly one writer.
+	reply <- v
+}

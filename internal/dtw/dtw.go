@@ -22,6 +22,9 @@ type Options struct {
 
 // Distance computes the DTW distance between two sequences under the
 // absolute-difference local cost. Either sequence being empty is an error.
+//
+// ew:hotpath — the inner dynamic-program loop runs len(a)·len(b) times
+// per template; the hotalloc analyzer keeps allocations out of it.
 func Distance(a, b []float64, opts Options) (float64, error) {
 	if len(a) == 0 || len(b) == 0 {
 		return 0, fmt.Errorf("dtw: sequences must be non-empty (got %d, %d)", len(a), len(b))
@@ -77,6 +80,9 @@ func Distance(a, b []float64, opts Options) (float64, error) {
 				bestCost = curCost[j-1]
 				bestLen = curLen[j-1]
 			}
+			// inf is a sentinel copied verbatim from the initialization,
+			// never the result of arithmetic, so the comparison is exact.
+			// ew:exact
 			if bestCost == inf {
 				continue
 			}
@@ -87,7 +93,7 @@ func Distance(a, b []float64, opts Options) (float64, error) {
 		prevLen, curLen = curLen, prevLen
 	}
 	total := prevCost[m]
-	if total == inf {
+	if total == inf { // ew:exact (same sentinel as above)
 		return 0, fmt.Errorf("dtw: no alignment within window %d for lengths %d, %d", opts.Window, n, m)
 	}
 	if opts.Normalize {

@@ -4,6 +4,8 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"repro/internal/testutil/race"
 )
 
 // tiny returns the smallest useful protocol for smoke tests.
@@ -308,7 +310,16 @@ func TestFig21CPUShape(t *testing.T) {
 			mean = parsePct(t, row[1])
 		}
 	}
-	// Paper: mean 15.2 % within 9.5–25.6 %.
+	// Paper: mean 15.2 % within 9.5–25.6 %. The occupancy model feeds on
+	// real measured per-stroke wall time, so the race detector's ~5-10×
+	// slowdown pushes the mean far above the band; under -race only check
+	// that the model produced a sane percentage.
+	if race.Enabled {
+		if mean <= 0 || mean > 100 {
+			t.Errorf("CPU mean %g%% not a valid occupancy under race detector", mean)
+		}
+		return
+	}
 	if mean < 8 || mean > 26 {
 		t.Errorf("CPU mean %g%% outside the paper's plausible band", mean)
 	}

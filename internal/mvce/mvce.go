@@ -48,6 +48,9 @@ func (c Config) Validate() error {
 // 1 = active) and returns the Doppler-shift profile in Hz per frame:
 // positive above the carrier (approaching finger), zero where a frame has
 // no active pixels.
+//
+// ew:hotpath — contour extraction re-runs over the window every feed;
+// the hotalloc analyzer keeps per-column allocations out of it.
 func Extract(bin [][]uint8, cfg Config) ([]float64, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err

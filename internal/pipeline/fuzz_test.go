@@ -78,9 +78,9 @@ func FuzzStreamFeed(f *testing.F) {
 	}
 	f.Add(realBytes, uint64(1))
 	f.Add([]byte{}, uint64(0))
-	f.Add([]byte{0x7f}, uint64(3))                  // odd length
-	f.Add(make([]byte, 100), uint64(7))             // short silence
-	f.Add(make([]byte, 2*20000), uint64(9))         // long silence
+	f.Add([]byte{0x7f}, uint64(3))                                // odd length
+	f.Add(make([]byte, 100), uint64(7))                           // short silence
+	f.Add(make([]byte, 2*20000), uint64(9))                       // long silence
 	f.Add(realBytes[:min(len(realBytes), 2*8192)], uint64(12345)) // exactly one frame
 
 	f.Fuzz(func(t *testing.T, data []byte, splitSeed uint64) {

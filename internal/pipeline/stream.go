@@ -108,6 +108,9 @@ func (s *Stream) maxChunk() int {
 // A call that would buffer more than MaxChunk samples fails with an
 // error wrapping ErrOversizedChunk before any state changes; the caller
 // can split the chunk and retry.
+//
+// ew:hotpath — the streaming STFT column loop runs once per hop on the
+// serving path; the hotalloc analyzer keeps allocations out of it.
 func (s *Stream) Feed(chunk []float64) ([]Detection, error) {
 	if total := len(s.samples) + len(chunk); total > s.maxChunk() {
 		return nil, fmt.Errorf("%w: %d buffered samples (cap %d)",

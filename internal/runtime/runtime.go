@@ -175,7 +175,7 @@ func (m CPUModel) Occupancy(perStrokeProcessing time.Duration, strokeInterval ti
 // value copies so readers never observe a torn update.
 type SharedBreakdown struct {
 	mu sync.Mutex
-	b  StageBreakdown
+	b  StageBreakdown // guarded by mu
 }
 
 // Add accumulates one recognition's timings covering n strokes.

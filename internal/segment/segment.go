@@ -148,6 +148,9 @@ func Detect(profile []float64, cfg Config) ([]Segment, error) {
 			} else {
 				break
 			}
+			// Zero shift is assigned literally by mvce for frames with no
+			// active pixels, never computed, so exact equality is the
+			// right test for "the contour touched rest". ew:exact
 			if a == 0 {
 				break
 			}

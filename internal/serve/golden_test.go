@@ -8,6 +8,8 @@ import (
 	"testing"
 
 	"repro/internal/stroke"
+
+	"repro/internal/testutil/leak"
 )
 
 // TestServerGoldenAlphabet is the end-to-end golden test: one writer
@@ -16,6 +18,7 @@ import (
 // decoded stroke sequence must come back exactly — covering the whole
 // open → audio… → flush → close lifecycle in one pass.
 func TestServerGoldenAlphabet(t *testing.T) {
+	leak.Check(t)
 	golden := stroke.Sequence(stroke.AllStrokes())
 	sig := synthesizeSequence(t, golden, 5)
 

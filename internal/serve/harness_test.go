@@ -3,12 +3,15 @@ package serve
 import (
 	"net/http/httptest"
 	"testing"
+
+	"repro/internal/testutil/leak"
 )
 
 // TestRunLoadInProcess exercises the whole serving stack the way
 // cmd/ewload does: concurrent writers over HTTP against an in-process
 // server, aggregated into a throughput/latency report.
 func TestRunLoadInProcess(t *testing.T) {
+	leak.Check(t)
 	mgr, err := NewManager(Config{MaxSessions: 8, Workers: 2, QueueDepth: 16, Prewarm: 2})
 	if err != nil {
 		t.Fatal(err)

@@ -114,9 +114,9 @@ type Manager struct {
 	wg   sync.WaitGroup
 
 	mu       sync.Mutex
-	sessions map[string]*session
-	nextID   uint64
-	closed   bool
+	sessions map[string]*session // guarded by mu
+	nextID   uint64              // guarded by mu
+	closed   bool                // guarded by mu
 
 	chunks     atomic.Uint64
 	detections atomic.Uint64
@@ -125,7 +125,7 @@ type Manager struct {
 	stages     ewruntime.SharedBreakdown
 
 	latMu sync.Mutex
-	lat   *metrics.Reservoir
+	lat   *metrics.Reservoir // guarded by latMu
 
 	// testJobStart, when set, runs at the top of every worker job; tests
 	// use it to hold workers and saturate the queue deterministically.
@@ -139,14 +139,14 @@ type session struct {
 	id string
 
 	mu     sync.Mutex
-	stream *pipeline.Stream
-	seq    stroke.Sequence
+	stream *pipeline.Stream // guarded by mu
+	seq    stroke.Sequence  // guarded by mu
 	// pendingStages accumulates stream stage-time deltas since the last
 	// emitted stroke, so the shared breakdown attributes quiet-feed cost
 	// to the strokes it ultimately produced.
-	pendingStages pipeline.StageTimings
-	lastStages    pipeline.StageTimings
-	closed        bool
+	pendingStages pipeline.StageTimings // guarded by mu
+	lastStages    pipeline.StageTimings // guarded by mu
+	closed        bool                  // guarded by mu
 
 	lastActive atomic.Int64 // unix nanoseconds
 }
@@ -426,6 +426,8 @@ func (m *Manager) runJob(j *job) {
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
 	if sess.closed || sess.stream == nil {
+		// ew:allow lockhold: reply has capacity 1 and exactly one writer
+		// per job, so this send never blocks.
 		j.reply <- jobResult{err: ErrUnknownSession}
 		return
 	}
@@ -435,8 +437,12 @@ func (m *Manager) runJob(j *job) {
 		err  error
 	)
 	if j.flush {
+		// ew:allow lockhold: holding sess.mu across the DSP pass is the
+		// design — the per-session lock serializes the stream without
+		// stalling other sessions, which lock only their own mutexes.
 		dets, err = sess.stream.Flush()
 	} else {
+		// ew:allow lockhold: same per-session serialization as Flush.
 		dets, err = sess.stream.Feed(j.chunk)
 	}
 	if err == nil {
@@ -451,6 +457,8 @@ func (m *Manager) runJob(j *job) {
 		}
 	}
 	sess.lastActive.Store(m.cfg.Clock().UnixNano())
+	// ew:allow lockhold: reply has capacity 1 and exactly one writer per
+	// job, so this send never blocks.
 	j.reply <- jobResult{dets: dets, err: err}
 }
 
@@ -458,6 +466,8 @@ func (m *Manager) runJob(j *job) {
 // job into the session's pending bucket, and flushes the bucket into the
 // shared breakdown whenever strokes completed — so per-stroke stage
 // means include the quiet feeds that led up to each stroke.
+//
+// ew:holds sess.mu — only runJob calls this, with the session locked.
 func (m *Manager) accountStages(sess *session, strokes int) {
 	t := sess.stream.Timings()
 	last := sess.lastStages

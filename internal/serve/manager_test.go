@@ -11,6 +11,8 @@ import (
 	"repro/internal/geom"
 	"repro/internal/pipeline"
 	"repro/internal/stroke"
+
+	"repro/internal/testutil/leak"
 )
 
 // synthesizeSequence renders a multi-stroke writing in a quiet scene,
@@ -72,6 +74,7 @@ func synthesizeSequence(t *testing.T, seq stroke.Sequence, seed uint64) *audio.S
 // produce exactly the detections the single-threaded batch pipeline
 // yields for the same audio.
 func TestManagerConcurrentSessionsMatchBatch(t *testing.T) {
+	leak.Check(t)
 	signals := []*audio.Signal{
 		synthesizeSequence(t, stroke.Sequence{stroke.S2, stroke.S3}, 9),
 		synthesizeSequence(t, stroke.Sequence{stroke.S3, stroke.S1}, 11),
@@ -176,6 +179,7 @@ func TestManagerConcurrentSessionsMatchBatch(t *testing.T) {
 // and checks admission control sheds load with ErrBackpressure instead
 // of queueing without bound or deadlocking.
 func TestManagerBackpressure(t *testing.T) {
+	leak.Check(t)
 	mgr, err := NewManager(Config{Workers: 1, QueueDepth: 1, Prewarm: 1, MaxSessions: 4})
 	if err != nil {
 		t.Fatal(err)
@@ -232,6 +236,7 @@ func TestManagerBackpressure(t *testing.T) {
 }
 
 func TestManagerSessionLimitAndClose(t *testing.T) {
+	leak.Check(t)
 	mgr, err := NewManager(Config{MaxSessions: 2, Workers: 1, Prewarm: 1})
 	if err != nil {
 		t.Fatal(err)
@@ -263,6 +268,7 @@ func TestManagerSessionLimitAndClose(t *testing.T) {
 }
 
 func TestManagerIdleEviction(t *testing.T) {
+	leak.Check(t)
 	now := time.Unix(1000, 0)
 	var clockMu sync.Mutex
 	clock := func() time.Time {
@@ -326,6 +332,7 @@ func TestManagerIdleEviction(t *testing.T) {
 }
 
 func TestManagerOversizedFeed(t *testing.T) {
+	leak.Check(t)
 	mgr, err := NewManager(Config{Workers: 1, Prewarm: 1, MaxChunk: 4096})
 	if err != nil {
 		t.Fatal(err)
@@ -345,6 +352,7 @@ func TestManagerOversizedFeed(t *testing.T) {
 }
 
 func TestManagerShutdown(t *testing.T) {
+	leak.Check(t)
 	mgr, err := NewManager(Config{Workers: 2, Prewarm: 1})
 	if err != nil {
 		t.Fatal(err)

@@ -31,8 +31,8 @@ type EnginePool struct {
 	factory EngineFactory
 
 	mu      sync.Mutex
-	free    []*pipeline.Stream
-	created int
+	free    []*pipeline.Stream // guarded by mu
+	created int                // guarded by mu
 }
 
 // PoolStats is a point-in-time view of pool occupancy.

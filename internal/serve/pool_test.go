@@ -4,9 +4,12 @@ import (
 	"testing"
 
 	"repro/internal/pipeline"
+
+	"repro/internal/testutil/leak"
 )
 
 func TestEnginePoolPrewarmAndReuse(t *testing.T) {
+	leak.Check(t)
 	pool, err := NewEnginePool(nil, 2)
 	if err != nil {
 		t.Fatal(err)
@@ -71,6 +74,7 @@ func TestEnginePoolPrewarmAndReuse(t *testing.T) {
 }
 
 func TestEnginePoolCustomFactory(t *testing.T) {
+	leak.Check(t)
 	calls := 0
 	factory := func() (*pipeline.Engine, error) {
 		calls++

@@ -10,6 +10,8 @@ import (
 	"repro/internal/audio"
 	"repro/internal/pipeline"
 	"repro/internal/stroke"
+
+	"repro/internal/testutil/leak"
 )
 
 func postJSON(t *testing.T, client *http.Client, url string, body []byte, out any) int {
@@ -28,6 +30,7 @@ func postJSON(t *testing.T, client *http.Client, url string, body []byte, out an
 }
 
 func TestServerEndToEnd(t *testing.T) {
+	leak.Check(t)
 	mgr, err := NewManager(Config{MaxSessions: 4, Workers: 2, Prewarm: 1})
 	if err != nil {
 		t.Fatal(err)
@@ -127,6 +130,7 @@ func TestServerEndToEnd(t *testing.T) {
 }
 
 func TestServerErrorMapping(t *testing.T) {
+	leak.Check(t)
 	mgr, err := NewManager(Config{MaxSessions: 1, Workers: 1, Prewarm: 1, MaxChunk: 4096})
 	if err != nil {
 		t.Fatal(err)

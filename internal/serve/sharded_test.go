@@ -5,12 +5,15 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/testutil/leak"
 )
 
 // TestShardedRoutingStable: every operation on an ID must land on the
 // same shard, so a session opened through the sharded front door is
 // reachable for its whole lifecycle.
 func TestShardedRoutingStable(t *testing.T) {
+	leak.Check(t)
 	sm, err := NewShardedManager(Config{MaxSessions: 64, Workers: 4, Prewarm: 1}, 4)
 	if err != nil {
 		t.Fatal(err)
@@ -84,6 +87,7 @@ func TestShardedRoutingStable(t *testing.T) {
 // TestShardedOpenRetriesFullShard: a single full shard must not refuse
 // the whole service while other shards have room.
 func TestShardedOpenRetriesFullShard(t *testing.T) {
+	leak.Check(t)
 	// 4 shards × 2 sessions each. IdleTimeout <0 disables eviction so a
 	// full shard stays full.
 	sm, err := NewShardedManager(Config{
@@ -118,6 +122,7 @@ func TestShardedOpenRetriesFullShard(t *testing.T) {
 // TestShardedEvictionPerShard: idle eviction sweeps every shard and the
 // per-shard counters sum to the aggregate.
 func TestShardedEvictionPerShard(t *testing.T) {
+	leak.Check(t)
 	now := time.Unix(1000, 0)
 	var mu sync.Mutex
 	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
@@ -178,6 +183,7 @@ func TestShardedEvictionPerShard(t *testing.T) {
 }
 
 func TestShardedShutdown(t *testing.T) {
+	leak.Check(t)
 	sm, err := NewShardedManager(Config{MaxSessions: 8, Workers: 2, Prewarm: 1}, 2)
 	if err != nil {
 		t.Fatal(err)

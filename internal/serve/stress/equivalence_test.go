@@ -11,6 +11,8 @@ import (
 	"repro/internal/participant"
 	"repro/internal/serve"
 	"repro/internal/stroke"
+
+	"repro/internal/testutil/leak"
 )
 
 // synthWords renders n distinct recordings the way cmd/ewload does.
@@ -73,6 +75,7 @@ func feedAll(svc serve.Service, id string, sig *audio.Signal, chunk int) (stroke
 // single-shard manager produces sequentially — sharding, queue order and
 // goroutine interleaving must never leak into recognition results.
 func TestShardedEquivalentToSingleShard(t *testing.T) {
+	leak.Check(t)
 	words := []string{"on", "to", "it"}
 	signals := synthWords(t, words, 31)
 

@@ -7,6 +7,8 @@ import (
 	"time"
 
 	"repro/internal/serve"
+
+	"repro/internal/testutil/leak"
 )
 
 // TestShardBackpressureIsolation proves graceful per-shard degradation:
@@ -14,6 +16,7 @@ import (
 // that shard get ErrBackpressure while sessions on every other shard
 // keep feeding normally.
 func TestShardBackpressureIsolation(t *testing.T) {
+	leak.Check(t)
 	const shards = 4
 	victimGate := make(chan struct{})
 	var victimID string
@@ -129,6 +132,7 @@ func TestShardBackpressureIsolation(t *testing.T) {
 // free exactly that shard's capacity; reopening lands new sessions
 // without disturbing survivors, and routing stays consistent throughout.
 func TestShardRebalanceAfterEviction(t *testing.T) {
+	leak.Check(t)
 	now := time.Unix(5000, 0)
 	var clockMu sync.Mutex
 	clock := func() time.Time { clockMu.Lock(); defer clockMu.Unlock(); return now }

@@ -20,6 +20,8 @@ import (
 
 	"repro/internal/pipeline"
 	"repro/internal/serve"
+
+	"repro/internal/testutil/leak"
 )
 
 // scale returns short unless EW_STRESS=long, in which case long.
@@ -38,6 +40,7 @@ func scale(short, long int) int {
 // surface and the final aggregate counters reconcile exactly with what
 // the clients observed.
 func TestStressShardedManagerUnderFire(t *testing.T) {
+	leak.Check(t)
 	var (
 		writers = scale(48, 384)
 		opsEach = scale(30, 200)

@@ -1,0 +1,155 @@
+// Package leak is a zero-dependency goroutine-leak checker for tests.
+// Check snapshots the live goroutines when called and, at test
+// cleanup, verifies every goroutine started since has exited —
+// retrying with backoff so goroutines that are mid-shutdown when the
+// test body returns get a grace period instead of a false positive.
+//
+// Known long-lived runtime and library goroutines (the testing
+// harness, runtime helpers, net/http's keep-alive connection pool)
+// are ignored, so suites that exercise HTTP servers can use the
+// checker without tearing down http.DefaultClient's idle connections.
+package leak
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// TB is the subset of *testing.T the checker needs; an interface so
+// the package stays import-cycle-free and testable.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Cleanup(func())
+}
+
+// maxWait bounds how long Check waits for straggling goroutines to
+// exit before declaring a leak.
+const maxWait = 2 * time.Second
+
+// Check registers a cleanup that fails t if goroutines created after
+// the call are still running once the test (and its other cleanups
+// registered later) finish. Call it first thing in a test:
+//
+//	func TestServer(t *testing.T) {
+//		leak.Check(t)
+//		...
+//	}
+func Check(t TB) {
+	t.Helper()
+	before := goroutineIDs()
+	t.Cleanup(func() {
+		t.Helper()
+		var leaked []string
+		for delay := time.Millisecond; ; delay *= 2 {
+			leaked = leakedSince(before)
+			if len(leaked) == 0 {
+				return
+			}
+			if delay > maxWait {
+				break
+			}
+			time.Sleep(delay)
+		}
+		t.Errorf("leak: %d goroutine(s) outlived the test:\n%s",
+			len(leaked), strings.Join(leaked, "\n"))
+	})
+}
+
+// leakedSince returns one-line descriptions of goroutines running now
+// that were not in before and are not ignorable.
+func leakedSince(before map[string]bool) []string {
+	var leaked []string
+	for _, g := range stacks() {
+		if before[g.id] || ignorable(g.stack) {
+			continue
+		}
+		leaked = append(leaked, fmt.Sprintf("  goroutine %s: %s", g.id, g.top()))
+	}
+	return leaked
+}
+
+// goroutineIDs snapshots the IDs of all live goroutines.
+func goroutineIDs() map[string]bool {
+	ids := make(map[string]bool)
+	for _, g := range stacks() {
+		ids[g.id] = true
+	}
+	return ids
+}
+
+type goroutine struct {
+	id    string
+	stack string
+}
+
+// top returns the first function frame of the goroutine's stack, the
+// most useful single line for identifying a leak.
+func (g goroutine) top() string {
+	for _, line := range strings.Split(g.stack, "\n")[1:] {
+		line = strings.TrimSpace(line)
+		if line != "" {
+			return line
+		}
+	}
+	return "(empty stack)"
+}
+
+// stacks parses runtime.Stack(all=true) output into goroutines. The
+// format — "goroutine N [state]:" headers separated by blank lines —
+// is stable across the Go releases this module supports.
+func stacks() []goroutine {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	var out []goroutine
+	for _, block := range strings.Split(string(buf), "\n\n") {
+		header, _, _ := strings.Cut(block, "\n")
+		rest, ok := strings.CutPrefix(header, "goroutine ")
+		if !ok {
+			continue
+		}
+		id, _, ok := strings.Cut(rest, " ")
+		if !ok {
+			continue
+		}
+		out = append(out, goroutine{id: id, stack: block})
+	}
+	return out
+}
+
+// ignorable reports whether a stack belongs to a goroutine the runtime
+// or standard library keeps alive across tests.
+func ignorable(stack string) bool {
+	for _, marker := range []string{
+		"testing.(*T).Run",          // the test harness itself
+		"testing.(*M).",             // test main
+		"testing.tRunner",           // per-test runner waiting on children
+		"testing.runTests",          //
+		"runtime.goexit",            // header-only stacks
+		"runtime.gc",                // GC workers
+		"runtime.bgsweep",           //
+		"runtime.bgscavenge",        //
+		"runtime.forcegchelper",     //
+		"runtime.ReadTrace",         //
+		"net/http.(*persistConn).",  // keep-alive pool of http clients
+		"net/http.(*Transport).",    //
+		"net/http.setRequestCancel", //
+		"os/signal.signal_recv",     // signal watcher
+		"os/signal.loop",            //
+		"runtime/pprof.profileWriter",
+	} {
+		if strings.Contains(stack, marker) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,89 @@
+package leak
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// recorder captures Errorf calls so the checker can be tested without
+// failing the real test.
+type recorder struct {
+	cleanups []func()
+	errors   []string
+}
+
+func (r *recorder) Helper() {}
+func (r *recorder) Errorf(format string, args ...any) {
+	r.errors = append(r.errors, format)
+}
+func (r *recorder) Cleanup(f func()) { r.cleanups = append(r.cleanups, f) }
+
+func (r *recorder) runCleanups() {
+	for i := len(r.cleanups) - 1; i >= 0; i-- {
+		r.cleanups[i]()
+	}
+}
+
+func TestCheckCleanPasses(t *testing.T) {
+	r := &recorder{}
+	Check(r)
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+	r.runCleanups()
+	if len(r.errors) != 0 {
+		t.Fatalf("clean test reported a leak: %v", r.errors)
+	}
+}
+
+func TestCheckWaitsForStragglers(t *testing.T) {
+	r := &recorder{}
+	Check(r)
+	// A goroutine still draining when cleanup starts but gone within
+	// the backoff window must not be reported.
+	go time.Sleep(30 * time.Millisecond)
+	r.runCleanups()
+	if len(r.errors) != 0 {
+		t.Fatalf("straggler within the grace period reported: %v", r.errors)
+	}
+}
+
+func TestCheckReportsLeak(t *testing.T) {
+	r := &recorder{}
+	Check(r)
+	quit := make(chan struct{})
+	go func() { <-quit }()
+	start := time.Now()
+	r.runCleanups()
+	close(quit)
+	if len(r.errors) == 0 {
+		t.Fatal("leaked goroutine not reported")
+	}
+	if !strings.Contains(r.errors[0], "outlived the test") {
+		t.Fatalf("unexpected error format: %q", r.errors[0])
+	}
+	if elapsed := time.Since(start); elapsed < maxWait {
+		t.Fatalf("reported a leak after %v, before the %v grace period", elapsed, maxWait)
+	}
+}
+
+func TestStacksParse(t *testing.T) {
+	gs := stacks()
+	if len(gs) == 0 {
+		t.Fatal("no goroutines parsed from runtime.Stack")
+	}
+	seen := make(map[string]bool)
+	for _, g := range gs {
+		if g.id == "" {
+			t.Fatalf("goroutine with empty id: %q", g.stack)
+		}
+		if seen[g.id] {
+			t.Fatalf("duplicate goroutine id %s", g.id)
+		}
+		seen[g.id] = true
+		if g.top() == "(empty stack)" && !strings.Contains(g.stack, "goroutine") {
+			t.Fatalf("unparseable stack: %q", g.stack)
+		}
+	}
+}

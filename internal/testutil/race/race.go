@@ -1,0 +1,6 @@
+// Package race exposes whether the race detector is compiled into the
+// current binary, so tests with wall-clock-derived assertions (the
+// paper's CPU-occupancy model feeds on real measured stroke time) can
+// relax them under the detector's ~5-10× slowdown instead of failing
+// on timing alone.
+package race
