@@ -2,9 +2,9 @@
 # serving code. `make ci` is what every PR must keep green.
 GO ?= go
 
-.PHONY: ci vet lint build test race fuzz-smoke stress bench
+.PHONY: ci vet lint build test race fuzz-smoke metricsz-smoke stress bench
 
-ci: vet lint build test race fuzz-smoke
+ci: vet lint build test race fuzz-smoke metricsz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -27,6 +27,12 @@ test:
 race:
 	$(GO) test -race ./...
 	$(GO) test -race -cpu=1,4 ./internal/serve/...
+
+# Scrape GET /metricsz on a live sharded service under real traffic and
+# strictly re-parse the Prometheus exposition (names, HELP/TYPE order,
+# histogram cumulativity), cross-checking every counter against /statsz.
+metricsz-smoke:
+	$(GO) test -run 'TestMetricsz' -count=1 ./internal/serve
 
 # A 10-second native-fuzz smoke of the streaming chunking invariance;
 # regressions in Stream.Feed surface here before the long fuzzers run.

@@ -16,7 +16,9 @@
 // report rather than unbounded memory growth on the server. With
 // -max-error-rate set below 1, ewload exits non-zero when the fraction
 // of failed operations exceeds the threshold, so CI can use a short run
-// as a serving smoke gate.
+// as a serving smoke gate. With -metricsz the run additionally scrapes
+// GET /metricsz afterwards and fails unless the Prometheus exposition
+// parses strictly (internal/metrics/expose).
 package main
 
 import (
@@ -30,6 +32,7 @@ import (
 
 	"repro/internal/infer"
 	"repro/internal/lexicon"
+	"repro/internal/metrics/expose"
 	"repro/internal/serve"
 	"repro/internal/stroke"
 )
@@ -49,17 +52,19 @@ func main() {
 		queue        = flag.Int("queue", 0, "in-process server: ingest queue depth across shards (0 = 4×workers)")
 		maxSessions  = flag.Int("max-sessions", 256, "in-process server: session bound")
 		prewarm      = flag.Int("prewarm", 4, "in-process server: engines built at startup")
+		metricsz     = flag.Bool("metricsz", false, "scrape /metricsz after the run and fail on a malformed exposition")
 	)
 	flag.Parse()
 	if err := run(*addr, *writers, *word, *signals, *chunkMs, *seed, *retries, *maxErrorRate,
-		*shards, *workers, *queue, *maxSessions, *prewarm); err != nil {
+		*shards, *workers, *queue, *maxSessions, *prewarm, *metricsz); err != nil {
 		fmt.Fprintln(os.Stderr, "ewload:", err)
 		os.Exit(1)
 	}
 }
 
 func run(addr string, writers int, word string, signals, chunkMs int, seed uint64,
-	retries int, maxErrorRate float64, shards, workers, queue, maxSessions, prewarm int) error {
+	retries int, maxErrorRate float64, shards, workers, queue, maxSessions, prewarm int,
+	metricsz bool) error {
 	client := http.DefaultClient
 	if addr == "" {
 		base, shutdown, err := startInProcess(shards, workers, queue, maxSessions, prewarm)
@@ -90,6 +95,11 @@ func run(addr string, writers int, word string, signals, chunkMs int, seed uint6
 	fmt.Println()
 	fmt.Print(report)
 	printServerShards(client, addr)
+	if metricsz {
+		if err := checkMetricsz(client, addr); err != nil {
+			return err
+		}
+	}
 
 	if rate := report.ErrorRate(); rate > maxErrorRate {
 		return fmt.Errorf("error rate %.2f%% exceeds threshold %.2f%%", 100*rate, 100*maxErrorRate)
@@ -122,6 +132,48 @@ func printServerShards(client *http.Client, addr string) {
 		}
 	}
 	fmt.Println()
+}
+
+// checkMetricsz scrapes /metricsz after the run and pushes the body
+// through the strict exposition parser, so a CI load run also gates the
+// metrics surface: a malformed family, a non-cumulative histogram or a
+// NaN counter fails the run. Unlike printServerShards this is not
+// best-effort — the flag asked for it, so a missing endpoint is an error.
+func checkMetricsz(client *http.Client, addr string) error {
+	resp, err := client.Get(addr + "/metricsz")
+	if err != nil {
+		return fmt.Errorf("metricsz scrape: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("metricsz scrape: status %d", resp.StatusCode)
+	}
+	fams, err := expose.Parse(resp.Body)
+	if err != nil {
+		return fmt.Errorf("metricsz exposition malformed: %w", err)
+	}
+	series := 0
+	for _, f := range fams {
+		series += len(f.Samples)
+	}
+	fmt.Printf("metricsz           %d families, %d series — exposition parses clean\n", len(fams), series)
+	for _, name := range []string{"echowrite_chunks_total", "echowrite_detections_total", "echowrite_backpressure_rejects_total"} {
+		total, found := 0.0, false
+		for _, f := range fams {
+			if f.Name != name {
+				continue
+			}
+			found = true
+			for _, s := range f.Samples {
+				total += s.Value
+			}
+		}
+		if !found {
+			return fmt.Errorf("metricsz exposition missing family %s", name)
+		}
+		fmt.Printf("  %-38s %g\n", name, total)
+	}
+	return nil
 }
 
 // startInProcess boots a loopback sharded ewserve with word candidates

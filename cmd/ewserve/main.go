@@ -14,6 +14,7 @@
 //	POST   /v1/sessions/{id}/flush drain + word candidates
 //	DELETE /v1/sessions/{id}       close
 //	GET    /statsz                 service snapshot (JSON)
+//	GET    /metricsz               Prometheus text exposition (v0.0.4)
 //
 // A full ingest queue returns 429 (resend the chunk after a short
 // delay); a full session table returns 503. Drive it with cmd/ewload.

@@ -1,0 +1,194 @@
+package expose
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestWriteTextGolden(t *testing.T) {
+	r := NewRegistry()
+	r.MustRegister(Desc{Name: "svc_requests_total", Help: "Requests served.", Kind: KindCounter},
+		func(emit func(Point)) {
+			emit(Point{Labels: []Label{{Name: "shard", Value: "0"}}, Value: 3})
+			emit(Point{Labels: []Label{{Name: "shard", Value: "1"}}, Value: 4})
+		})
+	r.MustRegister(Desc{Name: "svc_queue_len", Help: "Queue depth.", Kind: KindGauge},
+		func(emit func(Point)) { emit(Point{Value: 2}) })
+	h, err := NewHistogram([]float64{0.5, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{0.25, 0.75, 1.5, 10} {
+		h.Observe(v)
+	}
+	r.MustRegister(Desc{Name: "svc_latency_ms", Help: "Latency.", Kind: KindHistogram},
+		func(emit func(Point)) {
+			v := h.View()
+			emit(Point{Labels: []Label{{Name: "shard", Value: "0"}}, Hist: &v})
+		})
+
+	want := `# HELP svc_requests_total Requests served.
+# TYPE svc_requests_total counter
+svc_requests_total{shard="0"} 3
+svc_requests_total{shard="1"} 4
+# HELP svc_queue_len Queue depth.
+# TYPE svc_queue_len gauge
+svc_queue_len 2
+# HELP svc_latency_ms Latency.
+# TYPE svc_latency_ms histogram
+svc_latency_ms_bucket{shard="0",le="0.5"} 1
+svc_latency_ms_bucket{shard="0",le="1"} 2
+svc_latency_ms_bucket{shard="0",le="2"} 3
+svc_latency_ms_bucket{shard="0",le="+Inf"} 4
+svc_latency_ms_sum{shard="0"} 12.5
+svc_latency_ms_count{shard="0"} 4
+`
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", b.String(), want)
+	}
+}
+
+func TestWriteTextEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.MustRegister(Desc{Name: "esc_total", Help: "line one\nback\\slash", Kind: KindCounter},
+		func(emit func(Point)) {
+			emit(Point{Labels: []Label{{Name: "path", Value: "a\"b\\c\nd"}}, Value: 1})
+		})
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "# HELP esc_total line one\\nback\\\\slash\n" +
+		"# TYPE esc_total counter\n" +
+		"esc_total{path=\"a\\\"b\\\\c\\nd\"} 1\n"
+	if b.String() != want {
+		t.Errorf("escaping mismatch:\ngot  %q\nwant %q", b.String(), want)
+	}
+	// The strict parser must invert both escapings.
+	fams, err := Parse(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fams[0].Help != "line one\nback\\slash" {
+		t.Errorf("help round-trip = %q", fams[0].Help)
+	}
+	if got := fams[0].Samples[0].Labels[0].Value; got != "a\"b\\c\nd" {
+		t.Errorf("label value round-trip = %q", got)
+	}
+}
+
+func TestRegisterRejects(t *testing.T) {
+	r := NewRegistry()
+	nop := func(emit func(Point)) {}
+	if err := r.Register(Desc{Name: "2bad", Help: "h", Kind: KindGauge}, nop); err == nil {
+		t.Error("invalid metric name accepted")
+	}
+	if err := r.Register(Desc{Name: "ok_total", Help: "", Kind: KindCounter}, nop); err == nil {
+		t.Error("empty help accepted")
+	}
+	if err := r.Register(Desc{Name: "ok_total", Help: "h", Kind: KindCounter}, nil); err == nil {
+		t.Error("nil collector accepted")
+	}
+	if err := r.Register(Desc{Name: "ok_total", Help: "h", Kind: KindCounter}, nop); err != nil {
+		t.Errorf("valid registration rejected: %v", err)
+	}
+	if err := r.Register(Desc{Name: "ok_total", Help: "h", Kind: KindCounter}, nop); err == nil {
+		t.Error("duplicate name accepted")
+	}
+}
+
+func TestWriteTextRejectsBadLabelName(t *testing.T) {
+	r := NewRegistry()
+	r.MustRegister(Desc{Name: "bad_label_total", Help: "h", Kind: KindCounter},
+		func(emit func(Point)) {
+			emit(Point{Labels: []Label{{Name: "__reserved", Value: "x"}}, Value: 1})
+		})
+	if err := r.WriteText(&strings.Builder{}); err == nil {
+		t.Error("reserved label name rendered without error")
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	h, err := NewHistogram([]float64{1, 10, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{0.5, 1, 1.0001, 50, 1000, math.NaN()} {
+		h.Observe(v)
+	}
+	v := h.View()
+	// 0.5 and the boundary value 1 land in le=1; NaN is dropped.
+	wantCum := []uint64{2, 3, 4}
+	for i, c := range v.Cumulative {
+		if c != wantCum[i] {
+			t.Errorf("bucket le=%g cumulative = %d, want %d", v.UpperBounds[i], c, wantCum[i])
+		}
+	}
+	if v.Count != 5 {
+		t.Errorf("count = %d, want 5", v.Count)
+	}
+	if math.Abs(v.Sum-1052.5001) > 1e-9 {
+		t.Errorf("sum = %g, want 1052.5001", v.Sum)
+	}
+}
+
+func TestNewHistogramRejects(t *testing.T) {
+	for _, bounds := range [][]float64{
+		nil,
+		{},
+		{1, 1},
+		{2, 1},
+		{1, math.Inf(1)},
+		{math.NaN()},
+	} {
+		if _, err := NewHistogram(bounds); err == nil {
+			t.Errorf("NewHistogram(%v) accepted", bounds)
+		}
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got, err := ExpBuckets(0.25, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.25, 0.5, 1, 2, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket %d = %g, want %g", i, got[i], want[i])
+		}
+	}
+	for _, c := range []struct {
+		start, factor float64
+		n             int
+	}{
+		{0, 2, 3}, {-1, 2, 3}, {1, 1, 3}, {1, 0.5, 3}, {1, 2, 0},
+	} {
+		if _, err := ExpBuckets(c.start, c.factor, c.n); err == nil {
+			t.Errorf("ExpBuckets(%g, %g, %d) accepted", c.start, c.factor, c.n)
+		}
+	}
+}
+
+func TestValueFormatting(t *testing.T) {
+	for _, c := range []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"},
+		{2.5, "2.5"},
+		{math.Inf(1), "+Inf"},
+		{math.Inf(-1), "-Inf"},
+		{math.NaN(), "NaN"},
+		{1e21, "1e+21"},
+	} {
+		if got := string(appendValue(nil, c.v)); got != c.want {
+			t.Errorf("appendValue(%g) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,460 @@
+package expose
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed sample line. Name is the full sample name, which
+// for histogram families carries the `_bucket`/`_sum`/`_count` suffix.
+type Sample struct {
+	Name   string
+	Labels []Label
+	Value  float64
+}
+
+// Family is one parsed metric family: its HELP text, TYPE and samples
+// in file order.
+type Family struct {
+	Name    string
+	Help    string
+	Kind    Kind
+	Samples []Sample
+}
+
+// Sample returns the first sample with the given full name whose label
+// set includes every given pair (order-insensitive), or nil.
+func (f *Family) Sample(name string, labels ...Label) *Sample {
+next:
+	for i := range f.Samples {
+		s := &f.Samples[i]
+		if s.Name != name {
+			continue
+		}
+		for _, want := range labels {
+			if !hasLabel(s.Labels, want) {
+				continue next
+			}
+		}
+		return s
+	}
+	return nil
+}
+
+func hasLabel(ls []Label, want Label) bool {
+	for _, l := range ls {
+		if l == want {
+			return true
+		}
+	}
+	return false
+}
+
+// Parse reads a Prometheus text-format v0.0.4 exposition strictly: every
+// family needs a HELP line immediately followed by a TYPE line before
+// its samples, names and labels must match the format's grammar,
+// duplicate families and duplicate samples are rejected, counter values
+// must be finite and non-negative, and histogram families are checked
+// for bucket cumulativity, a `+Inf` bucket agreeing with `_count`, and
+// the presence of `_sum`/`_count` per label set. Timestamps (legal in
+// the format, never produced by this package's writer) are rejected.
+func Parse(r io.Reader) ([]Family, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var (
+		fams    []Family
+		seen    = make(map[string]struct{})
+		cur     *Family
+		pending string // name from a HELP line awaiting its TYPE line
+		help    string
+		lineNo  int
+	)
+	finish := func() error {
+		if pending != "" {
+			return fmt.Errorf("expose: HELP %s not followed by a TYPE line", pending)
+		}
+		if cur == nil {
+			return nil
+		}
+		if err := validateFamily(cur); err != nil {
+			return err
+		}
+		fams = append(fams, *cur)
+		cur = nil
+		return nil
+	}
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			rest, kind, ok := commentDirective(line)
+			if !ok {
+				continue // arbitrary comment: legal, ignored
+			}
+			switch kind {
+			case "HELP":
+				if err := finish(); err != nil {
+					return nil, err
+				}
+				name, text, found := strings.Cut(rest, " ")
+				if !found {
+					text = ""
+				}
+				if !validMetricName(name) {
+					return nil, fmt.Errorf("expose: line %d: invalid metric name %q in HELP", lineNo, name)
+				}
+				if _, dup := seen[name]; dup {
+					return nil, fmt.Errorf("expose: line %d: duplicate family %q", lineNo, name)
+				}
+				pending, help = name, unescapeHelp(text)
+			case "TYPE":
+				name, typ, found := strings.Cut(rest, " ")
+				if !found {
+					return nil, fmt.Errorf("expose: line %d: TYPE line without a type", lineNo)
+				}
+				if pending == "" {
+					return nil, fmt.Errorf("expose: line %d: TYPE %s without a preceding HELP", lineNo, name)
+				}
+				if name != pending {
+					return nil, fmt.Errorf("expose: line %d: TYPE %s does not match HELP %s", lineNo, name, pending)
+				}
+				k, err := parseKind(typ)
+				if err != nil {
+					return nil, fmt.Errorf("expose: line %d: %v", lineNo, err)
+				}
+				seen[name] = struct{}{}
+				cur = &Family{Name: name, Help: help, Kind: k}
+				pending = ""
+			}
+			continue
+		}
+		if pending != "" {
+			return nil, fmt.Errorf("expose: line %d: sample after HELP %s but before its TYPE", lineNo, pending)
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("expose: line %d: sample before any TYPE line", lineNo)
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("expose: line %d: %v", lineNo, err)
+		}
+		if !sampleNameMatches(cur, s.Name) {
+			return nil, fmt.Errorf("expose: line %d: sample %s does not belong to family %s", lineNo, s.Name, cur.Name)
+		}
+		cur.Samples = append(cur.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := finish(); err != nil {
+		return nil, err
+	}
+	return fams, nil
+}
+
+// commentDirective splits a "# HELP name …" / "# TYPE name …" line,
+// returning the remainder after the directive.
+func commentDirective(line string) (rest, kind string, ok bool) {
+	body := strings.TrimPrefix(line, "#")
+	body = strings.TrimPrefix(body, " ")
+	for _, k := range [...]string{"HELP ", "TYPE "} {
+		if strings.HasPrefix(body, k) {
+			return body[len(k):], strings.TrimSpace(k), true
+		}
+	}
+	return "", "", false
+}
+
+func parseKind(s string) (Kind, error) {
+	switch s {
+	case "counter":
+		return KindCounter, nil
+	case "gauge":
+		return KindGauge, nil
+	case "histogram":
+		return KindHistogram, nil
+	}
+	return 0, fmt.Errorf("unsupported metric type %q", s)
+}
+
+// sampleNameMatches accepts the family name itself and, for histograms,
+// the three derived sample names.
+func sampleNameMatches(f *Family, name string) bool {
+	if f.Kind == KindHistogram {
+		return name == f.Name+"_bucket" || name == f.Name+"_sum" || name == f.Name+"_count"
+	}
+	return name == f.Name
+}
+
+// parseSample parses `name[{labels}] value`.
+func parseSample(line string) (Sample, error) {
+	var s Sample
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	space := strings.IndexByte(rest, ' ')
+	if brace >= 0 && (space < 0 || brace < space) {
+		s.Name = rest[:brace]
+		var err error
+		s.Labels, rest, err = parseLabels(rest[brace:])
+		if err != nil {
+			return s, err
+		}
+		rest = strings.TrimPrefix(rest, " ")
+	} else {
+		if space < 0 {
+			return s, fmt.Errorf("sample %q has no value", line)
+		}
+		s.Name, rest = rest[:space], rest[space+1:]
+	}
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("invalid sample name %q", s.Name)
+	}
+	if strings.ContainsAny(rest, " \t") {
+		return s, fmt.Errorf("sample %q carries a timestamp or trailing garbage", line)
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return s, fmt.Errorf("bad sample value %q", rest)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels consumes a `{name="value",...}` block (trailing comma
+// permitted, as the format allows) and returns the remaining input.
+func parseLabels(in string) ([]Label, string, error) {
+	if in == "" || in[0] != '{' {
+		return nil, in, fmt.Errorf("label block must start with '{'")
+	}
+	in = in[1:]
+	var out []Label
+	for {
+		if in == "" {
+			return nil, in, fmt.Errorf("unterminated label block")
+		}
+		if in[0] == '}' {
+			return out, in[1:], nil
+		}
+		eq := strings.IndexByte(in, '=')
+		if eq < 0 {
+			return nil, in, fmt.Errorf("label without '='")
+		}
+		name := in[:eq]
+		if !validLabelName(name) {
+			return nil, in, fmt.Errorf("invalid label name %q", name)
+		}
+		in = in[eq+1:]
+		if in == "" || in[0] != '"' {
+			return nil, in, fmt.Errorf("label %s: value must be quoted", name)
+		}
+		val, rest, err := unquoteLabelValue(in)
+		if err != nil {
+			return nil, in, fmt.Errorf("label %s: %v", name, err)
+		}
+		out = append(out, Label{Name: name, Value: val})
+		in = rest
+		switch {
+		case strings.HasPrefix(in, ","):
+			in = in[1:]
+		case strings.HasPrefix(in, "}"):
+			// loop exits on the next iteration
+		default:
+			return nil, in, fmt.Errorf("label %s: expected ',' or '}' after value", name)
+		}
+	}
+}
+
+// unquoteLabelValue reads a leading quoted label value, processing the
+// format's three escapes, and returns the remainder.
+func unquoteLabelValue(in string) (string, string, error) {
+	var b strings.Builder
+	for i := 1; i < len(in); i++ {
+		switch in[i] {
+		case '"':
+			return b.String(), in[i+1:], nil
+		case '\\':
+			i++
+			if i >= len(in) {
+				return "", in, fmt.Errorf("dangling escape")
+			}
+			switch in[i] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", in, fmt.Errorf("unknown escape \\%c", in[i])
+			}
+		default:
+			b.WriteByte(in[i])
+		}
+	}
+	return "", in, fmt.Errorf("unterminated quoted value")
+}
+
+func unescapeHelp(s string) string {
+	if !strings.ContainsRune(s, '\\') {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			switch s[i+1] {
+			case '\\':
+				b.WriteByte('\\')
+				i++
+				continue
+			case 'n':
+				b.WriteByte('\n')
+				i++
+				continue
+			}
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+// validateFamily enforces per-kind sample invariants after a family's
+// samples are all in.
+func validateFamily(f *Family) error {
+	keys := make(map[string]struct{}, len(f.Samples))
+	for i := range f.Samples {
+		s := &f.Samples[i]
+		k := sampleKey(s.Name, s.Labels)
+		if _, dup := keys[k]; dup {
+			return fmt.Errorf("expose: family %s: duplicate sample %s", f.Name, k)
+		}
+		keys[k] = struct{}{}
+		if f.Kind == KindCounter && (math.IsNaN(s.Value) || math.IsInf(s.Value, 0) || s.Value < 0) {
+			return fmt.Errorf("expose: family %s: counter sample %s has value %g", f.Name, k, s.Value)
+		}
+	}
+	if f.Kind == KindHistogram {
+		return validateHistogram(f)
+	}
+	return nil
+}
+
+// histSeries accumulates one label set's histogram samples.
+type histSeries struct {
+	buckets []bucket
+	sum     *float64
+	count   *float64
+}
+
+type bucket struct {
+	le float64
+	v  float64
+}
+
+// validateHistogram checks each label set of a histogram family for the
+// full complement of derived series and cumulative buckets.
+func validateHistogram(f *Family) error {
+	series := make(map[string]*histSeries)
+	get := func(labels []Label) *histSeries {
+		k := sampleKey("", labels)
+		hs := series[k]
+		if hs == nil {
+			hs = &histSeries{}
+			series[k] = hs
+		}
+		return hs
+	}
+	for i := range f.Samples {
+		s := &f.Samples[i]
+		switch s.Name {
+		case f.Name + "_bucket":
+			le, rest, err := splitLE(s.Labels)
+			if err != nil {
+				return fmt.Errorf("expose: family %s: %v", f.Name, err)
+			}
+			hs := get(rest)
+			hs.buckets = append(hs.buckets, bucket{le: le, v: s.Value})
+		case f.Name + "_sum":
+			v := s.Value
+			get(s.Labels).sum = &v
+		case f.Name + "_count":
+			v := s.Value
+			get(s.Labels).count = &v
+		}
+	}
+	for k, hs := range series {
+		if len(hs.buckets) == 0 {
+			return fmt.Errorf("expose: family %s%s: no buckets", f.Name, k)
+		}
+		if hs.sum == nil || hs.count == nil {
+			return fmt.Errorf("expose: family %s%s: missing _sum or _count", f.Name, k)
+		}
+		sort.Slice(hs.buckets, func(i, j int) bool { return hs.buckets[i].le < hs.buckets[j].le })
+		last := hs.buckets[len(hs.buckets)-1]
+		if !math.IsInf(last.le, 1) {
+			return fmt.Errorf("expose: family %s%s: no le=\"+Inf\" bucket", f.Name, k)
+		}
+		for i := 1; i < len(hs.buckets); i++ {
+			if hs.buckets[i].v < hs.buckets[i-1].v {
+				return fmt.Errorf("expose: family %s%s: bucket le=%g count %g below le=%g count %g (not cumulative)",
+					f.Name, k, hs.buckets[i].le, hs.buckets[i].v, hs.buckets[i-1].le, hs.buckets[i-1].v)
+			}
+		}
+		if last.v != *hs.count {
+			return fmt.Errorf("expose: family %s%s: +Inf bucket %g disagrees with _count %g", f.Name, k, last.v, *hs.count)
+		}
+	}
+	return nil
+}
+
+// splitLE extracts the le label from a bucket sample's label set.
+func splitLE(labels []Label) (float64, []Label, error) {
+	rest := make([]Label, 0, len(labels))
+	le := math.NaN()
+	found := false
+	for _, l := range labels {
+		if l.Name == "le" {
+			if found {
+				return 0, nil, fmt.Errorf("bucket sample with two le labels")
+			}
+			v, err := strconv.ParseFloat(l.Value, 64)
+			if err != nil {
+				return 0, nil, fmt.Errorf("bad le value %q", l.Value)
+			}
+			le, found = v, true
+			continue
+		}
+		rest = append(rest, l)
+	}
+	if !found {
+		return 0, nil, fmt.Errorf("bucket sample without an le label")
+	}
+	return le, rest, nil
+}
+
+// sampleKey canonicalizes a sample identity: name plus sorted labels.
+func sampleKey(name string, labels []Label) string {
+	ls := append([]Label(nil), labels...)
+	sortLabels(ls)
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(l.Value)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,145 @@
+package expose
+
+import (
+	"strings"
+	"testing"
+)
+
+const goodExposition = `# HELP svc_requests_total Requests served.
+# TYPE svc_requests_total counter
+svc_requests_total{shard="0"} 3
+svc_requests_total{shard="1"} 4
+# some free-form comment the format permits
+# HELP svc_queue_len Queue depth.
+# TYPE svc_queue_len gauge
+svc_queue_len -2.5
+
+# HELP svc_latency_ms Latency.
+# TYPE svc_latency_ms histogram
+svc_latency_ms_bucket{shard="0",le="0.5"} 1
+svc_latency_ms_bucket{shard="0",le="1"} 2
+svc_latency_ms_bucket{shard="0",le="+Inf"} 4
+svc_latency_ms_sum{shard="0"} 12.5
+svc_latency_ms_count{shard="0"} 4
+`
+
+func TestParseGood(t *testing.T) {
+	fams, err := Parse(strings.NewReader(goodExposition))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fams) != 3 {
+		t.Fatalf("parsed %d families, want 3", len(fams))
+	}
+	if fams[0].Name != "svc_requests_total" || fams[0].Kind != KindCounter {
+		t.Errorf("family 0 = %s (%v)", fams[0].Name, fams[0].Kind)
+	}
+	s := fams[0].Sample("svc_requests_total", Label{Name: "shard", Value: "1"})
+	if s == nil || s.Value != 4 {
+		t.Errorf("shard 1 sample = %+v, want value 4", s)
+	}
+	if fams[1].Samples[0].Value != -2.5 {
+		t.Errorf("gauge value = %g", fams[1].Samples[0].Value)
+	}
+	if got := len(fams[2].Samples); got != 5 {
+		t.Errorf("histogram family has %d samples, want 5", got)
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	cases := map[string]string{
+		"sample before TYPE": `svc_total 1`,
+		"TYPE without HELP": `# TYPE svc_total counter
+svc_total 1`,
+		"HELP without TYPE": `# HELP svc_total help text`,
+		"sample between HELP and TYPE": `# HELP svc_total h
+svc_total 1`,
+		"duplicate family": `# HELP a_total h
+# TYPE a_total counter
+a_total 1
+# HELP a_total h
+# TYPE a_total counter
+a_total 2`,
+		"duplicate sample": `# HELP a_total h
+# TYPE a_total counter
+a_total{x="1"} 1
+a_total{x="1"} 2`,
+		"foreign sample in family": `# HELP a_total h
+# TYPE a_total counter
+b_total 1`,
+		"negative counter": `# HELP a_total h
+# TYPE a_total counter
+a_total -1`,
+		"NaN counter": `# HELP a_total h
+# TYPE a_total counter
+a_total NaN`,
+		"unsupported type": `# HELP a h
+# TYPE a summary
+a 1`,
+		"bad label syntax": `# HELP a_total h
+# TYPE a_total counter
+a_total{x=unquoted} 1`,
+		"unterminated label block": `# HELP a_total h
+# TYPE a_total counter
+a_total{x="1" 1`,
+		"reserved label name": `# HELP a_total h
+# TYPE a_total counter
+a_total{__x="1"} 1`,
+		"timestamp rejected": `# HELP a_total h
+# TYPE a_total counter
+a_total 1 1700000000000`,
+		"histogram without +Inf": `# HELP h h
+# TYPE h histogram
+h_bucket{le="1"} 1
+h_sum 1
+h_count 1`,
+		"histogram non-cumulative": `# HELP h h
+# TYPE h histogram
+h_bucket{le="1"} 5
+h_bucket{le="2"} 3
+h_bucket{le="+Inf"} 5
+h_sum 1
+h_count 5`,
+		"histogram +Inf != count": `# HELP h h
+# TYPE h histogram
+h_bucket{le="1"} 1
+h_bucket{le="+Inf"} 4
+h_sum 1
+h_count 5`,
+		"histogram missing sum": `# HELP h h
+# TYPE h histogram
+h_bucket{le="+Inf"} 1
+h_count 1`,
+		"histogram bucket without le": `# HELP h h
+# TYPE h histogram
+h_bucket{shard="0"} 1
+h_sum 1
+h_count 1`,
+	}
+	for name, in := range cases {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestParseHistogramMultiSeries(t *testing.T) {
+	in := `# HELP h h
+# TYPE h histogram
+h_bucket{shard="0",le="1"} 1
+h_bucket{shard="0",le="+Inf"} 2
+h_sum{shard="0"} 3
+h_count{shard="0"} 2
+h_bucket{shard="1",le="1"} 0
+h_bucket{shard="1",le="+Inf"} 0
+h_sum{shard="1"} 0
+h_count{shard="1"} 0
+`
+	fams, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fams) != 1 || len(fams[0].Samples) != 8 {
+		t.Fatalf("parse = %d families / %d samples", len(fams), len(fams[0].Samples))
+	}
+}

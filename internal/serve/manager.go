@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/infer"
 	"repro/internal/metrics"
+	"repro/internal/metrics/expose"
 	"repro/internal/pipeline"
 	ewruntime "repro/internal/runtime"
 	"repro/internal/stroke"
@@ -101,6 +102,20 @@ func (c Config) withDefaults() Config {
 // summarizes.
 const latencyRing = 4096
 
+// feedLatencyBuckets are the upper bounds (milliseconds) of the
+// /metricsz feed-latency histogram: octaves from 0.25 ms to 512 ms, so
+// both a warm sub-millisecond feed and a cold-engine or contended-shard
+// stall land in informative buckets.
+var feedLatencyBuckets = mustExpBuckets(0.25, 2, 12)
+
+func mustExpBuckets(start, factor float64, n int) []float64 {
+	b, err := expose.ExpBuckets(start, factor, n)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
 // Manager owns per-session stream state keyed by session ID and pushes
 // every chunk through a bounded worker pool. Feed and Flush are
 // synchronous: they enqueue a job and wait for its result, so a caller
@@ -126,6 +141,10 @@ type Manager struct {
 
 	latMu sync.Mutex
 	lat   *metrics.Reservoir // guarded by latMu
+
+	// latHist is the cumulative feed-latency histogram behind /metricsz;
+	// internally atomic, so no lock is shared with the reservoir.
+	latHist *expose.Histogram
 
 	// testJobStart, when set, runs at the top of every worker job; tests
 	// use it to hold workers and saturate the queue deterministically.
@@ -175,6 +194,10 @@ func NewManager(cfg Config) (*Manager, error) {
 	if err != nil {
 		return nil, err
 	}
+	hist, err := expose.NewHistogram(feedLatencyBuckets)
+	if err != nil {
+		return nil, err
+	}
 	m := &Manager{
 		cfg:      cfg,
 		pool:     pool,
@@ -182,6 +205,7 @@ func NewManager(cfg Config) (*Manager, error) {
 		quit:     make(chan struct{}),
 		sessions: make(map[string]*session),
 		lat:      lat,
+		latHist:  hist,
 	}
 	m.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -488,6 +512,7 @@ func (m *Manager) recordLatency(d time.Duration) {
 	m.latMu.Lock()
 	m.lat.Add(ms)
 	m.latMu.Unlock()
+	m.latHist.Observe(ms)
 }
 
 // latencySamples copies the retained feed-latency samples; the sharded
@@ -553,29 +578,64 @@ type Stats struct {
 	Shards         []ShardStats           `json:"shards,omitempty"`
 }
 
-// Snapshot assembles a consistent-enough stats view for monitoring. NaN
-// quantiles (no traffic yet) are reported as zero so the snapshot stays
-// JSON-encodable.
+// Snapshot assembles a consistent-enough stats view for monitoring. A
+// single Manager reports itself as one shard, so /statsz and /metricsz
+// have the same shape whether or not the service is sharded.
 func (m *Manager) Snapshot() Stats {
+	sv := m.shardView()
+	return Stats{
+		ActiveSessions: sv.ActiveSessions,
+		MaxSessions:    m.cfg.MaxSessions,
+		Workers:        m.cfg.Workers,
+		QueueLen:       sv.QueueLen,
+		QueueCap:       sv.QueueCap,
+		Pool:           m.pool.Stats(),
+		Chunks:         sv.Chunks,
+		Detections:     sv.Detections,
+		Backpressure:   sv.Backpressure,
+		Evictions:      sv.Evictions,
+		FeedLatencyMs:  summarizeFeedLatency(m.latencySamples()),
+		PerStroke:      stageMillis(m.stages.Snapshot()),
+		Shards:         []ShardStats{sv},
+	}
+}
+
+// shardView reads this manager's counters as one shard's contribution —
+// cheap (atomic loads plus a brief table lock), with no latency sorting,
+// so the /metricsz collectors can call it on every scrape.
+func (m *Manager) shardView() ShardStats {
 	m.mu.Lock()
 	active := len(m.sessions)
 	m.mu.Unlock()
-	s := Stats{
+	return ShardStats{
 		ActiveSessions: active,
-		MaxSessions:    m.cfg.MaxSessions,
-		Workers:        m.cfg.Workers,
 		QueueLen:       len(m.jobs),
 		QueueCap:       cap(m.jobs),
-		Pool:           m.pool.Stats(),
 		Chunks:         m.chunks.Load(),
 		Detections:     m.detections.Load(),
 		Backpressure:   m.rejected.Load(),
 		Evictions:      m.evictions.Load(),
-		FeedLatencyMs:  zeroNaN(metrics.SummarizeLatencies(m.latencySamples())),
-		PerStroke:      stageMillis(m.stages.Snapshot()),
 	}
-	return s
 }
+
+// shardStats implements metricsSource for a single manager: one shard.
+func (m *Manager) shardStats() []ShardStats { return []ShardStats{m.shardView()} }
+
+// feedLatencyHistograms implements metricsSource: one histogram per
+// shard, index-aligned with shardStats.
+func (m *Manager) feedLatencyHistograms() []*expose.Histogram {
+	return []*expose.Histogram{m.latHist}
+}
+
+// stageTotals implements metricsSource: cumulative stage time and
+// stroke count since startup.
+func (m *Manager) stageTotals() ewruntime.StageBreakdown { return m.stages.Snapshot() }
+
+// limits implements metricsSource: the configured service-wide bounds.
+func (m *Manager) limits() (maxSessions, workers int) { return m.cfg.MaxSessions, m.cfg.Workers }
+
+// poolStats implements metricsSource.
+func (m *Manager) poolStats() PoolStats { return m.pool.Stats() }
 
 // stageMillis converts an aggregated stage breakdown into the per-stroke
 // millisecond view /statsz exposes (zero value when no strokes yet).
@@ -596,7 +656,14 @@ func stageMillis(b ewruntime.StageBreakdown) StageMillis {
 	}
 }
 
-func zeroNaN(s metrics.LatencySummary) metrics.LatencySummary {
+// summarizeFeedLatency is the single choke point where feed-latency
+// samples become the quantile triple /statsz serves: with no samples
+// (zero traffic) the quantiles are NaN, which encoding/json rejects —
+// the encoder would abort mid-body and the scrape would see truncated
+// JSON — so NaN is reported as zero here, once, for both the single
+// Manager and the ShardedManager aggregation path.
+func summarizeFeedLatency(groups ...[]float64) metrics.LatencySummary {
+	s := metrics.MergeLatencies(groups...)
 	if math.IsNaN(s.P50) {
 		s.P50 = 0
 	}

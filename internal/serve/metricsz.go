@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"strconv"
+	"time"
+
+	"repro/internal/metrics/expose"
+	ewruntime "repro/internal/runtime"
+)
+
+// metricsSource is the cheap-read surface the /metricsz collectors
+// scrape: per-shard counter views, per-shard feed-latency histograms
+// (index-aligned with the shard views), cumulative stage totals and the
+// configured bounds. *Manager and *ShardedManager both implement it;
+// unlike Snapshot, none of these reads sorts latency samples, so a
+// tight scrape loop stays off the quantile path entirely.
+type metricsSource interface {
+	shardStats() []ShardStats
+	feedLatencyHistograms() []*expose.Histogram
+	stageTotals() ewruntime.StageBreakdown
+	limits() (maxSessions, workers int)
+	poolStats() PoolStats
+}
+
+// stageNames orders the per-stage counter series; the accessor pulls
+// the matching duration out of a StageBreakdown.
+var stageNames = [...]struct {
+	name string
+	get  func(b *ewruntime.StageBreakdown) time.Duration
+}{
+	{"stft", func(b *ewruntime.StageBreakdown) time.Duration { return b.STFT }},
+	{"enhancement", func(b *ewruntime.StageBreakdown) time.Duration { return b.Enhancement }},
+	{"profile", func(b *ewruntime.StageBreakdown) time.Duration { return b.Profile }},
+	{"segmentation", func(b *ewruntime.StageBreakdown) time.Duration { return b.Segmentation }},
+	{"dtw", func(b *ewruntime.StageBreakdown) time.Duration { return b.DTW }},
+}
+
+// newServiceRegistry builds the /metricsz registry over a metrics
+// source. Every family either carries a shard="N" label (per-shard
+// counters and the feed-latency histogram, so cross-shard skew — the
+// ROADMAP's rebalancing concern — is visible from a dashboard) or is a
+// service-wide scalar. Label sets are precomputed: the shard count is
+// fixed for the life of the manager, so scrapes only allocate the
+// per-scrape point slices.
+func newServiceRegistry(ms metricsSource) *expose.Registry {
+	r := expose.NewRegistry()
+	shards := len(ms.feedLatencyHistograms())
+	labels := make([][]expose.Label, shards)
+	for i := range labels {
+		labels[i] = []expose.Label{{Name: "shard", Value: strconv.Itoa(i)}}
+	}
+
+	perShard := func(name, help string, kind expose.Kind, get func(ShardStats) float64) {
+		r.MustRegister(expose.Desc{Name: name, Help: help, Kind: kind},
+			func(emit func(expose.Point)) {
+				for i, sv := range ms.shardStats() {
+					emit(expose.Point{Labels: labels[i], Value: get(sv)})
+				}
+			})
+	}
+	perShard("echowrite_active_sessions", "Open sessions in the shard's table.",
+		expose.KindGauge, func(s ShardStats) float64 { return float64(s.ActiveSessions) })
+	perShard("echowrite_queue_len", "Jobs waiting in the shard's ingest queue.",
+		expose.KindGauge, func(s ShardStats) float64 { return float64(s.QueueLen) })
+	perShard("echowrite_queue_cap", "Capacity of the shard's ingest queue.",
+		expose.KindGauge, func(s ShardStats) float64 { return float64(s.QueueCap) })
+	perShard("echowrite_chunks_total", "Audio chunks processed successfully.",
+		expose.KindCounter, func(s ShardStats) float64 { return float64(s.Chunks) })
+	perShard("echowrite_detections_total", "Strokes detected.",
+		expose.KindCounter, func(s ShardStats) float64 { return float64(s.Detections) })
+	perShard("echowrite_backpressure_rejects_total", "Feeds shed with 429 because the shard's queue was full.",
+		expose.KindCounter, func(s ShardStats) float64 { return float64(s.Backpressure) })
+	perShard("echowrite_idle_evictions_total", "Sessions reclaimed after IdleTimeout.",
+		expose.KindCounter, func(s ShardStats) float64 { return float64(s.Evictions) })
+
+	r.MustRegister(expose.Desc{Name: "echowrite_max_sessions",
+		Help: "Configured session-table bound, summed over shards.", Kind: expose.KindGauge},
+		func(emit func(expose.Point)) {
+			maxSessions, _ := ms.limits()
+			emit(expose.Point{Value: float64(maxSessions)})
+		})
+	r.MustRegister(expose.Desc{Name: "echowrite_workers",
+		Help: "Worker goroutines, summed over shards.", Kind: expose.KindGauge},
+		func(emit func(expose.Point)) {
+			_, workers := ms.limits()
+			emit(expose.Point{Value: float64(workers)})
+		})
+	r.MustRegister(expose.Desc{Name: "echowrite_engine_pool_created_total",
+		Help: "Recognizer engines built over the service lifetime.", Kind: expose.KindCounter},
+		func(emit func(expose.Point)) {
+			emit(expose.Point{Value: float64(ms.poolStats().Created)})
+		})
+	r.MustRegister(expose.Desc{Name: "echowrite_engine_pool_reused_total",
+		Help: "Engine checkouts served from the warm free list.", Kind: expose.KindCounter},
+		func(emit func(expose.Point)) {
+			emit(expose.Point{Value: float64(ms.poolStats().Reused)})
+		})
+	r.MustRegister(expose.Desc{Name: "echowrite_engine_pool_free",
+		Help: "Warm engines currently checked in.", Kind: expose.KindGauge},
+		func(emit func(expose.Point)) {
+			emit(expose.Point{Value: float64(ms.poolStats().Free)})
+		})
+
+	stageLabels := make([][]expose.Label, len(stageNames))
+	for i := range stageNames {
+		stageLabels[i] = []expose.Label{{Name: "stage", Value: stageNames[i].name}}
+	}
+	r.MustRegister(expose.Desc{Name: "echowrite_stage_seconds_total",
+		Help: "Cumulative pipeline time per stage; divide by echowrite_strokes_total for the per-stroke breakdown /statsz reports.",
+		Kind: expose.KindCounter},
+		func(emit func(expose.Point)) {
+			b := ms.stageTotals()
+			for i := range stageNames {
+				emit(expose.Point{Labels: stageLabels[i], Value: stageNames[i].get(&b).Seconds()})
+			}
+		})
+	r.MustRegister(expose.Desc{Name: "echowrite_strokes_total",
+		Help: "Strokes covered by the stage totals.", Kind: expose.KindCounter},
+		func(emit func(expose.Point)) {
+			emit(expose.Point{Value: float64(ms.stageTotals().Strokes)})
+		})
+
+	r.MustRegister(expose.Desc{Name: "echowrite_feed_latency_milliseconds",
+		Help: "Per-feed pipeline latency histogram (log-spaced ms buckets), per shard.",
+		Kind: expose.KindHistogram},
+		func(emit func(expose.Point)) {
+			for i, h := range ms.feedLatencyHistograms() {
+				v := h.View()
+				emit(expose.Point{Labels: labels[i], Hist: &v})
+			}
+		})
+	return r
+}

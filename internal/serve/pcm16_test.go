@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// decodePCM16 mirrors readPCM16's sample conversion (the HTTP plumbing
+// is exercised elsewhere); keeping the divisor literal here guards the
+// two sides against drifting apart again.
+func decodePCM16(wire []byte) []float64 {
+	out := make([]float64, len(wire)/2)
+	for i := range out {
+		out[i] = float64(int16(binary.LittleEndian.Uint16(wire[2*i:]))) / 32768
+	}
+	return out
+}
+
+// TestPCM16RoundTrip asserts the documented error bound of the unified
+// /32768 scale with round-half-away encoding: half a quantization step
+// (1/65536) everywhere except at the positive clip, where saturation to
+// 32767 costs up to a full step (1/32768). The old *32767-truncate
+// encoder failed both bounds and never produced the -32768 codepoint.
+func TestPCM16RoundTrip(t *testing.T) {
+	const (
+		step     = 1.0 / 32768
+		halfStep = 1.0 / 65536
+		eps      = 1e-12 // float64 noise on top of the exact bounds
+	)
+	// Dense sweep over the full range plus the exact edge cases.
+	xs := make([]float64, 0, 1<<17+8)
+	for i := 0; i <= 1<<17; i++ {
+		xs = append(xs, -1+float64(i)/(1<<16))
+	}
+	xs = append(xs, -1, -0.5, -step, -halfStep, 0, halfStep, step, 0.5, 1)
+	wire := EncodePCM16(xs)
+	back := decodePCM16(wire)
+	for i, x := range xs {
+		bound := halfStep
+		if x > 1-1.5*step {
+			// Saturation region: 32767 is the nearest representable code.
+			bound = step
+		}
+		if diff := math.Abs(back[i] - x); diff > bound+eps {
+			t.Fatalf("round trip of %v: got %v (error %g, bound %g)", x, back[i], back[i]-x, bound)
+		}
+	}
+}
+
+// TestPCM16Codepoints pins the exact endpoints: -1.0 must reach the
+// -32768 codepoint and decode back exactly; +1.0 saturates at 32767.
+// Out-of-range input clips instead of wrapping.
+func TestPCM16Codepoints(t *testing.T) {
+	cases := []struct {
+		in   float64
+		code int16
+	}{
+		{-1, -32768},
+		{1, 32767},
+		{-2, -32768},
+		{2, 32767},
+		{0, 0},
+		{0.5, 16384},
+		{-0.5, -16384},
+		// Half-away rounding, both signs.
+		{1.5 / 32768, 2},
+		{-1.5 / 32768, -2},
+		{0.4 / 32768, 0},
+		{-0.4 / 32768, 0},
+	}
+	for _, c := range cases {
+		wire := EncodePCM16([]float64{c.in})
+		if got := int16(binary.LittleEndian.Uint16(wire)); got != c.code {
+			t.Errorf("EncodePCM16(%v) = code %d, want %d", c.in, got, c.code)
+		}
+	}
+	if got := decodePCM16(EncodePCM16([]float64{-1}))[0]; got != -1 {
+		t.Errorf("-1.0 round trip = %v, want exactly -1", got)
+	}
+}

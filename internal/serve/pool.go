@@ -33,12 +33,17 @@ type EnginePool struct {
 	mu      sync.Mutex
 	free    []*pipeline.Stream // guarded by mu
 	created int                // guarded by mu
+	reused  int                // guarded by mu
 }
 
 // PoolStats is a point-in-time view of pool occupancy.
 type PoolStats struct {
 	// Created counts engines built over the pool's lifetime.
 	Created int `json:"created"`
+	// Reused counts checkouts served from the free list — the
+	// amortization the pool exists for; a low reuse rate under load
+	// means Prewarm is too small.
+	Reused int `json:"reused"`
 	// Free counts streams currently checked in.
 	Free int `json:"free"`
 }
@@ -81,6 +86,7 @@ func (p *EnginePool) Get() (*pipeline.Stream, error) {
 	if n := len(p.free); n > 0 {
 		s := p.free[n-1]
 		p.free = p.free[:n-1]
+		p.reused++
 		p.mu.Unlock()
 		return s, nil
 	}
@@ -104,5 +110,5 @@ func (p *EnginePool) Put(s *pipeline.Stream) {
 func (p *EnginePool) Stats() PoolStats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return PoolStats{Created: p.created, Free: len(p.free)}
+	return PoolStats{Created: p.created, Reused: p.reused, Free: len(p.free)}
 }

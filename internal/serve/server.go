@@ -6,10 +6,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"time"
 
 	"repro/internal/infer"
+	"repro/internal/metrics/expose"
 	"repro/internal/pipeline"
 )
 
@@ -24,6 +26,8 @@ import (
 //	                                 accumulated stroke sequence
 //	DELETE /v1/sessions/{id}       → close the session
 //	GET    /statsz                 → Stats snapshot (JSON)
+//	GET    /metricsz               → Prometheus text exposition
+//	                                 (text/plain; version=0.0.4)
 //
 // Backpressure surfaces as 429 (retry the same chunk), an oversized
 // chunk as 413, an unknown/evicted session as 404, and a full session
@@ -31,6 +35,9 @@ import (
 type Server struct {
 	mgr Service
 	mux *http.ServeMux
+	// reg is the /metricsz registry; nil when mgr is a foreign Service
+	// implementation that does not expose the internal metrics surface.
+	reg *expose.Registry
 }
 
 // Service is the session-manager surface the HTTP front end drives.
@@ -53,14 +60,20 @@ var (
 )
 
 // NewServer wires the routes around an existing manager (sharded or
-// single).
+// single). /metricsz renders the Prometheus exposition when mgr is one
+// of the package's managers (or embeds one); a foreign Service gets
+// the JSON /statsz only and 404 on /metricsz.
 func NewServer(mgr Service) *Server {
 	s := &Server{mgr: mgr, mux: http.NewServeMux()}
+	if ms, ok := mgr.(metricsSource); ok {
+		s.reg = newServiceRegistry(ms)
+	}
 	s.mux.HandleFunc("POST /v1/sessions", s.handleOpen)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/audio", s.handleAudio)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/flush", s.handleFlush)
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleClose)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	s.mux.HandleFunc("GET /metricsz", s.handleMetricsz)
 	return s
 }
 
@@ -167,6 +180,21 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.mgr.Snapshot())
 }
 
+// metricsContentType is the Prometheus text exposition content type.
+const metricsContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	if s.reg == nil {
+		http.Error(w, "metrics exposition unavailable for this service implementation", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", metricsContentType)
+	if err := s.reg.WriteText(w); err != nil {
+		// Headers are out; nothing useful left to do (mirrors writeJSON).
+		_ = err
+	}
+}
+
 // maxBodyBytes caps an audio POST at the manager's per-feed sample cap.
 func (s *Server) maxBodyBytes() int64 {
 	return 2 * int64(s.mgr.MaxChunk())
@@ -196,18 +224,27 @@ func readPCM16(w http.ResponseWriter, r *http.Request, maxBytes int64) ([]float6
 	return out, nil
 }
 
-// EncodePCM16 converts float samples to the wire format (clipping to
-// [-1,1)). Exported for load generators and client tooling.
+// EncodePCM16 converts float samples to the wire format. Exported for
+// load generators and client tooling.
+//
+// The scale is 32768 — the same one readPCM16 divides by — with
+// round-half-away-from-zero and saturation at the int16 limits, so
+// encode→decode round-trips within half a quantization step
+// (1/65536) everywhere except at the positive clip, where +1.0
+// saturates to 32767 and the error reaches 1/32768; -1.0 maps exactly
+// to -32768 and back. (The previous *32767-and-truncate encoding was
+// asymmetric with the decoder: every sample came back biased toward
+// zero and the -32768 codepoint was unreachable.)
 func EncodePCM16(samples []float64) []byte {
 	out := make([]byte, 2*len(samples))
 	for i, v := range samples {
-		if v > 1 {
-			v = 1
-		} else if v < -1 {
-			v = -1
+		f := math.Round(v * 32768)
+		if f > 32767 {
+			f = 32767
+		} else if f < -32768 {
+			f = -32768
 		}
-		n := int32(v * 32767)
-		binary.LittleEndian.PutUint16(out[2*i:], uint16(int16(n)))
+		binary.LittleEndian.PutUint16(out[2*i:], uint16(int16(f)))
 	}
 	return out
 }

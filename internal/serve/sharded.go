@@ -8,7 +8,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/infer"
-	"repro/internal/metrics"
+	"repro/internal/metrics/expose"
 	"repro/internal/pipeline"
 	ewruntime "repro/internal/runtime"
 )
@@ -150,41 +150,87 @@ func (sm *ShardedManager) MaxChunk() int { return sm.shards[0].MaxChunk() }
 // occupancy sum, feed-latency quantiles merge over the pooled per-shard
 // samples (shards weighted by how much traffic each retained), stage
 // breakdowns merge before the per-stroke division, and Shards carries
-// the per-shard queue/backpressure/eviction detail.
+// the per-shard queue/backpressure/eviction detail. Per-shard quantiles
+// are never computed: each shard contributes raw samples and the merge
+// sorts the pool once, through the same summarizeFeedLatency choke
+// point that keeps empty-sample NaN out of the JSON.
 func (sm *ShardedManager) Snapshot() Stats {
 	var (
-		agg      Stats
-		stages   ewruntime.StageBreakdown
-		latency  = make([][]float64, 0, len(sm.shards))
-		perShard = make([]ShardStats, len(sm.shards))
+		agg     Stats
+		stages  ewruntime.StageBreakdown
+		latency = make([][]float64, 0, len(sm.shards))
 	)
+	agg.Shards = sm.shardStats()
 	for i, m := range sm.shards {
-		s := m.Snapshot()
-		agg.ActiveSessions += s.ActiveSessions
-		agg.MaxSessions += s.MaxSessions
-		agg.Workers += s.Workers
-		agg.QueueLen += s.QueueLen
-		agg.QueueCap += s.QueueCap
-		agg.Pool.Created += s.Pool.Created
-		agg.Pool.Free += s.Pool.Free
-		agg.Chunks += s.Chunks
-		agg.Detections += s.Detections
-		agg.Backpressure += s.Backpressure
-		agg.Evictions += s.Evictions
+		sv := agg.Shards[i]
+		agg.ActiveSessions += sv.ActiveSessions
+		agg.MaxSessions += m.cfg.MaxSessions
+		agg.Workers += m.cfg.Workers
+		agg.QueueLen += sv.QueueLen
+		agg.QueueCap += sv.QueueCap
+		p := m.pool.Stats()
+		agg.Pool.Created += p.Created
+		agg.Pool.Reused += p.Reused
+		agg.Pool.Free += p.Free
+		agg.Chunks += sv.Chunks
+		agg.Detections += sv.Detections
+		agg.Backpressure += sv.Backpressure
+		agg.Evictions += sv.Evictions
 		stages.Merge(m.stages.Snapshot())
 		latency = append(latency, m.latencySamples())
-		perShard[i] = ShardStats{
-			ActiveSessions: s.ActiveSessions,
-			QueueLen:       s.QueueLen,
-			QueueCap:       s.QueueCap,
-			Chunks:         s.Chunks,
-			Detections:     s.Detections,
-			Backpressure:   s.Backpressure,
-			Evictions:      s.Evictions,
-		}
 	}
-	agg.FeedLatencyMs = zeroNaN(metrics.MergeLatencies(latency...))
+	agg.FeedLatencyMs = summarizeFeedLatency(latency...)
 	agg.PerStroke = stageMillis(stages)
-	agg.Shards = perShard
 	return agg
+}
+
+// shardStats implements metricsSource: every shard's counter view, in
+// shard-index order.
+func (sm *ShardedManager) shardStats() []ShardStats {
+	out := make([]ShardStats, len(sm.shards))
+	for i, m := range sm.shards {
+		out[i] = m.shardView()
+	}
+	return out
+}
+
+// feedLatencyHistograms implements metricsSource: one histogram per
+// shard, index-aligned with shardStats.
+func (sm *ShardedManager) feedLatencyHistograms() []*expose.Histogram {
+	out := make([]*expose.Histogram, len(sm.shards))
+	for i, m := range sm.shards {
+		out[i] = m.latHist
+	}
+	return out
+}
+
+// stageTotals implements metricsSource: stage time merged over shards.
+func (sm *ShardedManager) stageTotals() ewruntime.StageBreakdown {
+	var b ewruntime.StageBreakdown
+	for _, m := range sm.shards {
+		b.Merge(m.stages.Snapshot())
+	}
+	return b
+}
+
+// limits implements metricsSource: service-wide bounds summed over the
+// per-shard splits (which is what admission control actually enforces).
+func (sm *ShardedManager) limits() (maxSessions, workers int) {
+	for _, m := range sm.shards {
+		maxSessions += m.cfg.MaxSessions
+		workers += m.cfg.Workers
+	}
+	return maxSessions, workers
+}
+
+// poolStats implements metricsSource: pool occupancy summed over shards.
+func (sm *ShardedManager) poolStats() PoolStats {
+	var p PoolStats
+	for _, m := range sm.shards {
+		s := m.pool.Stats()
+		p.Created += s.Created
+		p.Reused += s.Reused
+		p.Free += s.Free
+	}
+	return p
 }

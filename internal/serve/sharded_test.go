@@ -1,7 +1,11 @@
 package serve
 
 import (
+	"encoding/json"
 	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"sync"
 	"testing"
 	"time"
@@ -199,5 +203,47 @@ func TestShardedShutdown(t *testing.T) {
 	}
 	if _, err := sm.Feed(id, make([]float64, 8)); !errors.Is(err, ErrClosed) {
 		t.Errorf("feed after shutdown error = %v, want ErrClosed", err)
+	}
+}
+
+// TestShardedStatszZeroTraffic is the NaN regression gate: with no
+// traffic every shard's latency reservoir is empty, quantiles are NaN
+// before sanitization, and encoding/json aborts on NaN — a regression
+// in the summarizeFeedLatency choke point surfaces here as truncated
+// /statsz JSON. The decoder runs strict so a half-written body fails.
+func TestShardedStatszZeroTraffic(t *testing.T) {
+	leak.Check(t)
+	sm, err := NewShardedManager(Config{MaxSessions: 8, Workers: 2, Prewarm: 1}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sm.Shutdown()
+	ts := httptest.NewServer(NewServer(sm).Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/statsz status = %d", resp.StatusCode)
+	}
+	var st Stats
+	dec := json.NewDecoder(resp.Body)
+	if err := dec.Decode(&st); err != nil {
+		t.Fatalf("zero-traffic /statsz is not valid JSON: %v", err)
+	}
+	if st.FeedLatencyMs.P50 != 0 || st.FeedLatencyMs.P95 != 0 || st.FeedLatencyMs.P99 != 0 {
+		t.Errorf("zero-traffic quantiles = %+v, want zeros", st.FeedLatencyMs)
+	}
+	if len(st.Shards) != 4 {
+		t.Errorf("shards = %d, want 4", len(st.Shards))
+	}
+
+	// The direct (non-HTTP) snapshot must be encodable too — embedders
+	// serialize it themselves.
+	if err := json.NewEncoder(io.Discard).Encode(sm.Snapshot()); err != nil {
+		t.Errorf("Snapshot not JSON-encodable: %v", err)
 	}
 }
