@@ -2,9 +2,9 @@
 # serving code. `make ci` is what every PR must keep green.
 GO ?= go
 
-.PHONY: ci vet lint build test race fuzz-smoke metricsz-smoke stress bench
+.PHONY: ci vet lint build test race fuzz-smoke metricsz-smoke ws-smoke stress bench
 
-ci: vet lint build test race fuzz-smoke metricsz-smoke
+ci: vet lint build test race fuzz-smoke metricsz-smoke ws-smoke
 
 vet:
 	$(GO) vet ./...
@@ -34,10 +34,19 @@ race:
 metricsz-smoke:
 	$(GO) test -run 'TestMetricsz' -count=1 ./internal/serve
 
+# A short ewload run over the /v1/stream WebSocket path, gated on the
+# error rate and on a strict /metricsz scrape: the duplex ingest must
+# deliver incremental detections under concurrency, end to end.
+ws-smoke:
+	$(GO) run ./cmd/ewload -ws -writers 8 -signals 2 -max-error-rate 0.01 -metricsz
+
 # A 10-second native-fuzz smoke of the streaming chunking invariance;
 # regressions in Stream.Feed surface here before the long fuzzers run.
+# The 5-second WebSocket frame-parser fuzz guards the untrusted-input
+# path of the duplex ingest the same way.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzStreamFeed -fuzztime 10s ./internal/pipeline
+	$(GO) test -run '^$$' -fuzz FuzzFrameRead -fuzztime 5s ./internal/ws
 
 # The long-running adversarial soak: the stress suite with its goroutine
 # and iteration counts multiplied (see internal/serve/stress).

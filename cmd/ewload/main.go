@@ -18,7 +18,9 @@
 // of failed operations exceeds the threshold, so CI can use a short run
 // as a serving smoke gate. With -metricsz the run additionally scrapes
 // GET /metricsz afterwards and fails unless the Prometheus exposition
-// parses strictly (internal/metrics/expose).
+// parses strictly (internal/metrics/expose). With -ws every writer
+// holds one persistent /v1/stream WebSocket instead of POSTing each
+// chunk, for a head-to-head latency comparison of the two ingest paths.
 package main
 
 import (
@@ -53,10 +55,11 @@ func main() {
 		maxSessions  = flag.Int("max-sessions", 256, "in-process server: session bound")
 		prewarm      = flag.Int("prewarm", 4, "in-process server: engines built at startup")
 		metricsz     = flag.Bool("metricsz", false, "scrape /metricsz after the run and fail on a malformed exposition")
+		ws           = flag.Bool("ws", false, "stream over /v1/stream WebSockets instead of per-chunk HTTP POSTs")
 	)
 	flag.Parse()
 	if err := run(*addr, *writers, *word, *signals, *chunkMs, *seed, *retries, *maxErrorRate,
-		*shards, *workers, *queue, *maxSessions, *prewarm, *metricsz); err != nil {
+		*shards, *workers, *queue, *maxSessions, *prewarm, *metricsz, *ws); err != nil {
 		fmt.Fprintln(os.Stderr, "ewload:", err)
 		os.Exit(1)
 	}
@@ -64,7 +67,7 @@ func main() {
 
 func run(addr string, writers int, word string, signals, chunkMs int, seed uint64,
 	retries int, maxErrorRate float64, shards, workers, queue, maxSessions, prewarm int,
-	metricsz bool) error {
+	metricsz, ws bool) error {
 	client := http.DefaultClient
 	if addr == "" {
 		base, shutdown, err := startInProcess(shards, workers, queue, maxSessions, prewarm)
@@ -77,8 +80,12 @@ func run(addr string, writers int, word string, signals, chunkMs int, seed uint6
 	}
 
 	chunkSamples := 44100 * chunkMs / 1000
-	fmt.Printf("synthesizing %d recording(s) of %q, driving %d writers (%d-sample chunks)…\n",
-		signals, word, writers, chunkSamples)
+	proto := "http"
+	if ws {
+		proto = "websocket"
+	}
+	fmt.Printf("synthesizing %d recording(s) of %q, driving %d writers (%d-sample chunks, %s)…\n",
+		signals, word, writers, chunkSamples, proto)
 	report, err := serve.RunLoad(serve.LoadConfig{
 		BaseURL:             addr,
 		Writers:             writers,
@@ -88,6 +95,7 @@ func run(addr string, writers int, word string, signals, chunkMs int, seed uint6
 		Seed:                seed,
 		BackpressureRetries: retries,
 		Client:              client,
+		WS:                  ws,
 	})
 	if err != nil {
 		return err

@@ -13,6 +13,7 @@
 //	POST   /v1/sessions/{id}/audio 16-bit LE mono PCM at 44.1 kHz → detections
 //	POST   /v1/sessions/{id}/flush drain + word candidates
 //	DELETE /v1/sessions/{id}       close
+//	GET    /v1/stream              WebSocket duplex ingest (see internal/serve/ws.go)
 //	GET    /statsz                 service snapshot (JSON)
 //	GET    /metricsz               Prometheus text exposition (v0.0.4)
 //
@@ -97,7 +98,19 @@ func run(addr string, maxSessions, shards, workers, queue, prewarm int, idle tim
 		go srv.RunEvictor(idle/4+time.Second, stop)
 	}
 
-	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
+	httpSrv := &http.Server{
+		Addr:    addr,
+		Handler: srv.Handler(),
+		// Slowloris protection: a client must finish its request headers
+		// promptly, and idle keep-alive connections are reclaimed.
+		// ReadTimeout/WriteTimeout stay unset — audio POSTs from slow
+		// writers are legitimate, and /v1/stream connections are
+		// long-lived by design (ws.Accept clears the per-connection
+		// deadlines after hijacking, so IdleTimeout cannot kill an
+		// upgraded stream).
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	fmt.Printf("ewserve listening on %s (sessions ≤ %d, workers %d, shards %d)\n",

@@ -43,6 +43,12 @@ type LoadConfig struct {
 	BackpressureRetries int
 	// Client overrides the HTTP client (default http.DefaultClient).
 	Client *http.Client
+	// WS switches writers from per-chunk HTTP POSTs to one persistent
+	// /v1/stream WebSocket connection each: chunks go out as binary
+	// frames and detections come back as incremental events. Chunk
+	// latency then measures the frame→ack round trip, head-to-head
+	// comparable with the POST round trip.
+	WS bool
 }
 
 func (c LoadConfig) withDefaults() LoadConfig {
@@ -73,7 +79,7 @@ type LoadReport struct {
 	ChunksSent   int
 	Detections   int
 	Words        int // writers whose flush produced ≥1 word candidate
-	Backpressure int // 429 responses observed (before retry)
+	Backpressure int // 429 responses (HTTP) or backpressure events (WS) observed
 	Errors       int // non-backpressure failures (chunks dropped, HTTP errors)
 	Elapsed      time.Duration
 	AudioSeconds float64 // total audio streamed across writers
@@ -117,7 +123,7 @@ func (r *LoadReport) String() string {
 		float64(r.ChunksSent)/r.Elapsed.Seconds())
 	fmt.Fprintf(&b, "detections         %d\n", r.Detections)
 	fmt.Fprintf(&b, "writers with words %d\n", r.Words)
-	fmt.Fprintf(&b, "backpressure 429s  %d\n", r.Backpressure)
+	fmt.Fprintf(&b, "backpressure       %d\n", r.Backpressure)
 	fmt.Fprintf(&b, "errors             %d (%.2f%% of chunks)\n", r.Errors, 100*r.ErrorRate())
 	fmt.Fprintf(&b, "chunk latency ms   p50 %.2f  p95 %.2f  p99 %.2f\n",
 		r.ChunkLatencyMs.P50, r.ChunkLatencyMs.P95, r.ChunkLatencyMs.P99)
@@ -142,13 +148,17 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		strokeLat []float64
 		wg        sync.WaitGroup
 	)
+	drive := driveWriter
+	if cfg.WS {
+		drive = driveWriterWS
+	}
 	start := time.Now()
 	for w := 0; w < cfg.Writers; w++ {
 		sig := signals[w%len(signals)]
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			res := driveWriter(cfg, sig)
+			res := drive(cfg, sig)
 			mu.Lock()
 			report.ChunksSent += res.chunks
 			report.Detections += res.detections
@@ -230,6 +240,59 @@ func driveWriter(cfg LoadConfig, sig *audio.Signal) writerResult {
 	}
 	res.detections += dets
 	res.words = words
+	return res
+}
+
+// driveWriterWS is driveWriter over one persistent stream connection.
+// Backpressure shows up as server-pushed events (the server itself
+// retries the queue, so chunks stay contiguous without a client loop);
+// a connection-level failure ends the writer since every later frame
+// would fail the same way. The named return matters: the deferred
+// accumulation below must land in the return value, not a dead local.
+func driveWriterWS(cfg LoadConfig, sig *audio.Signal) (res writerResult) {
+	sc, err := DialStream(cfg.BaseURL, "", 10*time.Second)
+	if err != nil {
+		res.errors++
+		return res
+	}
+	closed := false
+	defer func() {
+		res.backpressure += int(sc.Backpressured)
+		if !closed {
+			_ = sc.Abort()
+		}
+	}()
+
+	for off := 0; off < len(sig.Samples); off += cfg.ChunkSamples {
+		end := min(off+cfg.ChunkSamples, len(sig.Samples))
+		body := EncodePCM16(sig.Samples[off:end])
+		t0 := time.Now()
+		dets, err := sc.SendChunk(body)
+		if err != nil {
+			res.errors++
+			return res
+		}
+		res.chunks++
+		latMs := float64(time.Since(t0)) / float64(time.Millisecond)
+		res.chunkLat = append(res.chunkLat, latMs)
+		if len(dets) > 0 {
+			res.detections += len(dets)
+			res.strokeLat = append(res.strokeLat, latMs)
+		}
+	}
+
+	dets, words, err := sc.Flush()
+	if err != nil {
+		res.errors++
+		return res
+	}
+	res.detections += len(dets)
+	res.words = len(words)
+	if err := sc.Close(); err != nil {
+		res.errors++
+		return res
+	}
+	closed = true
 	return res
 }
 

@@ -334,6 +334,18 @@ func (m *Manager) Close(id string) error {
 	return nil
 }
 
+// Touch refreshes a session's idle clock without submitting work. The
+// streaming front end calls it so a live connection counts as session
+// activity for EvictIdle even when no audio is flowing.
+func (m *Manager) Touch(id string) error {
+	sess, err := m.lookup(id)
+	if err != nil {
+		return err
+	}
+	sess.lastActive.Store(m.cfg.Clock().UnixNano())
+	return nil
+}
+
 // EvictIdle reclaims sessions idle past IdleTimeout, returning how many
 // were evicted. The HTTP server calls this on a timer; Open calls it
 // when the table is full.

@@ -131,3 +131,32 @@ func newServiceRegistry(ms metricsSource) *expose.Registry {
 		})
 	return r
 }
+
+// registerWSMetrics appends the streaming subsystem's families to the
+// service registry, so one /metricsz scrape covers both ingest paths.
+// The counters are server-wide (connections are not pinned to shards).
+func registerWSMetrics(r *expose.Registry, ws *wsStats) {
+	r.MustRegister(expose.Desc{Name: "echowrite_ws_connections",
+		Help: "Open /v1/stream WebSocket connections.", Kind: expose.KindGauge},
+		func(emit func(expose.Point)) {
+			emit(expose.Point{Value: float64(ws.connections.Load())})
+		})
+	r.MustRegister(expose.Desc{Name: "echowrite_ws_frames_in_total",
+		Help: "Client frames received on stream connections (audio chunks and commands).",
+		Kind: expose.KindCounter},
+		func(emit func(expose.Point)) {
+			emit(expose.Point{Value: float64(ws.framesIn.Load())})
+		})
+	r.MustRegister(expose.Desc{Name: "echowrite_ws_frames_out_total",
+		Help: "Event frames pushed to stream clients.", Kind: expose.KindCounter},
+		func(emit func(expose.Point)) {
+			emit(expose.Point{Value: float64(ws.framesOut.Load())})
+		})
+	r.MustRegister(expose.Desc{Name: "echowrite_ws_push_latency_milliseconds",
+		Help: "Queue-to-wire latency of pushed stream events (log-spaced ms buckets).",
+		Kind: expose.KindHistogram},
+		func(emit func(expose.Point)) {
+			v := ws.pushLat.View()
+			emit(expose.Point{Hist: &v})
+		})
+}

@@ -6,13 +6,13 @@ import (
 	"testing"
 )
 
-// decodePCM16 mirrors readPCM16's sample conversion (the HTTP plumbing
-// is exercised elsewhere); keeping the divisor literal here guards the
-// two sides against drifting apart again.
-func decodePCM16(wire []byte) []float64 {
-	out := make([]float64, len(wire)/2)
-	for i := range out {
-		out[i] = float64(int16(binary.LittleEndian.Uint16(wire[2*i:]))) / 32768
+// decode runs the production wire decoder (shared by the HTTP and
+// WebSocket ingest paths) with an unlimited size cap.
+func decode(t *testing.T, wire []byte) []float64 {
+	t.Helper()
+	out, err := decodePCM16(wire, int64(len(wire)))
+	if err != nil {
+		t.Fatalf("decodePCM16: %v", err)
 	}
 	return out
 }
@@ -35,7 +35,7 @@ func TestPCM16RoundTrip(t *testing.T) {
 	}
 	xs = append(xs, -1, -0.5, -step, -halfStep, 0, halfStep, step, 0.5, 1)
 	wire := EncodePCM16(xs)
-	back := decodePCM16(wire)
+	back := decode(t, wire)
 	for i, x := range xs {
 		bound := halfStep
 		if x > 1-1.5*step {
@@ -75,7 +75,7 @@ func TestPCM16Codepoints(t *testing.T) {
 			t.Errorf("EncodePCM16(%v) = code %d, want %d", c.in, got, c.code)
 		}
 	}
-	if got := decodePCM16(EncodePCM16([]float64{-1}))[0]; got != -1 {
+	if got := decode(t, EncodePCM16([]float64{-1}))[0]; got != -1 {
 		t.Errorf("-1.0 round trip = %v, want exactly -1", got)
 	}
 }

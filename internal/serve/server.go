@@ -38,6 +38,11 @@ type Server struct {
 	// reg is the /metricsz registry; nil when mgr is a foreign Service
 	// implementation that does not expose the internal metrics surface.
 	reg *expose.Registry
+	// ws aggregates the streaming subsystem's metrics (see ws.go).
+	ws *wsStats
+	// wsKeepalive overrides the stream ping/touch interval; zero means
+	// wsKeepaliveDefault. Tests shrink it to exercise the keepalive path.
+	wsKeepalive time.Duration
 }
 
 // Service is the session-manager surface the HTTP front end drives.
@@ -64,11 +69,13 @@ var (
 // of the package's managers (or embeds one); a foreign Service gets
 // the JSON /statsz only and 404 on /metricsz.
 func NewServer(mgr Service) *Server {
-	s := &Server{mgr: mgr, mux: http.NewServeMux()}
+	s := &Server{mgr: mgr, mux: http.NewServeMux(), ws: newWSStats()}
 	if ms, ok := mgr.(metricsSource); ok {
 		s.reg = newServiceRegistry(ms)
+		registerWSMetrics(s.reg, s.ws)
 	}
 	s.mux.HandleFunc("POST /v1/sessions", s.handleOpen)
+	s.mux.HandleFunc("GET /v1/stream", s.handleStream)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/audio", s.handleAudio)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/flush", s.handleFlush)
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleClose)
@@ -213,6 +220,16 @@ func readPCM16(w http.ResponseWriter, r *http.Request, maxBytes int64) ([]float6
 			return nil, fmt.Errorf("%w: body over %d bytes", pipeline.ErrOversizedChunk, maxBytes)
 		}
 		return nil, fmt.Errorf("%w: %v", errBadBody, err)
+	}
+	return decodePCM16(body, maxBytes)
+}
+
+// decodePCM16 converts one wire chunk (16-bit LE mono PCM) into float
+// samples — the shared decode path for the HTTP body and WebSocket
+// binary-frame ingest routes.
+func decodePCM16(body []byte, maxBytes int64) ([]float64, error) {
+	if int64(len(body)) > maxBytes {
+		return nil, fmt.Errorf("%w: body over %d bytes", pipeline.ErrOversizedChunk, maxBytes)
 	}
 	if len(body)%2 != 0 {
 		return nil, fmt.Errorf("%w: odd byte count %d", errBadBody, len(body))

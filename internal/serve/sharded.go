@@ -120,6 +120,11 @@ func (sm *ShardedManager) Close(id string) error {
 	return sm.shard(id).Close(id)
 }
 
+// Touch refreshes a session's idle clock on its owning shard.
+func (sm *ShardedManager) Touch(id string) error {
+	return sm.shard(id).Touch(id)
+}
+
 // EvictIdle sweeps every shard and returns the total evicted. Each shard
 // holds only its own lock during its sweep.
 func (sm *ShardedManager) EvictIdle() int {

@@ -1,0 +1,174 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/url"
+	"strings"
+	"time"
+
+	"repro/internal/ws"
+)
+
+// StreamClient drives one /v1/stream WebSocket connection with the
+// synchronous request/ack discipline the load generator and tests use:
+// send a chunk (or flush), then read events until its acknowledgement
+// arrives. Detections still stream incrementally — every chunk's
+// detection event carries results as soon as that chunk is processed,
+// without waiting for a flush — and backpressure events passing by are
+// counted rather than treated as failures. Not safe for concurrent use.
+type StreamClient struct {
+	conn *ws.Conn
+	// Session is the session this stream is bound to: server-minted for
+	// open-on-connect dials, echoed back for attaches.
+	Session string
+	// Backpressured counts backpressure events observed on this stream.
+	Backpressured uint64
+	seq           uint64
+}
+
+// DialStream connects to baseURL's /v1/stream endpoint ("http://host"
+// or "ws://host"). An empty session opens a connection-owned session
+// (closed by the server on disconnect); a non-empty one attaches to an
+// existing session, which survives the connection. The returned client
+// has already consumed the ready event.
+func DialStream(baseURL, session string, timeout time.Duration) (*StreamClient, error) {
+	target := strings.TrimSuffix(baseURL, "/") + "/v1/stream"
+	if session != "" {
+		target += "?session=" + url.QueryEscape(session)
+	}
+	conn, err := ws.Dial(target, timeout)
+	if err != nil {
+		return nil, err
+	}
+	c := &StreamClient{conn: conn}
+	_ = conn.SetReadDeadline(time.Now().Add(timeout))
+	ev, err := c.readEvent()
+	_ = conn.SetReadDeadline(time.Time{})
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("serve: stream handshake: %w", err)
+	}
+	switch ev.Type {
+	case StreamEventReady:
+		c.Session = ev.Session
+		return c, nil
+	case StreamEventError:
+		conn.Close()
+		return nil, fmt.Errorf("serve: stream rejected: %s", ev.Error)
+	default:
+		conn.Close()
+		return nil, fmt.Errorf("serve: stream handshake: unexpected %q event", ev.Type)
+	}
+}
+
+// readEvent blocks for the next server event frame.
+func (c *StreamClient) readEvent() (StreamEvent, error) {
+	var ev StreamEvent
+	typ, data, err := c.conn.ReadMessage()
+	if err != nil {
+		return ev, err
+	}
+	if typ != ws.Text {
+		return ev, fmt.Errorf("serve: unexpected %v frame from stream server", typ)
+	}
+	if err := json.Unmarshal(data, &ev); err != nil {
+		return ev, fmt.Errorf("serve: malformed stream event: %w", err)
+	}
+	return ev, nil
+}
+
+// awaitAck reads events until the detection event acknowledging seq,
+// tallying backpressure along the way. An error event for this seq (or
+// a terminal one without a seq) fails the operation.
+func (c *StreamClient) awaitAck(seq uint64) ([]DetectionJSON, error) {
+	for {
+		ev, err := c.readEvent()
+		if err != nil {
+			return nil, err
+		}
+		switch ev.Type {
+		case StreamEventDetection:
+			if ev.Seq == seq {
+				return ev.Detections, nil
+			}
+		case StreamEventBackpressure:
+			c.Backpressured++
+		case StreamEventError:
+			if ev.Seq == seq || ev.Seq == 0 {
+				return nil, fmt.Errorf("serve: stream error: %s", ev.Error)
+			}
+		}
+	}
+}
+
+// SendChunk ships one PCM16 chunk and blocks for its detection ack,
+// returning the strokes completed by that chunk.
+func (c *StreamClient) SendChunk(pcm []byte) ([]DetectionJSON, error) {
+	if err := c.conn.WriteMessage(ws.Binary, pcm); err != nil {
+		return nil, err
+	}
+	c.seq++
+	return c.awaitAck(c.seq)
+}
+
+// Flush drains the session's partial frame, returning the final
+// detections and the word candidates for the accumulated strokes.
+func (c *StreamClient) Flush() ([]DetectionJSON, []CandidateJSON, error) {
+	if err := c.writeCommand("flush"); err != nil {
+		return nil, nil, err
+	}
+	c.seq++
+	dets, err := c.awaitAck(c.seq)
+	if err != nil {
+		return nil, nil, err
+	}
+	for {
+		ev, err := c.readEvent()
+		if err != nil {
+			return nil, nil, err
+		}
+		switch ev.Type {
+		case StreamEventCandidates:
+			if ev.Seq == c.seq {
+				return dets, ev.Words, nil
+			}
+		case StreamEventError:
+			return nil, nil, fmt.Errorf("serve: stream error: %s", ev.Error)
+		}
+	}
+}
+
+func (c *StreamClient) writeCommand(cmd string) error {
+	data, err := json.Marshal(streamCommand{Cmd: cmd})
+	if err != nil {
+		return err
+	}
+	return c.conn.WriteMessage(ws.Text, data)
+}
+
+// Close ends the session server-side and completes the close handshake.
+func (c *StreamClient) Close() error {
+	if err := c.writeCommand("close"); err != nil {
+		c.conn.Close()
+		return err
+	}
+	// The server answers with a close frame; drain anything pending
+	// until it surfaces (ReadMessage echoes our half automatically).
+	_ = c.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	for {
+		if _, _, err := c.conn.ReadMessage(); err != nil {
+			var ce *ws.CloseError
+			cerr := c.conn.Close()
+			if errors.As(err, &ce) {
+				return cerr
+			}
+			return err
+		}
+	}
+}
+
+// Abort drops the connection without a close handshake; the server
+// reclaims connection-owned sessions when the read loop fails.
+func (c *StreamClient) Abort() error { return c.conn.Close() }

@@ -1,0 +1,347 @@
+package ws
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/testutil/leak"
+)
+
+// TestAcceptKey pins the handshake derivation to the RFC 6455 §1.3
+// worked example.
+func TestAcceptKey(t *testing.T) {
+	leak.Check(t)
+	const key = "dGhlIHNhbXBsZSBub25jZQ=="
+	const want = "s3pPLMBiTxaQ9kYGzzhZRbK+xOo="
+	if got := acceptKey(key); got != want {
+		t.Errorf("acceptKey(%q) = %q, want %q", key, got, want)
+	}
+}
+
+// echoServer upgrades every request and echoes data messages until the
+// peer closes. The handler signals exit through done so tests can wait
+// for server-side teardown before the leak check runs.
+func echoServer(t *testing.T) (*httptest.Server, *sync.WaitGroup) {
+	t.Helper()
+	var wg sync.WaitGroup
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		wg.Add(1)
+		defer wg.Done()
+		conn, err := Accept(w, r)
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		for {
+			typ, data, err := conn.ReadMessage()
+			if err != nil {
+				return
+			}
+			if err := conn.WriteMessage(typ, data); err != nil {
+				return
+			}
+		}
+	}))
+	return ts, &wg
+}
+
+// TestDialEchoRoundTrip drives the full stack — Dial handshake, masked
+// client frames, fragmentation on both the small and large paths, and
+// the close handshake — against an Accept-side echo loop.
+func TestDialEchoRoundTrip(t *testing.T) {
+	leak.Check(t)
+	ts, wg := echoServer(t)
+	defer ts.Close()
+	defer wg.Wait()
+
+	conn, err := Dial(ts.URL, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	big := bytes.Repeat([]byte{0xA5, 0x5A, 0x00, 0xFF}, 20000) // 80 kB: 16-bit length form
+	cases := []struct {
+		typ  MessageType
+		data []byte
+	}{
+		{Text, []byte("hello stream")},
+		{Binary, []byte{}},
+		{Binary, big},
+		{Text, []byte(strings.Repeat("é", 1000))}, // multi-byte UTF-8 survives
+	}
+	conn.FragmentSize = 4096 // exercise continuation reassembly server-side
+	for i, c := range cases {
+		if err := conn.WriteMessage(c.typ, c.data); err != nil {
+			t.Fatalf("case %d write: %v", i, err)
+		}
+		typ, got, err := conn.ReadMessage()
+		if err != nil {
+			t.Fatalf("case %d read: %v", i, err)
+		}
+		if typ != c.typ || !bytes.Equal(got, c.data) {
+			t.Fatalf("case %d echo mismatch: type %v len %d, want type %v len %d",
+				i, typ, len(got), c.typ, len(c.data))
+		}
+	}
+
+	// Pings are answered in-stream without surfacing as messages.
+	if err := conn.WritePing([]byte("beat")); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.WriteMessage(Text, []byte("after ping")); err != nil {
+		t.Fatal(err)
+	}
+	if _, got, err := conn.ReadMessage(); err != nil || string(got) != "after ping" {
+		t.Fatalf("read after ping = %q, %v", got, err)
+	}
+
+	if err := conn.CloseHandshake(StatusNormalClosure, "done", time.Second); err != nil {
+		t.Fatalf("close handshake: %v", err)
+	}
+}
+
+// TestCloseHandshakeCodeRoundTrip checks the peer sees the code and
+// reason we sent, and that data writes after close are refused.
+func TestCloseHandshakeCodeRoundTrip(t *testing.T) {
+	leak.Check(t)
+	ts, wg := echoServer(t)
+	defer ts.Close()
+	defer wg.Wait()
+
+	conn, err := Dial(ts.URL, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	if err := conn.WriteClose(StatusGoingAway, "moving on"); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.WriteMessage(Text, []byte("x")); !errors.Is(err, ErrCloseSent) {
+		t.Errorf("write after close = %v, want ErrCloseSent", err)
+	}
+	_, _, err = conn.ReadMessage()
+	var ce *CloseError
+	if !errors.As(err, &ce) {
+		t.Fatalf("read after close = %v, want *CloseError", err)
+	}
+	if ce.Code != StatusGoingAway {
+		t.Errorf("echoed close code = %d, want %d", ce.Code, StatusGoingAway)
+	}
+}
+
+// TestAcceptRejectsBadHandshakes covers the refusal paths with their
+// HTTP statuses.
+func TestAcceptRejectsBadHandshakes(t *testing.T) {
+	leak.Check(t)
+	ts, wg := echoServer(t)
+	defer ts.Close()
+	defer wg.Wait()
+
+	do := func(method string, hdr map[string]string) int {
+		t.Helper()
+		req, err := http.NewRequest(method, ts.URL, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, v := range hdr {
+			req.Header.Set(k, v)
+		}
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	upgrade := map[string]string{
+		"Connection":            "Upgrade",
+		"Upgrade":               "websocket",
+		"Sec-WebSocket-Version": "13",
+		"Sec-WebSocket-Key":     "AAAAAAAAAAAAAAAAAAAAAA==",
+	}
+	if got := do(http.MethodPost, upgrade); got != http.StatusMethodNotAllowed {
+		t.Errorf("POST upgrade status = %d, want 405", got)
+	}
+	if got := do(http.MethodGet, nil); got != http.StatusBadRequest {
+		t.Errorf("plain GET status = %d, want 400", got)
+	}
+	old := map[string]string{}
+	for k, v := range upgrade {
+		old[k] = v
+	}
+	old["Sec-WebSocket-Version"] = "8"
+	if got := do(http.MethodGet, old); got != http.StatusUpgradeRequired {
+		t.Errorf("old version status = %d, want 426", got)
+	}
+	bad := map[string]string{}
+	for k, v := range upgrade {
+		bad[k] = v
+	}
+	bad["Sec-WebSocket-Key"] = "not base64!"
+	if got := do(http.MethodGet, bad); got != http.StatusBadRequest {
+		t.Errorf("bad key status = %d, want 400", got)
+	}
+}
+
+// pipeConns builds a connected client/server Conn pair over net.Pipe,
+// bypassing the HTTP handshake so frame-level behavior can be tested
+// in isolation.
+func pipeConns() (client, server *Conn) {
+	cc, sc := net.Pipe()
+	client = newConn(cc, bufio.NewReader(cc), bufio.NewWriter(cc), true)
+	server = newConn(sc, bufio.NewReader(sc), bufio.NewWriter(sc), false)
+	return client, server
+}
+
+// TestMaskingDirection: a server must reject unmasked client frames and
+// a client must reject masked server frames.
+func TestMaskingDirection(t *testing.T) {
+	leak.Check(t)
+	t.Run("unmasked-to-server", func(t *testing.T) {
+		client, server := pipeConns()
+		defer client.Close()
+		defer server.Close()
+		client.client = false // misbehave: send unmasked
+		errCh := make(chan error, 1)
+		go func() { errCh <- client.WriteMessage(Text, []byte("hi")) }()
+		_, _, err := server.ReadMessage()
+		if !errors.Is(err, ErrProtocol) {
+			t.Errorf("server read = %v, want ErrProtocol", err)
+		}
+		<-errCh
+	})
+	t.Run("masked-to-client", func(t *testing.T) {
+		client, server := pipeConns()
+		defer client.Close()
+		defer server.Close()
+		server.client = true // misbehave: send masked
+		errCh := make(chan error, 1)
+		go func() { errCh <- server.WriteMessage(Text, []byte("hi")) }()
+		_, _, err := client.ReadMessage()
+		if !errors.Is(err, ErrProtocol) {
+			t.Errorf("client read = %v, want ErrProtocol", err)
+		}
+		<-errCh
+	})
+}
+
+// TestMaxPayloadCaps: oversized single frames and oversized reassembled
+// messages both fail with ErrTooLarge, before unbounded buffering.
+func TestMaxPayloadCaps(t *testing.T) {
+	leak.Check(t)
+	t.Run("single-frame", func(t *testing.T) {
+		client, server := pipeConns()
+		defer client.Close()
+		defer server.Close()
+		server.MaxPayload = 64
+		errCh := make(chan error, 1)
+		go func() { errCh <- client.WriteMessage(Binary, make([]byte, 65)) }()
+		_, _, err := server.ReadMessage()
+		if !errors.Is(err, ErrTooLarge) {
+			t.Errorf("read = %v, want ErrTooLarge", err)
+		}
+		<-errCh // the pipe write may observe the teardown; only sequencing matters
+	})
+	t.Run("fragmented-message", func(t *testing.T) {
+		client, server := pipeConns()
+		defer client.Close()
+		defer server.Close()
+		server.MaxPayload = 100
+		client.FragmentSize = 60 // two 60/40 frames: each under cap, total over
+		errCh := make(chan error, 1)
+		go func() { errCh <- client.WriteMessage(Binary, make([]byte, 120)) }()
+		_, _, err := server.ReadMessage()
+		if !errors.Is(err, ErrTooLarge) {
+			t.Errorf("read = %v, want ErrTooLarge", err)
+		}
+		<-errCh
+	})
+}
+
+// TestContinuationStateMachine: stray continuations and interleaved
+// data frames are protocol errors.
+func TestContinuationStateMachine(t *testing.T) {
+	leak.Check(t)
+	t.Run("bare-continuation", func(t *testing.T) {
+		client, server := pipeConns()
+		defer client.Close()
+		defer server.Close()
+		errCh := make(chan error, 1)
+		go func() {
+			client.wmu.Lock()
+			defer client.wmu.Unlock()
+			errCh <- client.writeFrameLocked(opContinuation, true, []byte("tail"))
+		}()
+		_, _, err := server.ReadMessage()
+		if !errors.Is(err, ErrProtocol) {
+			t.Errorf("read = %v, want ErrProtocol", err)
+		}
+		<-errCh
+	})
+	t.Run("data-inside-fragmented", func(t *testing.T) {
+		client, server := pipeConns()
+		defer client.Close()
+		defer server.Close()
+		errCh := make(chan error, 1)
+		go func() {
+			client.wmu.Lock()
+			defer client.wmu.Unlock()
+			if err := client.writeFrameLocked(opText, false, []byte("first")); err != nil {
+				errCh <- err
+				return
+			}
+			errCh <- client.writeFrameLocked(opText, true, []byte("second"))
+		}()
+		_, _, err := server.ReadMessage()
+		if !errors.Is(err, ErrProtocol) {
+			t.Errorf("read = %v, want ErrProtocol", err)
+		}
+		<-errCh
+	})
+}
+
+// TestTextMessageUTF8: invalid UTF-8 in a completed text message is a
+// protocol error (RFC 6455 §8.1).
+func TestTextMessageUTF8(t *testing.T) {
+	leak.Check(t)
+	client, server := pipeConns()
+	defer client.Close()
+	defer server.Close()
+	errCh := make(chan error, 1)
+	go func() { errCh <- client.WriteMessage(Text, []byte{0xFF, 0xFE, 0xFD}) }()
+	_, _, err := server.ReadMessage()
+	if !errors.Is(err, ErrProtocol) {
+		t.Errorf("read = %v, want ErrProtocol", err)
+	}
+	<-errCh
+}
+
+// TestOneByteClosePayload: a close frame with a single payload byte
+// cannot carry a status code and must be rejected.
+func TestOneByteClosePayload(t *testing.T) {
+	leak.Check(t)
+	client, server := pipeConns()
+	defer client.Close()
+	defer server.Close()
+	errCh := make(chan error, 1)
+	go func() {
+		client.wmu.Lock()
+		defer client.wmu.Unlock()
+		errCh <- client.writeFrameLocked(opClose, true, []byte{0x03})
+	}()
+	_, _, err := server.ReadMessage()
+	if !errors.Is(err, ErrProtocol) {
+		t.Errorf("read = %v, want ErrProtocol", err)
+	}
+	<-errCh
+}

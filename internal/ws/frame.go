@@ -1,0 +1,196 @@
+package ws
+
+import (
+	"bufio"
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Frame opcodes (RFC 6455 §5.2).
+const (
+	opContinuation = 0x0
+	opText         = 0x1
+	opBinary       = 0x2
+	opClose        = 0x8
+	opPing         = 0x9
+	opPong         = 0xA
+)
+
+// maxControlPayload is the RFC 6455 §5.5 bound on a control frame's
+// payload (the length must fit the 7-bit short form).
+const maxControlPayload = 125
+
+// maxHeaderBytes is the largest possible frame header: 2 fixed bytes,
+// 8 extended-length bytes, 4 masking-key bytes.
+const maxHeaderBytes = 14
+
+// ErrProtocol marks a peer violation of RFC 6455 framing: reserved
+// bits, bad opcodes, non-minimal lengths, wrong masking for the
+// direction, malformed close payloads. Connections that see it should
+// close with StatusProtocolError.
+var ErrProtocol = errors.New("ws: protocol error")
+
+// ErrTooLarge means a frame (or reassembled message) exceeds the
+// connection's payload cap. The peer gets StatusMessageTooBig. The cap
+// is enforced before the payload is read, so a hostile 2⁶³-byte length
+// header never causes an allocation.
+var ErrTooLarge = errors.New("ws: payload over cap")
+
+// frame is one parsed wire frame, payload already unmasked.
+type frame struct {
+	fin     bool
+	opcode  byte
+	payload []byte
+}
+
+// isControl reports whether an opcode is a control frame (close, ping,
+// pong — the 0x8..0xF range).
+func isControl(opcode byte) bool { return opcode&0x8 != 0 }
+
+// readFrame parses one frame from br. maxPayload bounds the declared
+// payload length before any allocation happens; requireMask selects the
+// direction's masking rule (servers require masked client frames,
+// clients reject masked server frames). Returned payloads are unmasked.
+func readFrame(br *bufio.Reader, maxPayload int64, requireMask bool) (frame, error) {
+	var hdr [2]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return frame{}, err
+	}
+	if rsv := hdr[0] & 0x70; rsv != 0 {
+		return frame{}, fmt.Errorf("%w: nonzero RSV bits %#02x (no extensions negotiated)", ErrProtocol, rsv)
+	}
+	f := frame{fin: hdr[0]&0x80 != 0, opcode: hdr[0] & 0x0F}
+	switch f.opcode {
+	case opContinuation, opText, opBinary, opClose, opPing, opPong:
+	default:
+		return frame{}, fmt.Errorf("%w: reserved opcode %#x", ErrProtocol, f.opcode)
+	}
+
+	masked := hdr[1]&0x80 != 0
+	if masked != requireMask {
+		if requireMask {
+			return frame{}, fmt.Errorf("%w: unmasked client frame", ErrProtocol)
+		}
+		return frame{}, fmt.Errorf("%w: masked server frame", ErrProtocol)
+	}
+
+	n := int64(hdr[1] & 0x7F)
+	switch n {
+	case 126:
+		var ext [2]byte
+		if _, err := io.ReadFull(br, ext[:]); err != nil {
+			return frame{}, err
+		}
+		n = int64(binary.BigEndian.Uint16(ext[:]))
+		if n < 126 {
+			return frame{}, fmt.Errorf("%w: non-minimal 16-bit length %d", ErrProtocol, n)
+		}
+	case 127:
+		var ext [8]byte
+		if _, err := io.ReadFull(br, ext[:]); err != nil {
+			return frame{}, err
+		}
+		v := binary.BigEndian.Uint64(ext[:])
+		if v>>63 != 0 {
+			return frame{}, fmt.Errorf("%w: 64-bit length with the high bit set", ErrProtocol)
+		}
+		n = int64(v)
+		if n < 1<<16 {
+			return frame{}, fmt.Errorf("%w: non-minimal 64-bit length %d", ErrProtocol, n)
+		}
+	}
+	if isControl(f.opcode) {
+		if !f.fin {
+			return frame{}, fmt.Errorf("%w: fragmented control frame", ErrProtocol)
+		}
+		if n > maxControlPayload {
+			return frame{}, fmt.Errorf("%w: %d-byte control payload (max %d)", ErrProtocol, n, maxControlPayload)
+		}
+	}
+	if n > maxPayload {
+		return frame{}, fmt.Errorf("%w: %d-byte frame (cap %d)", ErrTooLarge, n, maxPayload)
+	}
+
+	var key [4]byte
+	if masked {
+		if _, err := io.ReadFull(br, key[:]); err != nil {
+			return frame{}, err
+		}
+	}
+	f.payload = make([]byte, n)
+	if _, err := io.ReadFull(br, f.payload); err != nil {
+		return frame{}, err
+	}
+	if masked {
+		maskBytes(key, f.payload)
+	}
+	return f, nil
+}
+
+// maskBytes XORs p in place with the repeating 4-byte key (RFC 6455
+// §5.3); masking is an involution, so the same call masks and unmasks.
+func maskBytes(key [4]byte, p []byte) {
+	for i := range p {
+		p[i] ^= key[i&3]
+	}
+}
+
+// appendFrameHeader renders a frame header for an opcode/length pair,
+// returning the extended buf. mask carries the masking key when masked
+// is set.
+func appendFrameHeader(buf []byte, opcode byte, fin, masked bool, n int, mask [4]byte) []byte {
+	b0 := opcode
+	if fin {
+		b0 |= 0x80
+	}
+	buf = append(buf, b0)
+	var b1 byte
+	if masked {
+		b1 = 0x80
+	}
+	switch {
+	case n <= 125:
+		buf = append(buf, b1|byte(n))
+	case n < 1<<16:
+		buf = append(buf, b1|126, byte(n>>8), byte(n))
+	default:
+		buf = append(buf, b1|127)
+		buf = binary.BigEndian.AppendUint64(buf, uint64(n))
+	}
+	if masked {
+		buf = append(buf, mask[:]...)
+	}
+	return buf
+}
+
+// writeFrame writes one complete frame to w. Client-side frames are
+// masked with a fresh random key into scratch so payload is never
+// modified; scratch is reused across calls and returned (possibly
+// grown).
+func writeFrame(w io.Writer, opcode byte, fin, masked bool, payload, scratch []byte) ([]byte, error) {
+	var key [4]byte
+	if masked {
+		if _, err := rand.Read(key[:]); err != nil {
+			return scratch, fmt.Errorf("ws: masking key: %w", err)
+		}
+	}
+	scratch = appendFrameHeader(scratch[:0], opcode, fin, masked, len(payload), key)
+	if masked {
+		scratch = append(scratch, payload...)
+		maskBytes(key, scratch[len(scratch)-len(payload):])
+		_, err := w.Write(scratch)
+		return scratch, err
+	}
+	if _, err := w.Write(scratch); err != nil {
+		return scratch, err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return scratch, err
+		}
+	}
+	return scratch, nil
+}

@@ -1,0 +1,77 @@
+package ws
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/testutil/leak"
+)
+
+// fuzzMaxPayload is the frame cap under fuzzing — small enough that an
+// over-allocation bug (trusting a hostile length header) is
+// immediately visible as a returned payload larger than the cap.
+const fuzzMaxPayload = 1 << 16
+
+// clientFrame builds a masked frame the way a well-behaved client
+// would, for seeding the corpus.
+func clientFrame(t *testing.F, opcode byte, fin bool, payload []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := writeFrame(&buf, opcode, fin, true, payload, nil); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzFrameRead hammers the frame parser with arbitrary bytes in both
+// masking directions. The parser must never panic, never return a
+// payload above the cap (the over-allocation guard), and classify
+// every failure as either a typed protocol/size violation or a clean
+// truncation error.
+func FuzzFrameRead(f *testing.F) {
+	leak.Check(f)
+	f.Add([]byte{})
+	f.Add(clientFrame(f, opText, true, []byte("hello")))
+	f.Add(clientFrame(f, opBinary, true, make([]byte, 300)))   // 16-bit length form
+	f.Add(clientFrame(f, opBinary, false, []byte("fragment"))) // non-FIN data frame
+	f.Add(clientFrame(f, opPing, true, []byte("beat")))
+	f.Add(clientFrame(f, opClose, true, []byte{0x03, 0xE8}))
+	f.Add([]byte{0x81, 0x05, 'h'})                               // truncated unmasked text
+	f.Add([]byte{0x91, 0x80, 0, 0, 0, 0})                        // RSV bit set
+	f.Add([]byte{0x83, 0x80, 0, 0, 0, 0})                        // reserved opcode 0x3
+	f.Add([]byte{0x82, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, //
+		0xFF, 0xFF, 0, 0, 0, 0}) // 2⁶⁴-1 length
+	f.Add([]byte{0x82, 0xFE, 0x00, 0x10, 0, 0, 0, 0}) // non-minimal 16-bit length
+	f.Add([]byte{0x88, 0x81, 0, 0, 0, 0, 0x03})       // 1-byte close payload
+	f.Add([]byte{0x89, 0xFE, 0x00, 0xFF})             // oversized control frame
+	huge := []byte{0x82, 0xFF}
+	huge = binary.BigEndian.AppendUint64(huge, fuzzMaxPayload+1)
+	f.Add(append(huge, 0, 0, 0, 0)) // one byte over the cap
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, requireMask := range []bool{true, false} {
+			br := bufio.NewReader(bytes.NewReader(data))
+			fr, err := readFrame(br, fuzzMaxPayload, requireMask)
+			if err != nil {
+				// Every failure must be a typed violation or a clean
+				// truncation — anything else is an unclassified escape.
+				if !errors.Is(err, ErrProtocol) && !errors.Is(err, ErrTooLarge) &&
+					!errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+					t.Fatalf("unclassified parse error: %v", err)
+				}
+				continue
+			}
+			if int64(len(fr.payload)) > fuzzMaxPayload {
+				t.Fatalf("payload %d bytes exceeds the %d cap", len(fr.payload), fuzzMaxPayload)
+			}
+			if isControl(fr.opcode) && (len(fr.payload) > maxControlPayload || !fr.fin) {
+				t.Fatalf("control frame violating §5.5 passed the parser: fin=%v len=%d",
+					fr.fin, len(fr.payload))
+			}
+		}
+	})
+}

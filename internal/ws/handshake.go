@@ -1,0 +1,169 @@
+package ws
+
+import (
+	"bufio"
+	"crypto/rand"
+	"crypto/sha1"
+	"encoding/base64"
+	"fmt"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// acceptGUID is the fixed RFC 6455 §1.3 key-derivation constant.
+const acceptGUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+// acceptKey derives the Sec-WebSocket-Accept value for a client key:
+// base64(SHA-1(key + GUID)).
+func acceptKey(key string) string {
+	h := sha1.Sum([]byte(key + acceptGUID))
+	return base64.StdEncoding.EncodeToString(h[:])
+}
+
+// headerHasToken reports whether a comma-separated header contains a
+// token, case-insensitively (Connection is a token list: a browser may
+// send "keep-alive, Upgrade").
+func headerHasToken(h http.Header, name, token string) bool {
+	for _, v := range h.Values(name) {
+		for _, part := range strings.Split(v, ",") {
+			if strings.EqualFold(strings.TrimSpace(part), token) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Accept upgrades an HTTP request to a WebSocket connection: it
+// validates the handshake headers, hijacks the connection, clears any
+// per-connection deadlines the http.Server armed (IdleTimeout and
+// ReadTimeout must not kill a long-lived stream), and writes the 101
+// response. On failure the HTTP error response has already been
+// written; the caller just returns.
+func Accept(w http.ResponseWriter, r *http.Request) (*Conn, error) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "websocket handshake requires GET", http.StatusMethodNotAllowed)
+		return nil, fmt.Errorf("ws: handshake method %s", r.Method)
+	}
+	if !headerHasToken(r.Header, "Connection", "Upgrade") ||
+		!strings.EqualFold(r.Header.Get("Upgrade"), "websocket") {
+		http.Error(w, "not a websocket upgrade request", http.StatusBadRequest)
+		return nil, fmt.Errorf("ws: missing Upgrade/Connection headers")
+	}
+	if v := r.Header.Get("Sec-WebSocket-Version"); v != "13" {
+		w.Header().Set("Sec-WebSocket-Version", "13")
+		http.Error(w, "unsupported websocket version", http.StatusUpgradeRequired)
+		return nil, fmt.Errorf("ws: unsupported version %q", v)
+	}
+	key := r.Header.Get("Sec-WebSocket-Key")
+	if raw, err := base64.StdEncoding.DecodeString(key); err != nil || len(raw) != 16 {
+		http.Error(w, "malformed Sec-WebSocket-Key", http.StatusBadRequest)
+		return nil, fmt.Errorf("ws: malformed Sec-WebSocket-Key %q", key)
+	}
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		http.Error(w, "connection cannot be hijacked", http.StatusInternalServerError)
+		return nil, fmt.Errorf("ws: response writer is not a Hijacker")
+	}
+	nc, rw, err := hj.Hijack()
+	if err != nil {
+		http.Error(w, "hijack failed", http.StatusInternalServerError)
+		return nil, fmt.Errorf("ws: hijack: %w", err)
+	}
+	// The server may have armed deadlines on this connection
+	// (ReadTimeout, or IdleTimeout between keep-alive requests); a
+	// persistent stream must outlive them.
+	_ = nc.SetDeadline(time.Time{})
+
+	if _, err := rw.WriteString("HTTP/1.1 101 Switching Protocols\r\n" +
+		"Upgrade: websocket\r\n" +
+		"Connection: Upgrade\r\n" +
+		"Sec-WebSocket-Accept: " + acceptKey(key) + "\r\n\r\n"); err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("ws: write 101: %w", err)
+	}
+	if err := rw.Flush(); err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("ws: flush 101: %w", err)
+	}
+	return newConn(nc, rw.Reader, rw.Writer, false), nil
+}
+
+// Dial opens a client WebSocket connection to rawURL ("ws://host/path"
+// or "http://host/path" — TLS is out of scope for the loopback load
+// and test paths this client serves). timeout bounds the TCP connect
+// and the handshake; the established connection has no deadlines.
+func Dial(rawURL string, timeout time.Duration) (*Conn, error) {
+	u, err := url.Parse(rawURL)
+	if err != nil {
+		return nil, fmt.Errorf("ws: dial %q: %w", rawURL, err)
+	}
+	switch u.Scheme {
+	case "ws", "http":
+	default:
+		return nil, fmt.Errorf("ws: dial %q: unsupported scheme %q", rawURL, u.Scheme)
+	}
+	host := u.Host
+	if u.Port() == "" {
+		host = net.JoinHostPort(u.Hostname(), "80")
+	}
+
+	var keyRaw [16]byte
+	if _, err := rand.Read(keyRaw[:]); err != nil {
+		return nil, fmt.Errorf("ws: nonce: %w", err)
+	}
+	key := base64.StdEncoding.EncodeToString(keyRaw[:])
+
+	nc, err := net.DialTimeout("tcp", host, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("ws: dial %s: %w", host, err)
+	}
+	if err := nc.SetDeadline(time.Now().Add(timeout)); err != nil {
+		nc.Close()
+		return nil, err
+	}
+
+	path := u.RequestURI()
+	if path == "" {
+		path = "/"
+	}
+	req := "GET " + path + " HTTP/1.1\r\n" +
+		"Host: " + u.Host + "\r\n" +
+		"Upgrade: websocket\r\n" +
+		"Connection: Upgrade\r\n" +
+		"Sec-WebSocket-Key: " + key + "\r\n" +
+		"Sec-WebSocket-Version: 13\r\n\r\n"
+	if _, err := nc.Write([]byte(req)); err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("ws: handshake write: %w", err)
+	}
+
+	br := bufio.NewReader(nc)
+	resp, err := http.ReadResponse(br, &http.Request{Method: http.MethodGet})
+	if err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("ws: handshake response: %w", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusSwitchingProtocols {
+		nc.Close()
+		return nil, fmt.Errorf("ws: handshake rejected: %s", resp.Status)
+	}
+	if !strings.EqualFold(resp.Header.Get("Upgrade"), "websocket") ||
+		!headerHasToken(resp.Header, "Connection", "Upgrade") {
+		nc.Close()
+		return nil, fmt.Errorf("ws: handshake response missing upgrade headers")
+	}
+	if got := resp.Header.Get("Sec-WebSocket-Accept"); got != acceptKey(key) {
+		nc.Close()
+		return nil, fmt.Errorf("ws: Sec-WebSocket-Accept mismatch (got %q)", got)
+	}
+	if err := nc.SetDeadline(time.Time{}); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	return newConn(nc, br, bufio.NewWriter(nc), true), nil
+}
