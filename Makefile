@@ -2,9 +2,9 @@
 # serving code. `make ci` is what every PR must keep green.
 GO ?= go
 
-.PHONY: ci vet lint build test race fuzz-smoke metricsz-smoke ws-smoke stress bench
+.PHONY: ci vet lint build test race fuzz-smoke metricsz-smoke ws-smoke bench-smoke bench-baseline stress bench
 
-ci: vet lint build test race fuzz-smoke metricsz-smoke ws-smoke
+ci: vet lint build test race fuzz-smoke metricsz-smoke ws-smoke bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -47,6 +47,23 @@ ws-smoke:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzStreamFeed -fuzztime 10s ./internal/pipeline
 	$(GO) test -run '^$$' -fuzz FuzzFrameRead -fuzztime 5s ./internal/ws
+	$(GO) test -run '^$$' -fuzz FuzzBandTransform -fuzztime 5s ./internal/dsp
+
+# The spectral-engine benchmarks the serving path depends on, checked
+# against the committed baseline (BENCH_baseline.json): >20% ns/op
+# regression or any allocs/op change fails the build. Three short counts
+# per benchmark; ewbenchgate gates on the per-benchmark minimum so shared
+# -machine noise cannot fail a healthy build.
+BENCH_SMOKE = { $(GO) test -run '^$$' -bench 'BenchmarkSTFTCompute' -benchmem -benchtime 0.3s -count 3 ./internal/dsp && \
+	$(GO) test -run '^$$' -bench 'BenchmarkStreamFeed1024$$' -benchmem -benchtime 0.3s -count 3 .; }
+
+bench-smoke:
+	$(BENCH_SMOKE) | $(GO) run ./cmd/ewbenchgate
+
+# Refresh the committed baseline after a deliberate performance change;
+# the baseline diff should land in the same commit as its cause.
+bench-baseline:
+	$(BENCH_SMOKE) | $(GO) run ./cmd/ewbenchgate -update
 
 # The long-running adversarial soak: the stress suite with its goroutine
 # and iteration counts multiplied (see internal/serve/stress).

@@ -1,0 +1,195 @@
+// Command ewbenchgate is the benchmark regression gate: it parses `go
+// test -bench` output on stdin, reduces repeated runs of each benchmark
+// to their minimum (the least-noisy estimate on a shared machine), and
+// compares the result against a committed baseline file. The gate fails
+// when any baselined benchmark slows down by more than the tolerance,
+// changes its allocation count, or is missing from the input — a silent
+// drop must not read as a pass.
+//
+// Usage:
+//
+//	go test -run '^$' -bench B -benchmem -count 3 ./pkg | ewbenchgate [flags]
+//
+// With -update the measured results overwrite the baseline instead of
+// being checked, which is how a deliberate performance change lands: the
+// reviewer sees the baseline diff next to the code that caused it.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// baseline is the committed reference measurement set.
+type baseline struct {
+	// Note records where the numbers came from; informational only.
+	Note       string                   `json:"note,omitempty"`
+	Benchmarks map[string]baselineEntry `json:"benchmarks"`
+}
+
+type baselineEntry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// benchLine matches one `go test -bench -benchmem` result line, e.g.
+//
+//	BenchmarkSTFTCompute/band-4   1406   1630957 ns/op   116800 B/op   3 allocs/op
+//
+// The trailing -N is the GOMAXPROCS suffix, stripped so baselines do not
+// depend on the machine's core count.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+[0-9.]+ B/op)?(?:\s+([0-9]+) allocs/op)?`)
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "baseline file to check against (or write with -update)")
+	tol := flag.Float64("tol", 0.20, "allowed fractional ns/op regression before the gate fails")
+	update := flag.Bool("update", false, "write measured results to the baseline instead of checking")
+	flag.Parse()
+
+	got, err := parseBench(os.Stdin)
+	if err != nil {
+		fatal("parse: %v", err)
+	}
+	if len(got) == 0 {
+		fatal("no benchmark result lines on stdin")
+	}
+
+	if *update {
+		if err := writeBaseline(*baselinePath, got); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("ewbenchgate: wrote %d benchmarks to %s\n", len(got), *baselinePath)
+		return
+	}
+
+	base, err := readBaseline(*baselinePath)
+	if err != nil {
+		fatal("%v", err)
+	}
+	failures := check(base, got, *tol)
+	for _, f := range failures {
+		fmt.Fprintf(os.Stderr, "ewbenchgate: FAIL %s\n", f)
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "ewbenchgate: %d regression(s) against %s (tolerance %.0f%%); if intentional, re-run with -update and commit the baseline\n",
+			len(failures), *baselinePath, *tol*100)
+		os.Exit(1)
+	}
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := base.Benchmarks[name]
+		g := got[name]
+		fmt.Printf("ewbenchgate: ok %-40s %12.0f ns/op (baseline %12.0f, %+5.1f%%), %d allocs/op\n",
+			name, g.NsPerOp, b.NsPerOp, 100*(g.NsPerOp-b.NsPerOp)/b.NsPerOp, g.AllocsPerOp)
+	}
+}
+
+// parseBench reduces stdin's benchmark lines to per-name minima.
+func parseBench(r io.Reader) (map[string]baselineEntry, error) {
+	got := make(map[string]baselineEntry)
+	seen := make(map[string]bool)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %q: %w", sc.Text(), err)
+		}
+		var allocs int64
+		if m[3] != "" {
+			allocs, err = strconv.ParseInt(m[3], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %q: %w", sc.Text(), err)
+			}
+		}
+		cur, ok := got[name]
+		if !ok || ns < cur.NsPerOp {
+			cur.NsPerOp = ns
+		}
+		// Allocation counts must be stable across runs; keep the max so a
+		// flaky allocation in any run surfaces.
+		if !seen[name] || allocs > cur.AllocsPerOp {
+			cur.AllocsPerOp = allocs
+		}
+		seen[name] = true
+		got[name] = cur
+	}
+	return got, sc.Err()
+}
+
+// check compares measured minima against the baseline. Every baselined
+// benchmark must be present, within the ns/op tolerance, and at exactly
+// its baselined allocation count.
+func check(base baseline, got map[string]baselineEntry, tol float64) []string {
+	var failures []string
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		want := base.Benchmarks[name]
+		g, ok := got[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: missing from bench output", name))
+			continue
+		}
+		if limit := want.NsPerOp * (1 + tol); g.NsPerOp > limit {
+			failures = append(failures, fmt.Sprintf("%s: %.0f ns/op exceeds baseline %.0f by %.1f%% (limit %.0f%%)",
+				name, g.NsPerOp, want.NsPerOp, 100*(g.NsPerOp-want.NsPerOp)/want.NsPerOp, tol*100))
+		}
+		if g.AllocsPerOp != want.AllocsPerOp {
+			failures = append(failures, fmt.Sprintf("%s: %d allocs/op, baseline %d (allocation counts are gated exactly)",
+				name, g.AllocsPerOp, want.AllocsPerOp))
+		}
+	}
+	return failures
+}
+
+func readBaseline(path string) (baseline, error) {
+	var base baseline
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return base, fmt.Errorf("baseline: %w", err)
+	}
+	if err := json.Unmarshal(data, &base); err != nil {
+		return base, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if len(base.Benchmarks) == 0 {
+		return base, fmt.Errorf("baseline %s: no benchmarks", path)
+	}
+	return base, nil
+}
+
+func writeBaseline(path string, got map[string]baselineEntry) error {
+	base := baseline{
+		Note:       "minima of -count runs; update via `make bench-baseline`",
+		Benchmarks: got,
+	}
+	data, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ewbenchgate: "+format+"\n", args...)
+	os.Exit(1)
+}

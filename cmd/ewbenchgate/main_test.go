@@ -1,0 +1,93 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro/internal/dsp
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSTFTCompute/band-4         	    1406	   1630957 ns/op	  116800 B/op	       3 allocs/op
+BenchmarkSTFTCompute/band-4         	    1428	   1530721 ns/op	  116800 B/op	       3 allocs/op
+BenchmarkSTFTCompute/band-4         	    1440	   1829650 ns/op	  116800 B/op	       3 allocs/op
+BenchmarkStreamFeed1024-4           	     100	  10000000 ns/op	     500 B/op	       7 allocs/op
+PASS
+ok  	repro/internal/dsp	8.374s
+`
+
+func parseSample(t *testing.T) map[string]baselineEntry {
+	t.Helper()
+	got, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestParseBenchTakesMinimaAndStripsProcSuffix(t *testing.T) {
+	got := parseSample(t)
+	if len(got) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %v", len(got), got)
+	}
+	band, ok := got["BenchmarkSTFTCompute/band"]
+	if !ok {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %v", got)
+	}
+	if band.NsPerOp != 1530721 {
+		t.Errorf("band ns/op = %v, want the minimum 1530721", band.NsPerOp)
+	}
+	if band.AllocsPerOp != 3 {
+		t.Errorf("band allocs/op = %d, want 3", band.AllocsPerOp)
+	}
+	if feed := got["BenchmarkStreamFeed1024"]; feed.AllocsPerOp != 7 {
+		t.Errorf("feed allocs/op = %d, want 7", feed.AllocsPerOp)
+	}
+}
+
+func TestCheckPassesWithinTolerance(t *testing.T) {
+	got := parseSample(t)
+	base := baseline{Benchmarks: map[string]baselineEntry{
+		// Measured minimum 1530721 is an 8% regression over this: passes.
+		"BenchmarkSTFTCompute/band": {NsPerOp: 1417000, AllocsPerOp: 3},
+		"BenchmarkStreamFeed1024":   {NsPerOp: 10000000, AllocsPerOp: 7},
+	}}
+	if failures := check(base, got, 0.20); len(failures) != 0 {
+		t.Fatalf("unexpected failures: %v", failures)
+	}
+}
+
+func TestCheckFailsOnRegression(t *testing.T) {
+	got := parseSample(t)
+	base := baseline{Benchmarks: map[string]baselineEntry{
+		// Measured minimum 1530721 is a 53% regression over this.
+		"BenchmarkSTFTCompute/band": {NsPerOp: 1000000, AllocsPerOp: 3},
+	}}
+	failures := check(base, got, 0.20)
+	if len(failures) != 1 || !strings.Contains(failures[0], "exceeds baseline") {
+		t.Fatalf("failures = %v, want one ns/op regression", failures)
+	}
+}
+
+func TestCheckFailsOnAllocChange(t *testing.T) {
+	got := parseSample(t)
+	base := baseline{Benchmarks: map[string]baselineEntry{
+		"BenchmarkSTFTCompute/band": {NsPerOp: 1600000, AllocsPerOp: 0},
+	}}
+	failures := check(base, got, 0.20)
+	if len(failures) != 1 || !strings.Contains(failures[0], "allocs/op") {
+		t.Fatalf("failures = %v, want one allocation failure", failures)
+	}
+}
+
+func TestCheckFailsOnMissingBenchmark(t *testing.T) {
+	got := parseSample(t)
+	base := baseline{Benchmarks: map[string]baselineEntry{
+		"BenchmarkGone": {NsPerOp: 100, AllocsPerOp: 0},
+	}}
+	failures := check(base, got, 0.20)
+	if len(failures) != 1 || !strings.Contains(failures[0], "missing") {
+		t.Fatalf("failures = %v, want one missing-benchmark failure", failures)
+	}
+}

@@ -87,6 +87,30 @@ func retained(xs []float64) [][]float64 {
 	return out
 }
 
+// columnsInto is the append-into-dst pattern STFT.Compute uses: the
+// backing array's capacity is hoisted above the loop and each iteration
+// extends it through a helper, so the loop body itself contains no
+// allocation syntax. Accepted — this pins the blessed shape for
+// per-column hot loops.
+//
+// ew:hotpath
+func columnsInto(cols [][]float64) []float64 {
+	backing := make([]float64, 0, len(cols)) // accepted: hoisted capacity
+	for _, col := range cols {
+		backing = appendSum(backing, col)
+	}
+	return backing
+}
+
+// appendSum extends dst by one value. Its append sits at body level, not
+// in a loop, so it is the helper's cold growth path: a caller that
+// preallocated capacity never pays a per-iteration allocation. Accepted.
+//
+// ew:hotpath
+func appendSum(dst []float64, col []float64) []float64 {
+	return append(dst, sum(col))
+}
+
 // cold is not annotated, so the analyzer ignores its loops entirely:
 // accepted.
 func cold(cols [][]float64) [][]float64 {

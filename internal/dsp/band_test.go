@@ -1,0 +1,241 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// referenceColumns computes a spectrogram under the full-FFT reference
+// engine — the ground truth of the differential harness.
+func referenceColumns(t testing.TB, cfg STFTConfig, signal []float64) *Spectrogram {
+	t.Helper()
+	ref := cfg
+	ref.Engine = EngineFFT
+	st, err := NewSTFT(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := st.Compute(signal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+// randomSignal draws a deterministic pseudo-random signal in [-1, 1].
+func randomSignal(seed int64, n int) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	sig := make([]float64, n)
+	for i := range sig {
+		sig[i] = 2*rng.Float64() - 1
+	}
+	return sig
+}
+
+// TestBandEngineMatchesReference is the differential equivalence suite:
+// randomized signals × all window kinds × band edges (degenerate 1-bin
+// bands, DC and Nyquist edges, the full half-spectrum, the paper's
+// default band), asserting every band-engine column matches the full-FFT
+// reference per bin within the 1e-9 harness tolerance.
+func TestBandEngineMatchesReference(t *testing.T) {
+	type bandCase struct {
+		name      string
+		low, high func(n int) int
+	}
+	bands := []bandCase{
+		{"default-paper-band", func(n int) int { return n * 3628 / 8192 }, func(n int) int { return n*3978/8192 + 1 }},
+		{"single-bin-dc", func(n int) int { return 0 }, func(n int) int { return 1 }},
+		{"single-bin-mid", func(n int) int { return n / 4 }, func(n int) int { return n/4 + 1 }},
+		{"single-bin-top", func(n int) int { return n/2 - 1 }, func(n int) int { return n / 2 }},
+		{"dc-edge", func(n int) int { return 0 }, func(n int) int { return 9 }},
+		{"nyquist-edge", func(n int) int { return n/2 - 9 }, func(n int) int { return n / 2 }},
+		{"full-half-spectrum", func(n int) int { return 0 }, func(n int) int { return n / 2 }},
+	}
+	windows := []WindowKind{WindowHanning, WindowHamming, WindowRectangular, WindowBlackman}
+	engines := []EngineKind{EngineAuto, EngineRFFT, EngineGoertzel}
+	sizes := []int{64, 1024}
+	for _, n := range sizes {
+		for _, bc := range bands {
+			for _, win := range windows {
+				cfg := STFTConfig{
+					SampleRate: 44100,
+					FFTSize:    n,
+					HopSize:    n / 4,
+					Window:     win,
+					LowBin:     bc.low(n),
+					HighBin:    bc.high(n),
+				}
+				for seed := int64(1); seed <= 3; seed++ {
+					sig := randomSignal(seed*int64(n), 3*n)
+					want := referenceColumns(t, cfg, sig)
+					for _, eng := range engines {
+						c := cfg
+						c.Engine = eng
+						st, err := NewSTFT(c)
+						if err != nil {
+							t.Fatalf("n=%d band=%s win=%v engine=%v: %v", n, bc.name, win, eng, err)
+						}
+						got, err := st.Compute(sig)
+						if err != nil {
+							t.Fatalf("n=%d band=%s win=%v engine=%v: %v", n, bc.name, win, eng, err)
+						}
+						assertSpectrogramsClose(t, got, want,
+							"n=%d band=%s win=%v engine=%v seed=%d", n, bc.name, win, eng, seed)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBandEngineMatchesReferencePaperConfig pins the differential bound
+// at the exact serving configuration (8192/1024, 351-bin band).
+func TestBandEngineMatchesReferencePaperConfig(t *testing.T) {
+	cfg := DefaultSTFTConfig()
+	sig := randomSignal(42, 4*cfg.FFTSize)
+	// Add a strong in-band tone so the band isn't just noise floor.
+	for i := range sig {
+		sig[i] += 5 * math.Sin(2*math.Pi*20000*float64(i)/cfg.SampleRate)
+	}
+	want := referenceColumns(t, cfg, sig)
+	for _, eng := range []EngineKind{EngineAuto, EngineRFFT, EngineGoertzel} {
+		c := cfg
+		c.Engine = eng
+		st, err := NewSTFT(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := st.Compute(sig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSpectrogramsClose(t, got, want, "engine=%v", eng)
+	}
+}
+
+func assertSpectrogramsClose(t *testing.T, got, want *Spectrogram, format string, args ...any) {
+	t.Helper()
+	if got.Frames() != want.Frames() || got.Bins() != want.Bins() || got.BinLow != want.BinLow {
+		t.Fatalf("%s: shape %dx%d@%d, want %dx%d@%d",
+			fmtArgs(format, args), got.Frames(), got.Bins(), got.BinLow, want.Frames(), want.Bins(), want.BinLow)
+	}
+	for f := range want.Data {
+		for b := range want.Data[f] {
+			if !withinTol(got.Data[f][b], want.Data[f][b]) {
+				t.Fatalf("%s: frame %d bin %d: got %.17g, reference %.17g (Δ=%g)",
+					fmtArgs(format, args), f, b, got.Data[f][b], want.Data[f][b],
+					math.Abs(got.Data[f][b]-want.Data[f][b]))
+			}
+		}
+	}
+}
+
+func fmtArgs(format string, args []any) string {
+	if len(args) == 0 {
+		return format
+	}
+	return fmt.Sprintf(format, args...)
+}
+
+// TestEngineAutoSelection pins the cost-based choice: wide bands go to
+// the rfft path, narrow bands to the Goertzel bank.
+func TestEngineAutoSelection(t *testing.T) {
+	cfg := DefaultSTFTConfig() // 351 bins: far past the Goertzel crossover
+	st, err := NewSTFT(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.EngineKind() != EngineRFFT {
+		t.Errorf("default band auto-selected %v, want rfft", st.EngineKind())
+	}
+	narrow := cfg
+	narrow.HighBin = narrow.LowBin + 8
+	st, err = NewSTFT(narrow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.EngineKind() != EngineGoertzel {
+		t.Errorf("8-bin band auto-selected %v, want goertzel", st.EngineKind())
+	}
+	forced := cfg
+	forced.Engine = EngineFFT
+	st, err = NewSTFT(forced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.EngineKind() != EngineFFT {
+		t.Errorf("forced reference engine reports %v", st.EngineKind())
+	}
+}
+
+func TestBandTransformValidation(t *testing.T) {
+	if _, err := NewBandTransform(100, 0, 10, EngineAuto); err == nil {
+		t.Error("non-power-of-two size accepted")
+	}
+	if _, err := NewBandTransform(64, -1, 10, EngineAuto); err == nil {
+		t.Error("negative low bin accepted")
+	}
+	if _, err := NewBandTransform(64, 0, 33, EngineAuto); err == nil {
+		t.Error("band past Nyquist accepted")
+	}
+	if _, err := NewBandTransform(64, 5, 5, EngineAuto); err == nil {
+		t.Error("empty band accepted")
+	}
+	if _, err := NewBandTransform(64, 0, 10, EngineFFT); err == nil {
+		t.Error("EngineFFT accepted as a band engine")
+	}
+	bt, err := NewBandTransform(64, 3, 11, EngineGoertzel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bt.Size() != 64 {
+		t.Errorf("Size() = %d", bt.Size())
+	}
+	if lo, hi := bt.Band(); lo != 3 || hi != 11 {
+		t.Errorf("Band() = [%d,%d)", lo, hi)
+	}
+	if err := bt.Magnitudes(make([]float64, 32), make([]float64, 8)); err == nil {
+		t.Error("short frame accepted")
+	}
+	if err := bt.Magnitudes(make([]float64, 64), make([]float64, 4)); err == nil {
+		t.Error("short dst accepted")
+	}
+	rb, err := NewBandTransform(64, 3, 11, EngineRFFT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rb.Magnitudes(make([]float64, 64), make([]float64, 4)); err == nil {
+		t.Error("rfft band: short dst accepted")
+	}
+	if err := rb.Magnitudes(make([]float64, 12), make([]float64, 8)); err == nil {
+		t.Error("rfft band: short frame accepted")
+	}
+}
+
+func TestEngineKindString(t *testing.T) {
+	for kind, want := range map[EngineKind]string{
+		EngineAuto:     "auto",
+		EngineFFT:      "fft",
+		EngineRFFT:     "rfft",
+		EngineGoertzel: "goertzel",
+		EngineKind(99): "EngineKind(99)",
+	} {
+		if got := kind.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", int(kind), got, want)
+		}
+	}
+}
+
+// TestSTFTEngineValidation rejects unknown engine values at config time.
+func TestSTFTEngineValidation(t *testing.T) {
+	cfg := DefaultSTFTConfig()
+	cfg.Engine = EngineKind(7)
+	if err := cfg.Validate(); err == nil {
+		t.Error("unknown engine accepted")
+	}
+	if _, err := NewSTFT(cfg); err == nil {
+		t.Error("NewSTFT accepted unknown engine")
+	}
+}

@@ -1,0 +1,23 @@
+//go:build amd64
+
+package dsp
+
+// hasAVX reports whether the CPU and OS support 256-bit AVX state. The
+// radix-4 DIF stages use a two-butterfly-per-iteration AVX kernel when
+// available; the pure-Go loop in forwardDIF is the fallback and the
+// semantics reference (the kernel performs the same flops in the same
+// order, so magnitudes are bit-identical).
+var hasAVX = cpuHasAVX()
+
+// cpuHasAVX checks CPUID for AVX and OSXSAVE and XGETBV for YMM state
+// enablement. Implemented in rfft_amd64.s.
+func cpuHasAVX() bool
+
+// difStageAVX runs one radix-4 DIF stage of the given span over z,
+// processing two butterflies per iteration. twv is the stage's
+// lane-duplicated twiddle table (see newStageTwiddlesVec). span must be
+// >= 8 so every block holds at least one butterfly pair, and the caller
+// must have verified hasAVX. Implemented in rfft_amd64.s.
+//
+//go:noescape
+func difStageAVX(z []complex128, twv []float64, span int)

@@ -1,0 +1,116 @@
+// AVX kernel for the radix-4 DIF stages of RFFTPlan. Two butterflies per
+// iteration: each 256-bit register holds two interleaved complex128
+// values, so the four quarter loads/stores and the butterfly adds map
+// 1:1 onto vector ops. Complex twiddle multiplies use the classic
+// shuffle + vaddsubpd sequence against lane-duplicated twiddle tables
+// (see newStageTwiddlesVec): with u = [ur ui] and w = c + di,
+//
+//	[ur·c  ui·c] ∓ [ui·d  ur·d]  =  [ur·c−ui·d  ui·c+ur·d]  =  u·w
+//
+// The kernel performs exactly the flops of the pure-Go loop in
+// forwardDIF, in the same order, so band magnitudes are bit-identical
+// (intermediate spectra may differ only in the sign of zeros, because
+// t3 is formed as -(b-d) swapped rather than (d-b)).
+
+#include "textflag.h"
+
+// signOdd flips the sign of the odd (imaginary) lanes.
+DATA signOdd<>+0(SB)/8, $0x0000000000000000
+DATA signOdd<>+8(SB)/8, $0x8000000000000000
+DATA signOdd<>+16(SB)/8, $0x0000000000000000
+DATA signOdd<>+24(SB)/8, $0x8000000000000000
+GLOBL signOdd<>(SB), RODATA|NOPTR, $32
+
+// func cpuHasAVX() bool
+TEXT ·cpuHasAVX(SB), NOSPLIT, $0-1
+	MOVL $1, AX
+	MOVL $0, CX
+	CPUID
+	// CX bit 27 = OSXSAVE, bit 28 = AVX.
+	ANDL $0x18000000, CX
+	CMPL CX, $0x18000000
+	JNE  noavx
+	MOVL $0, CX
+	XGETBV
+	// XCR0 bits 1 (SSE) and 2 (AVX) must both be OS-enabled.
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  noavx
+	MOVB $1, ret+0(FP)
+	RET
+noavx:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func difStageAVX(z []complex128, twv []float64, span int)
+TEXT ·difStageAVX(SB), NOSPLIT, $0-56
+	MOVQ z_base+0(FP), SI
+	MOVQ z_len+8(FP), CX      // remaining complexes
+	MOVQ twv_base+24(FP), BX
+	MOVQ span+48(FP), R8      // span in complexes
+	MOVQ R8, DX
+	SHLQ $2, DX               // quarter stride: span/4 complexes × 16 B
+	VMOVUPD signOdd<>(SB), Y8
+	MOVQ SI, DI               // current block
+
+block:
+	MOVQ DI, R10              // za
+	LEAQ (DI)(DX*1), R11      // zb
+	LEAQ (R11)(DX*1), R12     // zc
+	LEAQ (R12)(DX*1), R13     // zd
+	MOVQ BX, R9               // twiddles restart every block
+	MOVQ R8, AX
+	SHRQ $3, AX               // span/8 = q/2 butterfly pairs
+
+pair:
+	VMOVUPD (R10), Y0         // a (two complexes)
+	VMOVUPD (R11), Y1         // b
+	VMOVUPD (R12), Y2         // c
+	VMOVUPD (R13), Y3         // d
+	VADDPD  Y2, Y0, Y4        // t0 = a+c
+	VSUBPD  Y2, Y0, Y5        // t1 = a-c
+	VADDPD  Y3, Y1, Y6        // t2 = b+d
+	VSUBPD  Y3, Y1, Y7        // b-d
+	VPERMILPD $0x5, Y7, Y7    // swap re/im within each complex
+	VXORPD  Y8, Y7, Y7        // t3 = (b-d)·(-i)
+	VADDPD  Y6, Y4, Y9        // y0 = t0+t2: twiddle-free
+	VMOVUPD Y9, (R10)
+	VSUBPD  Y6, Y4, Y9        // u2 = t0-t2
+	VADDPD  Y7, Y5, Y10       // u1 = t1+t3
+	VSUBPD  Y7, Y5, Y11       // u3 = t1-t3
+
+	// y1 = u1·w1
+	VMULPD  (R9), Y10, Y12
+	VPERMILPD $0x5, Y10, Y13
+	VMULPD  32(R9), Y13, Y13
+	VADDSUBPD Y13, Y12, Y12
+	VMOVUPD Y12, (R11)
+
+	// y2 = u2·w2
+	VMULPD  64(R9), Y9, Y12
+	VPERMILPD $0x5, Y9, Y13
+	VMULPD  96(R9), Y13, Y13
+	VADDSUBPD Y13, Y12, Y12
+	VMOVUPD Y12, (R12)
+
+	// y3 = u3·w3
+	VMULPD  128(R9), Y11, Y12
+	VPERMILPD $0x5, Y11, Y13
+	VMULPD  160(R9), Y13, Y13
+	VADDSUBPD Y13, Y12, Y12
+	VMOVUPD Y12, (R13)
+
+	ADDQ $32, R10
+	ADDQ $32, R11
+	ADDQ $32, R12
+	ADDQ $32, R13
+	ADDQ $192, R9
+	DECQ AX
+	JNZ  pair
+
+	LEAQ (DI)(DX*4), DI       // next block
+	SUBQ R8, CX
+	JNZ  block
+
+	VZEROUPPER
+	RET

@@ -1,0 +1,12 @@
+//go:build !amd64
+
+package dsp
+
+// hasAVX is false off amd64; forwardDIF always takes the pure-Go loop.
+const hasAVX = false
+
+// difStageAVX is never called when hasAVX is false; this stub keeps
+// forwardDIF portable.
+func difStageAVX(z []complex128, twv []float64, span int) {
+	panic("dsp: difStageAVX called without AVX support")
+}

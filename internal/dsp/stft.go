@@ -19,6 +19,12 @@ type STFTConfig struct {
 	// FFT bins [LowBin, HighBin). When both are zero the full non-negative
 	// half [0, FFTSize/2) is kept.
 	LowBin, HighBin int
+	// Engine selects how columns are computed. The zero value EngineAuto
+	// picks the cheapest band-limited engine for the configured band;
+	// EngineFFT is the full-FFT reference the fast paths are
+	// differentially tested against. All engines produce identical
+	// Spectrogram output within the differential harness tolerance.
+	Engine EngineKind
 }
 
 // DefaultSTFTConfig returns the paper's STFT parameters for a 44.1 kHz
@@ -51,21 +57,35 @@ func (c STFTConfig) Validate() error {
 	if c.LowBin < 0 || c.HighBin > c.FFTSize/2 || (c.HighBin != 0 && c.LowBin >= c.HighBin) {
 		return fmt.Errorf("dsp: bin band [%d,%d) invalid for FFT size %d", c.LowBin, c.HighBin, c.FFTSize)
 	}
+	switch c.Engine {
+	case EngineAuto, EngineFFT, EngineRFFT, EngineGoertzel:
+	default:
+		return fmt.Errorf("dsp: unknown spectral engine %d", int(c.Engine))
+	}
 	return nil
 }
 
 // STFT converts fixed-size signal frames into spectrogram columns. It owns
-// an FFT plan, a window, and scratch buffers, so one instance should be
-// reused across frames of a stream. An STFT is not safe for concurrent use.
+// a spectral engine, a window, and scratch buffers, so one instance should
+// be reused across frames of a stream. An STFT is not safe for concurrent
+// use.
 type STFT struct {
-	cfg     STFTConfig
-	plan    *FFTPlan
-	window  *Window
-	scratch []complex128
-	framed  []float64
+	cfg    STFTConfig
+	window *Window
+	framed []float64
+	// Exactly one engine is populated, per cfg.Engine:
+	band    BandTransform // EngineAuto / EngineGoertzel (band-limited path)
+	rfft    *RFFTPlan     // EngineRFFT (full half-spectrum, then crop)
+	half    []complex128  // EngineRFFT half-spectrum scratch
+	plan    *FFTPlan      // EngineFFT (full complex reference)
+	scratch []complex128  // EngineFFT scratch
+	// bandWin is band when it supports fusing the window multiply into its
+	// first pass over the frame (resolved once at construction so the hot
+	// path never type-asserts).
+	bandWin windowedBandTransform
 }
 
-// NewSTFT validates cfg and precomputes the FFT plan and window.
+// NewSTFT validates cfg and precomputes the engine plan and window.
 func NewSTFT(cfg STFTConfig) (*STFT, error) {
 	if cfg.Window == 0 {
 		cfg.Window = WindowHanning
@@ -76,50 +96,127 @@ func NewSTFT(cfg STFTConfig) (*STFT, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	plan, err := NewFFTPlan(cfg.FFTSize)
-	if err != nil {
-		return nil, err
-	}
 	win, err := NewWindow(cfg.Window, cfg.FFTSize)
 	if err != nil {
 		return nil, err
 	}
-	return &STFT{
-		cfg:     cfg,
-		plan:    plan,
-		window:  win,
-		scratch: make([]complex128, cfg.FFTSize),
-		framed:  make([]float64, cfg.FFTSize),
-	}, nil
+	s := &STFT{
+		cfg:    cfg,
+		window: win,
+		framed: make([]float64, cfg.FFTSize),
+	}
+	switch cfg.Engine {
+	case EngineFFT:
+		plan, err := NewFFTPlan(cfg.FFTSize)
+		if err != nil {
+			return nil, err
+		}
+		s.plan = plan
+		s.scratch = make([]complex128, cfg.FFTSize)
+	case EngineRFFT:
+		plan, err := NewRFFTPlan(cfg.FFTSize)
+		if err != nil {
+			return nil, err
+		}
+		s.rfft = plan
+		s.half = make([]complex128, cfg.FFTSize/2)
+	default: // EngineAuto, EngineGoertzel
+		band, err := NewBandTransform(cfg.FFTSize, cfg.LowBin, cfg.HighBin, cfg.Engine)
+		if err != nil {
+			return nil, err
+		}
+		s.band = band
+		s.bandWin, _ = band.(windowedBandTransform)
+	}
+	return s, nil
 }
 
 // Config returns the configuration the STFT was built with (after
 // defaulting).
 func (s *STFT) Config() STFTConfig { return s.cfg }
 
+// EngineKind reports the concrete engine computing columns, with
+// EngineAuto resolved to the implementation it selected.
+func (s *STFT) EngineKind() EngineKind {
+	if s.band != nil {
+		return s.band.Kind()
+	}
+	if s.rfft != nil {
+		return EngineRFFT
+	}
+	return EngineFFT
+}
+
+// Bins reports the retained band width, the length of every column.
+func (s *STFT) Bins() int { return s.cfg.HighBin - s.cfg.LowBin }
+
 // FrameColumn computes the magnitude spectrum of one frame, returning the
 // retained band as a newly allocated slice. frame must be exactly FFTSize
 // samples.
 func (s *STFT) FrameColumn(frame []float64) ([]float64, error) {
+	col, err := s.FrameColumnInto(make([]float64, 0, s.Bins()), frame)
+	if err != nil {
+		return nil, err
+	}
+	return col, nil
+}
+
+// FrameColumnInto computes the magnitude spectrum of one frame and
+// appends the retained band to dst, returning the extended slice. frame
+// must be exactly FFTSize samples. Callers computing many columns should
+// preallocate dst with capacity frames×Bins so the column loop performs
+// no per-column allocation (Compute does exactly this).
+//
+// ew:hotpath — runs once per hop per session on the serving path; the
+// hotalloc analyzer keeps allocations out of its loops.
+func (s *STFT) FrameColumnInto(dst []float64, frame []float64) ([]float64, error) {
 	if len(frame) != s.cfg.FFTSize {
 		return nil, fmt.Errorf("dsp: frame length %d does not match FFT size %d", len(frame), s.cfg.FFTSize)
+	}
+	w := s.Bins()
+	n := len(dst)
+	if cap(dst)-n < w {
+		dst = append(dst, make([]float64, w)...)
+	} else {
+		dst = dst[: n+w : cap(dst)]
+	}
+	out := dst[n : n+w]
+	if s.bandWin != nil {
+		// Fused path: the engine applies the window inside its first pass
+		// over the frame, skipping the separate Window.Apply sweep.
+		if err := s.bandWin.WindowedMagnitudes(frame, s.window.coeffs, out); err != nil {
+			return nil, err
+		}
+		return dst, nil
 	}
 	if _, err := s.window.Apply(frame, s.framed); err != nil {
 		return nil, err
 	}
-	for i, v := range s.framed {
-		s.scratch[i] = complex(v, 0)
+	switch {
+	case s.band != nil:
+		if err := s.band.Magnitudes(s.framed, out); err != nil {
+			return nil, err
+		}
+	case s.rfft != nil:
+		if err := s.rfft.Transform(s.framed, s.half); err != nil {
+			return nil, err
+		}
+		Magnitudes(s.half[s.cfg.LowBin:s.cfg.HighBin], out)
+	default:
+		for i, v := range s.framed {
+			s.scratch[i] = complex(v, 0)
+		}
+		s.plan.transform(s.scratch, false)
+		Magnitudes(s.scratch[s.cfg.LowBin:s.cfg.HighBin], out)
 	}
-	s.plan.transform(s.scratch, false)
-	col := make([]float64, s.cfg.HighBin-s.cfg.LowBin)
-	Magnitudes(s.scratch[s.cfg.LowBin:s.cfg.HighBin], col)
-	return col, nil
+	return dst, nil
 }
 
 // Compute runs the full STFT over signal, producing a spectrogram with one
 // column per hop. Frames that would run past the end of the signal are
 // dropped (no padding), matching a streaming implementation that waits for
-// a full frame.
+// a full frame. All columns share one backing array sized up front, so the
+// column loop itself allocates nothing.
 //
 // ew:hotpath — the column loop dominates signal-processing time; the
 // hotalloc analyzer keeps per-iteration allocations out of it.
@@ -128,6 +225,7 @@ func (s *STFT) Compute(signal []float64) (*Spectrogram, error) {
 		return nil, fmt.Errorf("dsp: signal length %d shorter than one FFT frame (%d)", len(signal), s.cfg.FFTSize)
 	}
 	nFrames := (len(signal)-s.cfg.FFTSize)/s.cfg.HopSize + 1
+	w := s.Bins()
 	out := &Spectrogram{
 		Data:       make([][]float64, nFrames),
 		SampleRate: s.cfg.SampleRate,
@@ -135,13 +233,15 @@ func (s *STFT) Compute(signal []float64) (*Spectrogram, error) {
 		HopSize:    s.cfg.HopSize,
 		BinLow:     s.cfg.LowBin,
 	}
+	backing := make([]float64, 0, nFrames*w)
 	for f := 0; f < nFrames; f++ {
 		start := f * s.cfg.HopSize
-		col, err := s.FrameColumn(signal[start : start+s.cfg.FFTSize])
+		var err error
+		backing, err = s.FrameColumnInto(backing, signal[start:start+s.cfg.FFTSize])
 		if err != nil {
 			return nil, fmt.Errorf("dsp: frame %d: %w", f, err)
 		}
-		out.Data[f] = col
+		out.Data[f] = backing[f*w : (f+1)*w : (f+1)*w]
 	}
 	return out, nil
 }

@@ -48,6 +48,7 @@ func AblationDownsample(cfg Config) (*Table, error) {
 		})
 	}
 	t.Notes = append(t.Notes, "decimated variants include the FIR bandpass+decimate cost in their STFT column")
+	t.Notes = append(t.Notes, "the band-limited engine (DESIGN.md 12) makes the full-rate STFT cheap enough that the decimator dominates; accuracy preservation is the claim this table carries")
 	return t, nil
 }
 
