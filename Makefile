@@ -2,9 +2,9 @@
 # serving code. `make ci` is what every PR must keep green.
 GO ?= go
 
-.PHONY: ci vet lint build test race fuzz-smoke metricsz-smoke ws-smoke bench-smoke bench-baseline stress bench
+.PHONY: ci vet lint build test race fuzz-smoke metricsz-smoke ws-smoke bench-smoke bench-baseline stress bench soak-smoke soak
 
-ci: vet lint build test race fuzz-smoke metricsz-smoke ws-smoke bench-smoke
+ci: vet lint build test race fuzz-smoke metricsz-smoke ws-smoke bench-smoke soak-smoke
 
 vet:
 	$(GO) vet ./...
@@ -69,6 +69,16 @@ bench-baseline:
 # and iteration counts multiplied (see internal/serve/stress).
 stress:
 	EW_STRESS=long $(GO) test -race -v -timeout 30m ./internal/serve/stress/
+
+# Scenario-matrix replay smoke: record (or reuse) the smoke matrix's
+# traces and soak both ingest paths for 2 s each, holding /metricsz to
+# the health bands. EW_SOAK=long gears the per-phase duration ×10 — the
+# `soak` target below is the full matrix at that length.
+soak-smoke:
+	$(GO) run ./cmd/ewload -scenario smoke -soak 2s -writers 4
+
+soak:
+	EW_SOAK=long $(GO) run ./cmd/ewload -scenario all -soak 30s
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...

@@ -7,6 +7,40 @@ import (
 	"repro/internal/geom"
 )
 
+func TestDeviceRegistry(t *testing.T) {
+	names := DeviceNames()
+	if len(names) < 4 {
+		t.Fatalf("expected ≥4 device profiles, got %v", names)
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		dev, err := DeviceByName(n)
+		if err != nil {
+			t.Fatalf("DeviceByName(%q): %v", n, err)
+		}
+		if dev.SampleRate != 44100 || dev.CarrierHz != 20000 {
+			t.Errorf("%s: every profile probes at 20 kHz / 44.1 kHz, got %g/%g", n, dev.CarrierHz, dev.SampleRate)
+		}
+		if seen[dev.Name] {
+			t.Errorf("duplicate profile name %q", dev.Name)
+		}
+		seen[dev.Name] = true
+	}
+	if _, err := DeviceByName("gramophone"); err == nil {
+		t.Error("DeviceByName accepted a bogus slug")
+	}
+	tablet, budget := TabletM5(), BudgetPhone()
+	if tablet.ReflectionGain <= Mate9().ReflectionGain {
+		t.Error("tablet speaker should out-reflect the phone")
+	}
+	if budget.NoiseFloorRMS <= Watch2().NoiseFloorRMS {
+		t.Error("budget handset should be the noisiest front-end")
+	}
+	if budget.ADCBits >= 16 {
+		t.Error("budget handset should have a coarse converter")
+	}
+}
+
 func TestDeviceProfiles(t *testing.T) {
 	phone := Mate9()
 	watch := Watch2()
@@ -44,15 +78,93 @@ func TestStandardEnvironments(t *testing.T) {
 	if resting.BurstRate <= lab.BurstRate {
 		t.Error("resting zone should have the most bursting noise")
 	}
-	unknown := StandardEnvironment(EnvironmentKind(9))
-	if unknown.AmbientRMS != 0 {
-		t.Error("unknown environment should be silent")
+	cafe := StandardEnvironment(CafeBabble)
+	if cafe.BabbleRMS <= lab.BabbleRMS {
+		t.Error("café should out-babble the lab")
 	}
-	for _, k := range []EnvironmentKind{MeetingRoom, LabArea, RestingZone, EnvironmentKind(9)} {
-		if k.String() == "" {
-			t.Error("empty String()")
+	if cafe.Reverb == nil {
+		t.Error("café should be reverberant")
+	}
+	cabin := StandardEnvironment(VehicleCabin)
+	if cabin.AmbientRMS <= meeting.AmbientRMS {
+		t.Error("vehicle cabin should out-rumble the meeting room")
+	}
+	if len(cabin.StaticReflectors) == 0 || cabin.StaticReflectors[0].Distance > 0.5 {
+		t.Error("cabin should have close static reflections")
+	}
+	second := StandardEnvironment(SecondWriter)
+	if second.SecondWriter == nil {
+		t.Fatal("second-writer setting should carry a second writer")
+	}
+	if second.SecondWriter.Distance < 0.3 || second.SecondWriter.Distance > 1 {
+		t.Errorf("second writer distance %g implausible", second.SecondWriter.Distance)
+	}
+}
+
+// TestEnvironmentKindTable enumerates every kind in both directions:
+// kind → String/Slug and name → kind, plus the loud-unknown contract.
+func TestEnvironmentKindTable(t *testing.T) {
+	cases := []struct {
+		kind    EnvironmentKind
+		display string
+		slug    string
+	}{
+		{MeetingRoom, "meeting room", "meeting-room"},
+		{LabArea, "lab area", "lab-area"},
+		{RestingZone, "resting zone", "resting-zone"},
+		{CafeBabble, "cafe babble", "cafe-babble"},
+		{VehicleCabin, "vehicle cabin", "vehicle-cabin"},
+		{SecondWriter, "second writer", "second-writer"},
+	}
+	if got, want := len(AllEnvironmentKinds()), len(cases); got != want {
+		t.Fatalf("AllEnvironmentKinds has %d kinds, test table %d — keep both in sync", got, want)
+	}
+	for _, c := range cases {
+		if got := c.kind.String(); got != c.display {
+			t.Errorf("%d.String() = %q, want %q", c.kind, got, c.display)
+		}
+		if got := c.kind.Slug(); got != c.slug {
+			t.Errorf("%d.Slug() = %q, want %q", c.kind, got, c.slug)
+		}
+		for _, name := range []string{c.slug, c.display} {
+			k, err := ParseEnvironmentKind(name)
+			if err != nil || k != c.kind {
+				t.Errorf("ParseEnvironmentKind(%q) = %v, %v; want %v", name, k, err, c.kind)
+			}
+		}
+		env, err := EnvironmentByKind(c.kind)
+		if err != nil {
+			t.Errorf("EnvironmentByKind(%v): %v", c.kind, err)
+		}
+		if env.Kind != c.kind {
+			t.Errorf("EnvironmentByKind(%v).Kind = %v", c.kind, env.Kind)
+		}
+		// Every standard setting must actually make noise: a zero-value
+		// environment aliasing a real one is exactly the bug the loud
+		// unknown handling exists to prevent.
+		if env.AmbientRMS <= 0 {
+			t.Errorf("%v: zero ambient noise", c.kind)
 		}
 	}
+
+	// Unknown kinds: visible String, error from the parser and from
+	// EnvironmentByKind, panic from StandardEnvironment.
+	bogus := EnvironmentKind(42)
+	if got := bogus.String(); got != "EnvironmentKind(42)" {
+		t.Errorf("bogus String() = %q", got)
+	}
+	if _, err := ParseEnvironmentKind("disco"); err == nil {
+		t.Error("ParseEnvironmentKind accepted a bogus name")
+	}
+	if _, err := EnvironmentByKind(bogus); err == nil {
+		t.Error("EnvironmentByKind accepted a bogus kind")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("StandardEnvironment did not panic on an unknown kind")
+		}
+	}()
+	StandardEnvironment(bogus)
 }
 
 func TestSceneValidation(t *testing.T) {
@@ -104,35 +216,43 @@ func TestSynthesizeStaticSceneSpectrum(t *testing.T) {
 	}
 }
 
+// TestSynthesizeDeterministicPerSeed pins the record/replay cache's core
+// assumption: for every environment kind — including the scenario-matrix
+// additions — identical seeds give bit-identical samples and distinct
+// seeds differ.
 func TestSynthesizeDeterministicPerSeed(t *testing.T) {
-	mk := func(seed uint64) []float64 {
-		sc := &Scene{
-			Device:   Mate9(),
-			Env:      StandardEnvironment(LabArea),
-			Duration: 0.2,
-			Seed:     seed,
-		}
-		sig, err := sc.Synthesize()
-		if err != nil {
-			t.Fatal(err)
-		}
-		return sig.Samples
-	}
-	a, b, c := mk(5), mk(5), mk(6)
-	for i := range a {
-		if a[i] != b[i] {
-			t.Fatal("same seed differs")
-		}
-	}
-	same := true
-	for i := range a {
-		if a[i] != c[i] {
-			same = false
-			break
-		}
-	}
-	if same {
-		t.Error("different seeds identical")
+	for _, kind := range AllEnvironmentKinds() {
+		t.Run(kind.Slug(), func(t *testing.T) {
+			mk := func(seed uint64) []float64 {
+				sc := &Scene{
+					Device:   Mate9(),
+					Env:      StandardEnvironment(kind),
+					Duration: 0.2,
+					Seed:     seed,
+				}
+				sig, err := sc.Synthesize()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return sig.Samples
+			}
+			a, b, c := mk(5), mk(5), mk(6)
+			for i := range a {
+				if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+					t.Fatalf("same seed differs at sample %d", i)
+				}
+			}
+			same := true
+			for i := range a {
+				if a[i] != c[i] {
+					same = false
+					break
+				}
+			}
+			if same {
+				t.Error("different seeds identical")
+			}
+		})
 	}
 }
 
@@ -232,6 +352,76 @@ func TestHandReflectors(t *testing.T) {
 	}
 	if armTr.Duration() != 1 {
 		t.Error("arm duration mismatch")
+	}
+}
+
+func TestSecondWriterReflectorScribbles(t *testing.T) {
+	spec := SecondWriterSpec{Distance: 0.5, StrokeHz: 1.4, Span: 0.03, Gain: 0.018}
+	r := secondWriterReflector(spec, 8)
+	if r.Traj.Duration() != 8 {
+		t.Errorf("duration = %g", r.Traj.Duration())
+	}
+	if r.RefDistance != 0.5 {
+		t.Errorf("ref distance = %g", r.RefDistance)
+	}
+	// The scribble stays near the standoff but genuinely moves, and its
+	// peak radial speed reaches the stroke band (≳0.15 m/s) — fast enough
+	// that the segmenter cannot dismiss it as walker-class clutter.
+	maxSpeed := 0.0
+	const dt = 1e-3
+	for tt := 0.0; tt < 2; tt += dt {
+		p := r.Traj.At(tt)
+		d := p.Norm()
+		if d < 0.4 || d > 0.6 {
+			t.Fatalf("scribble range %g at t=%g left the standoff neighborhood", d, tt)
+		}
+		v := (r.Traj.At(tt+dt).Norm() - d) / dt
+		if s := math.Abs(v); s > maxSpeed {
+			maxSpeed = s
+		}
+	}
+	if maxSpeed < 0.15 {
+		t.Errorf("peak radial speed %g m/s below the stroke band", maxSpeed)
+	}
+}
+
+// TestSecondWriterAddsInBandDoppler verifies the interferer shows up as
+// sideband energy near the carrier, like a real writing finger would.
+func TestSecondWriterAddsInBandDoppler(t *testing.T) {
+	dev := Mate9()
+	dev.NoiseFloorRMS = 0
+	dev.HardwareBurstRate = 0
+	quiet := &Scene{Device: dev, Duration: 0.6, Seed: 1}
+	busy := &Scene{
+		Device:   dev,
+		Env:      Environment{SecondWriter: &SecondWriterSpec{Distance: 0.5, StrokeHz: 1.4, Span: 0.03, Gain: 0.018}},
+		Duration: 0.6,
+		Seed:     1,
+	}
+	sigQ, err := quiet.Synthesize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigB, err := busy.Synthesize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	corr := func(s []float64, f float64) float64 {
+		re, im := 0.0, 0.0
+		w := 2 * math.Pi * f / 44100
+		for i, v := range s {
+			re += v * math.Cos(w*float64(i))
+			im += v * math.Sin(w*float64(i))
+		}
+		return math.Hypot(re, im)
+	}
+	side, base := 0.0, 0.0
+	for _, df := range []float64{15, 25, 35} {
+		side += corr(sigB.Samples, 20000+df)
+		base += corr(sigQ.Samples, 20000+df)
+	}
+	if side < 3*base {
+		t.Errorf("second writer added no sideband energy: %g vs %g", side, base)
 	}
 }
 

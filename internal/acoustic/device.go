@@ -10,6 +10,11 @@
 // segmentation, DTW, inference) is exercised on its real input format.
 package acoustic
 
+import (
+	"fmt"
+	"strings"
+)
+
 // DeviceProfile models one acoustic front-end: a speaker-microphone pair
 // plus converter characteristics. Two concrete profiles reproduce the
 // paper's hardware: a Huawei Mate 9 class smartphone and a Huawei Watch 2
@@ -40,6 +45,39 @@ type DeviceProfile struct {
 	HardwareBurstAmp float64
 	// ADCBits is the converter resolution used for quantization.
 	ADCBits int
+}
+
+// deviceProfiles maps the canonical slug of every built-in profile to
+// its constructor, in presentation order.
+var deviceProfiles = []struct {
+	slug string
+	make func() DeviceProfile
+}{
+	{"mate9", Mate9},
+	{"watch2", Watch2},
+	{"tablet", TabletM5},
+	{"budget", BudgetPhone},
+}
+
+// DeviceNames returns the slugs of every built-in device profile.
+func DeviceNames() []string {
+	out := make([]string, len(deviceProfiles))
+	for i, d := range deviceProfiles {
+		out[i] = d.slug
+	}
+	return out
+}
+
+// DeviceByName resolves a device slug ("mate9", "watch2", "tablet",
+// "budget") to its profile.
+func DeviceByName(name string) (DeviceProfile, error) {
+	for _, d := range deviceProfiles {
+		if d.slug == name {
+			return d.make(), nil
+		}
+	}
+	return DeviceProfile{}, fmt.Errorf("acoustic: unknown device %q (have %s)",
+		name, strings.Join(DeviceNames(), ", "))
 }
 
 // Mate9 returns the smartphone front-end profile (the paper's primary
@@ -74,5 +112,42 @@ func Watch2() DeviceProfile {
 		HardwareBurstRate: 1.1,
 		HardwareBurstAmp:  0.035,
 		ADCBits:           16,
+	}
+}
+
+// TabletM5 returns a MediaPad M5 class tablet front-end: a larger
+// speaker cavity (more SPL, so stronger echoes and stronger direct
+// leakage for spectral subtraction to remove) with a quieter mic path
+// than either paper device.
+func TabletM5() DeviceProfile {
+	return DeviceProfile{
+		Name:              "Huawei MediaPad M5",
+		SampleRate:        44100,
+		CarrierHz:         20000,
+		TxAmplitude:       1.0,
+		DirectPathGain:    0.34,
+		ReflectionGain:    1.15,
+		NoiseFloorRMS:     0.0012,
+		HardwareBurstRate: 0.5,
+		HardwareBurstAmp:  0.015,
+		ADCBits:           16,
+	}
+}
+
+// BudgetPhone returns a low-end handset front-end: weak speaker, noisy
+// mic, frequent hardware bursts and a coarse 12-bit effective converter —
+// the worst-case hardware cell of the scenario matrix.
+func BudgetPhone() DeviceProfile {
+	return DeviceProfile{
+		Name:              "budget handset",
+		SampleRate:        44100,
+		CarrierHz:         20000,
+		TxAmplitude:       0.7,
+		DirectPathGain:    0.36,
+		ReflectionGain:    0.6,
+		NoiseFloorRMS:     0.0060,
+		HardwareBurstRate: 2.0,
+		HardwareBurstAmp:  0.05,
+		ADCBits:           12,
 	}
 }

@@ -1,12 +1,16 @@
 package acoustic
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
-// EnvironmentKind enumerates the paper's three experimental settings
-// (§IV-B).
+// EnvironmentKind enumerates the simulated ambient settings: the paper's
+// three experimental ones (§IV-B) plus the extended scenario-matrix
+// settings the load harness exercises.
 type EnvironmentKind int
 
-// The three evaluation environments.
+// The evaluation environments.
 const (
 	// MeetingRoom: air conditioner on, windows closed, 60–70 dB ambient.
 	MeetingRoom EnvironmentKind = iota + 1
@@ -16,20 +20,88 @@ const (
 	// RestingZone: open area near a corridor; people walk and talk close
 	// by, including a walker 30–40 cm from the device.
 	RestingZone
+	// CafeBabble: a busy café — dense overlapping conversation, cup and
+	// cutlery clatter, a live reverberant room. Dominated by speech-band
+	// noise rather than the paper's HVAC hum.
+	CafeBabble
+	// VehicleCabin: inside a moving car — strong broadband engine/road
+	// rumble, tight close reflections off the dashboard and windows,
+	// occasional bump transients, almost no babble.
+	VehicleCabin
+	// SecondWriter: a quiet room with a second person performing writing
+	// motions ~0.5 m away. Their finger is a genuine Doppler source in
+	// the probe band — the interference class WhisperWand treats as a
+	// first-class confounder, not rejectable by the static-noise gates.
+	SecondWriter
 )
 
-// String implements fmt.Stringer.
-func (k EnvironmentKind) String() string {
-	switch k {
-	case MeetingRoom:
-		return "meeting room"
-	case LabArea:
-		return "lab area"
-	case RestingZone:
-		return "resting zone"
-	default:
-		return "unknown environment"
+// environmentKinds orders every defined kind; slugs are the canonical
+// machine-readable names (scenario matrix grammar, CLI flags).
+var environmentKinds = []struct {
+	kind    EnvironmentKind
+	display string
+	slug    string
+}{
+	{MeetingRoom, "meeting room", "meeting-room"},
+	{LabArea, "lab area", "lab-area"},
+	{RestingZone, "resting zone", "resting-zone"},
+	{CafeBabble, "cafe babble", "cafe-babble"},
+	{VehicleCabin, "vehicle cabin", "vehicle-cabin"},
+	{SecondWriter, "second writer", "second-writer"},
+}
+
+// AllEnvironmentKinds returns every defined kind in declaration order.
+func AllEnvironmentKinds() []EnvironmentKind {
+	out := make([]EnvironmentKind, len(environmentKinds))
+	for i, e := range environmentKinds {
+		out[i] = e.kind
 	}
+	return out
+}
+
+// String implements fmt.Stringer. Unknown kinds render as
+// "EnvironmentKind(n)" so a bogus value is visible instead of aliasing a
+// real setting.
+func (k EnvironmentKind) String() string {
+	for _, e := range environmentKinds {
+		if e.kind == k {
+			return e.display
+		}
+	}
+	return fmt.Sprintf("EnvironmentKind(%d)", int(k))
+}
+
+// Slug returns the canonical machine-readable name ("meeting-room").
+// Unknown kinds render like String.
+func (k EnvironmentKind) Slug() string {
+	for _, e := range environmentKinds {
+		if e.kind == k {
+			return e.slug
+		}
+	}
+	return fmt.Sprintf("EnvironmentKind(%d)", int(k))
+}
+
+// ParseEnvironmentKind resolves a slug or display name ("cafe-babble",
+// "cafe babble") to its kind.
+func ParseEnvironmentKind(name string) (EnvironmentKind, error) {
+	for _, e := range environmentKinds {
+		if name == e.slug || name == e.display {
+			return e.kind, nil
+		}
+	}
+	return 0, fmt.Errorf("acoustic: unknown environment %q (have %s)", name, knownEnvironmentSlugs())
+}
+
+func knownEnvironmentSlugs() string {
+	s := ""
+	for i, e := range environmentKinds {
+		if i > 0 {
+			s += ", "
+		}
+		s += e.slug
+	}
+	return s
 }
 
 // Environment describes the ambient acoustic conditions of a scene.
@@ -51,6 +123,10 @@ type Environment struct {
 	BurstAmp float64
 	// Walker, when non-nil, adds a person pacing near the device.
 	Walker *WalkerSpec
+	// SecondWriter, when non-nil, adds a bystander performing writing-like
+	// finger motions near the device — an interfering Doppler source in
+	// the same shift band as the real writer's strokes.
+	SecondWriter *SecondWriterSpec
 	// StaticReflectors adds environment clutter: each entry is a distance
 	// (m) and gain for an extra static echo path (walls, furniture).
 	StaticReflectors []StaticPath
@@ -111,6 +187,22 @@ type WalkerSpec struct {
 	Gain float64
 }
 
+// SecondWriterSpec describes a second person writing near the device:
+// a small reflector tracing fast finger-scale loops. Unlike the walker
+// its radial speeds sit inside the stroke Doppler band, so it collides
+// with segmentation rather than being filtered as low-acceleration
+// clutter.
+type SecondWriterSpec struct {
+	// Distance is the interferer's standoff from the device in meters.
+	Distance float64
+	// StrokeHz is the loop rate of the writing motion (strokes/second).
+	StrokeHz float64
+	// Span is the motion half-amplitude in meters (finger-scale: ~3 cm).
+	Span float64
+	// Gain is the reflection gain, referenced at Distance.
+	Gain float64
+}
+
 // StaticPath is one immobile multipath component.
 type StaticPath struct {
 	// Distance is the one-way path length in meters.
@@ -119,9 +211,22 @@ type StaticPath struct {
 	Gain float64
 }
 
-// StandardEnvironment returns the calibrated environment model for one of
-// the paper's three settings.
+// StandardEnvironment returns the calibrated environment model for a
+// defined setting. It panics on an unknown kind — a silent zero-value
+// environment would alias "perfectly quiet room" and skew any experiment
+// that iterates kinds. Use EnvironmentByKind when the kind comes from
+// input that may be invalid.
 func StandardEnvironment(kind EnvironmentKind) Environment {
+	env, err := EnvironmentByKind(kind)
+	if err != nil {
+		panic(err)
+	}
+	return env
+}
+
+// EnvironmentByKind is StandardEnvironment with an error instead of a
+// panic for unknown kinds.
+func EnvironmentByKind(kind EnvironmentKind) (Environment, error) {
 	switch kind {
 	case MeetingRoom:
 		return Environment{
@@ -134,7 +239,7 @@ func StandardEnvironment(kind EnvironmentKind) Environment {
 				{Distance: 0.9, Gain: 0.012},
 				{Distance: 1.6, Gain: 0.006},
 			},
-		}
+		}, nil
 	case LabArea:
 		return Environment{
 			Kind:                    LabArea,
@@ -149,7 +254,7 @@ func StandardEnvironment(kind EnvironmentKind) Environment {
 				{Distance: 1.2, Gain: 0.008},
 				{Distance: 2.0, Gain: 0.004},
 			},
-		}
+		}, nil
 	case RestingZone:
 		return Environment{
 			Kind:       RestingZone,
@@ -171,8 +276,67 @@ func StandardEnvironment(kind EnvironmentKind) Environment {
 				{Distance: 1.1, Gain: 0.010},
 				{Distance: 2.4, Gain: 0.005},
 			},
-		}
+		}, nil
+	case CafeBabble:
+		return Environment{
+			Kind: CafeBabble,
+			// Espresso machines and HVAC under a dense conversation bed.
+			AmbientRMS: 0.0030,
+			BabbleRMS:  0.011,
+			// Cup/cutlery clatter: frequent, sharp, wideband.
+			BurstRate: 0.35,
+			BurstAmp:  0.08,
+			StaticReflectors: []StaticPath{
+				{Distance: 0.6, Gain: 0.015},
+				{Distance: 1.4, Gain: 0.007},
+			},
+			// A live room: hard tables and glass keep the tail audible.
+			Reverb: &ReverbSpec{RT60: 0.55, Density: 50, Gain: 0.022},
+		}, nil
+	case VehicleCabin:
+		return Environment{
+			Kind: VehicleCabin,
+			// Engine and road rumble dominate; pink noise approximates the
+			// low-frequency-heavy cabin spectrum at highway speed.
+			AmbientRMS: 0.014,
+			BabbleRMS:  0.0015,
+			// Expansion joints and potholes: sparse but strong transients.
+			BurstRate: 0.10,
+			BurstAmp:  0.12,
+			// The cabin is tiny: dashboard and side window echoes arrive
+			// close and strong, the rear shelf a little later.
+			StaticReflectors: []StaticPath{
+				{Distance: 0.35, Gain: 0.022},
+				{Distance: 0.55, Gain: 0.016},
+				{Distance: 1.3, Gain: 0.006},
+			},
+			Reverb: &ReverbSpec{RT60: 0.12, Density: 25, Gain: 0.018},
+		}, nil
+	case SecondWriter:
+		return Environment{
+			Kind: SecondWriter,
+			// Quiet office ambience — the interference here is motion, not
+			// noise.
+			AmbientRMS: 0.0035,
+			BabbleRMS:  0.0015,
+			BurstRate:  0.02,
+			BurstAmp:   0.05,
+			// A colleague writing ~0.5 m away: finger-scale loops at
+			// stroke-like rates put genuine Doppler energy in the band the
+			// segmenter watches. Gain calibrated below the primary finger
+			// (farther off the mic's main lobe) but well above the floor.
+			SecondWriter: &SecondWriterSpec{
+				Distance: 0.5,
+				StrokeHz: 1.4,
+				Span:     0.03,
+				Gain:     0.018,
+			},
+			StaticReflectors: []StaticPath{
+				{Distance: 0.9, Gain: 0.012},
+				{Distance: 1.7, Gain: 0.006},
+			},
+		}, nil
 	default:
-		return Environment{Kind: kind}
+		return Environment{}, fmt.Errorf("acoustic: no standard environment for kind %v", kind)
 	}
 }

@@ -81,6 +81,9 @@ func (sc *Scene) Synthesize() (*audio.Signal, error) {
 	if w := sc.Env.Walker; w != nil {
 		reflectors = append(reflectors, walkerReflector(*w, sc.Duration))
 	}
+	if sw := sc.Env.SecondWriter; sw != nil {
+		reflectors = append(reflectors, secondWriterReflector(*sw, sc.Duration))
+	}
 
 	for i := 0; i < n; i++ {
 		t := float64(i) / rate
@@ -202,6 +205,50 @@ func (p *pacingTrajectory) At(t float64) geom.Vec3 {
 func (p *pacingTrajectory) Duration() float64 { return p.dur }
 
 var _ geom.Trajectory = (*pacingTrajectory)(nil)
+
+// secondWriterReflector models a nearby second writer: a finger-scale
+// reflector tracing a Lissajous scribble at stroke-like rates. Its radial
+// speed reaches writing speeds (~2π·StrokeHz·Span ≈ 0.25 m/s at the
+// defaults), so unlike the walker its Doppler shifts land inside the
+// segmentation band — the confounder the scenario matrix stresses.
+func secondWriterReflector(w SecondWriterSpec, duration float64) Reflector {
+	return Reflector{
+		Traj: &scribbleTrajectory{
+			distance: w.Distance,
+			span:     w.Span,
+			rate:     w.StrokeHz,
+			dur:      duration,
+		},
+		BaseGain:    w.Gain,
+		RefDistance: w.Distance,
+	}
+}
+
+// scribbleTrajectory loops a 2:3 Lissajous figure in the x/z plane
+// around a standoff y that breathes by the full span at the stroke rate,
+// so the range — and therefore the echo delay — swings like a real
+// stroke's (peak radial speed ≈ 2π·rate·span ≈ 0.26 m/s at defaults).
+type scribbleTrajectory struct {
+	distance float64
+	span     float64
+	rate     float64
+	dur      float64
+}
+
+// At implements geom.Trajectory.
+func (s *scribbleTrajectory) At(t float64) geom.Vec3 {
+	w := 2 * math.Pi * s.rate
+	return geom.Vec3{
+		X: s.span * math.Sin(2*w*t),
+		Y: s.distance + s.span*math.Sin(w*t),
+		Z: s.span * math.Sin(3*w*t+math.Pi/4),
+	}
+}
+
+// Duration implements geom.Trajectory.
+func (s *scribbleTrajectory) Duration() float64 { return s.dur }
+
+var _ geom.Trajectory = (*scribbleTrajectory)(nil)
 
 // quantize rounds samples to the device's ADC resolution.
 func quantize(s *audio.Signal, bits int) {

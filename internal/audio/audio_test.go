@@ -141,8 +141,8 @@ func TestWAVRoundTrip(t *testing.T) {
 		t.Fatalf("decoded %d samples, want %d", len(dec.Samples), len(orig.Samples))
 	}
 	for i := range orig.Samples {
-		if math.Abs(dec.Samples[i]-orig.Samples[i]) > 1.0/32767+1e-9 {
-			t.Fatalf("sample %d = %g, want %g (±1 LSB)", i, dec.Samples[i], orig.Samples[i])
+		if math.Abs(dec.Samples[i]-orig.Samples[i]) > 0.5/32768+1e-9 {
+			t.Fatalf("sample %d = %g, want %g (±½ LSB)", i, dec.Samples[i], orig.Samples[i])
 		}
 	}
 }
@@ -154,8 +154,8 @@ func TestWAVRoundTripProperty(t *testing.T) {
 		s := &Signal{Rate: 44100, Samples: make([]float64, 64)}
 		for i := range s.Samples {
 			// Pre-quantize so the round trip is exact.
-			q := int16(rng.IntN(65535) - 32767)
-			s.Samples[i] = float64(q) / 32767
+			q := int16(rng.IntN(65536) - 32768)
+			s.Samples[i] = float64(q) / 32768
 		}
 		var buf bytes.Buffer
 		if err := EncodeWAV(&buf, s); err != nil {
@@ -178,6 +178,9 @@ func TestWAVRoundTripProperty(t *testing.T) {
 }
 
 func TestWAVEncodeClips(t *testing.T) {
+	// Saturation matches the wire PCM16 convention: +overload pins at
+	// 32767 (decoding to 32767/32768, not quite 1.0), −overload pins at
+	// −32768 which decodes to exactly −1.
 	s := &Signal{Samples: []float64{2.0, -2.0}, Rate: 44100}
 	var buf bytes.Buffer
 	if err := EncodeWAV(&buf, s); err != nil {
@@ -187,7 +190,7 @@ func TestWAVEncodeClips(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if dec.Samples[0] != 1 || dec.Samples[1] != -1 {
+	if dec.Samples[0] != 32767.0/32768 || dec.Samples[1] != -1 {
 		t.Errorf("clipping wrong: %v", dec.Samples)
 	}
 }

@@ -14,8 +14,15 @@ const (
 	wavBitsPerSamp = 16
 )
 
-// EncodeWAV writes s as a 16-bit mono PCM RIFF/WAVE stream. Samples are
-// clipped to [-1, 1] before quantization.
+// EncodeWAV writes s as a 16-bit mono PCM RIFF/WAVE stream.
+//
+// Quantization matches the serving wire format (serve.EncodePCM16): a
+// ×32768 scale with round-half-away-from-zero and saturation at the
+// int16 limits. A WAV-decoded trace therefore survives the serve tier's
+// PCM16 encode→decode path bit-exactly — the property the record/replay
+// harness depends on. (The previous ×32767 scale did not: decoded
+// samples re-encoded for the wire shifted by one codepoint at high
+// amplitudes.)
 func EncodeWAV(w io.Writer, s *Signal) error {
 	if s.Rate <= 0 {
 		return fmt.Errorf("audio: cannot encode WAV with sample rate %g", s.Rate)
@@ -41,12 +48,13 @@ func EncodeWAV(w io.Writer, s *Signal) error {
 	}
 	buf := make([]byte, 0, 4096)
 	for _, v := range s.Samples {
-		if v > 1 {
-			v = 1
-		} else if v < -1 {
-			v = -1
+		f := math.Round(v * 32768)
+		if f > 32767 {
+			f = 32767
+		} else if f < -32768 {
+			f = -32768
 		}
-		q := int16(math.Round(v * 32767))
+		q := int16(f)
 		buf = binary.LittleEndian.AppendUint16(buf, uint16(q))
 		if len(buf) >= 4096 {
 			if _, err := w.Write(buf); err != nil {
@@ -124,7 +132,7 @@ func DecodeWAV(r io.Reader) (*Signal, error) {
 			s := &Signal{Samples: make([]float64, n), Rate: float64(rate)}
 			for i := 0; i < n; i++ {
 				q := int16(binary.LittleEndian.Uint16(body[2*i : 2*i+2]))
-				s.Samples[i] = float64(q) / 32767
+				s.Samples[i] = float64(q) / 32768
 			}
 			return s, nil
 		default:

@@ -39,6 +39,7 @@ func All() []Experiment {
 		{Name: "ablation-downsample", Run: AblationDownsample},
 		{Name: "ablation-scoring", Run: AblationScoring},
 		{Name: "ablation-dictsize", Run: AblationDictSize},
+		{Name: "scenario", Run: ScenarioAccuracy},
 	}
 }
 

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"repro/internal/acoustic"
+	"repro/internal/metrics"
+)
+
+// ScenarioAccuracy extends the paper's environment sweep (Fig. 12) to
+// the soak harness's scenario matrix (internal/scenario): per-stroke
+// recognition accuracy in every simulated environment — including the
+// adversarial café-babble, vehicle-cabin and second-writer additions —
+// on each device class the matrix drives. Not a paper artifact; it
+// quantifies how hard each soak cell is, so a load-test accuracy
+// regression can be read against an expected baseline.
+func ScenarioAccuracy(cfg Config) (*Table, error) {
+	eng, err := newCalibratedEngine()
+	if err != nil {
+		return nil, err
+	}
+	devices := []acoustic.DeviceProfile{acoustic.Mate9(), acoustic.TabletM5(), acoustic.BudgetPhone()}
+	t := &Table{
+		ID:     "Scenario",
+		Title:  "stroke accuracy per scenario-matrix environment and device",
+		Header: []string{"environment"},
+		Notes: []string{
+			"beyond the paper: café/cabin/second-writer environments and tablet/budget devices stress the soak matrix",
+		},
+	}
+	totals := make([]*metrics.ConfusionMatrix, len(devices))
+	for i, dev := range devices {
+		t.Header = append(t.Header, dev.Name)
+		totals[i] = &metrics.ConfusionMatrix{}
+	}
+	for _, env := range acoustic.AllEnvironmentKinds() {
+		row := []string{env.Slug()}
+		for di, dev := range devices {
+			cm, _, err := strokeProtocol(eng, cfg, dev, env)
+			if err != nil {
+				return nil, err
+			}
+			totals[di].Merge(cm)
+			row = append(row, pct(cm.OverallAccuracy()))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	mean := []string{"mean"}
+	for _, total := range totals {
+		mean = append(mean, pct(total.OverallAccuracy()))
+	}
+	t.Rows = append(t.Rows, mean)
+	return t, nil
+}

@@ -50,6 +50,13 @@ type Participant struct {
 	// durations, inter-stroke pauses and repositioning (the drivers of
 	// the Fig. 18 speed curve). Zero value = novice.
 	Proficiency float64
+	// ProficiencyDrift is the sigma of a reflected random-walk step
+	// applied to Proficiency before each performance within a session —
+	// fatigue, warm-up and attention swings make even a trained user's
+	// effective skill wander between words. Zero (the default) keeps
+	// proficiency fixed and draws nothing from the RNG, so existing
+	// seeded recordings are unchanged.
+	ProficiencyDrift float64
 }
 
 // timing derived from proficiency: trained users write ~25 % faster
@@ -68,6 +75,16 @@ func (p Participant) WithProficiency(prof float64) Participant {
 		prof = 1
 	}
 	p.Proficiency = prof
+	return p
+}
+
+// WithProficiencyDrift returns a copy of p whose proficiency random-walks
+// with the given per-performance sigma (negative values clamp to 0).
+func (p Participant) WithProficiencyDrift(sigma float64) Participant {
+	if sigma < 0 {
+		sigma = 0
+	}
+	p.ProficiencyDrift = sigma
 	return p
 }
 
@@ -245,12 +262,34 @@ func (s *Session) PerformWords(seqs []stroke.Sequence) (*Performance, []int, err
 	return perf, counts, nil
 }
 
+// driftProficiency advances the session's effective proficiency by one
+// reflected random-walk step when the participant has drift configured.
+// The drifted value lives in s.P, so callers can observe it between
+// performances. Drift of zero draws nothing from the RNG, keeping all
+// pre-drift seeded recordings bit-identical.
+func (s *Session) driftProficiency() {
+	if s.P.ProficiencyDrift <= 0 {
+		return
+	}
+	prof := s.P.Proficiency + s.rng.NormFloat64()*s.P.ProficiencyDrift
+	// Reflect at the [0, 1] walls so the walk stays a walk instead of
+	// saturating at the boundary.
+	if prof < 0 {
+		prof = -prof
+	}
+	if prof > 1 {
+		prof = 2 - prof
+	}
+	s.P = s.P.WithProficiency(prof)
+}
+
 // perform builds the trajectory; extraGap, when non-nil, returns an
 // additional dwell inserted before stroke index i.
 func (s *Session) perform(seq stroke.Sequence, extraGap func(int) float64) (*Performance, error) {
 	if len(seq) == 0 {
 		return nil, fmt.Errorf("participant: empty stroke sequence")
 	}
+	s.driftProficiency()
 	pp := s.drawPerformParams()
 	var (
 		parts []geom.Trajectory

@@ -230,3 +230,63 @@ func TestRepositionIsGentle(t *testing.T) {
 		t.Errorf("reposition Doppler acceleration %.1f Hz/frame too close to the 8 Hz/frame gate", dopplerAccPerFrame)
 	}
 }
+
+func TestProficiencyDriftWalksWithinBounds(t *testing.T) {
+	p := SixParticipants()[0].WithProficiency(0.5).WithProficiencyDrift(0.15)
+	sess := NewSession(p, 7)
+	seq := stroke.Sequence{stroke.S1}
+	seen := map[float64]bool{}
+	for i := 0; i < 25; i++ {
+		if _, err := sess.Perform(seq); err != nil {
+			t.Fatal(err)
+		}
+		prof := sess.P.Proficiency
+		if prof < 0 || prof > 1 {
+			t.Fatalf("drifted proficiency %g escaped [0,1]", prof)
+		}
+		seen[prof] = true
+	}
+	if len(seen) < 10 {
+		t.Errorf("proficiency barely drifted: %d distinct values over 25 performances", len(seen))
+	}
+}
+
+func TestProficiencyDriftChangesTiming(t *testing.T) {
+	// Same participant and seed, drift on vs off: the second performance
+	// must diverge in duration once the walk kicks in, while drift=0 stays
+	// bit-compatible with the historical behavior (no extra RNG draws).
+	run := func(drift float64) []float64 {
+		p := SixParticipants()[1].WithProficiency(0.5).WithProficiencyDrift(drift)
+		sess := NewSession(p, 42)
+		var durs []float64
+		for i := 0; i < 4; i++ {
+			perf, err := sess.Perform(stroke.Sequence{stroke.S2, stroke.S5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			durs = append(durs, perf.Finger.Duration())
+		}
+		return durs
+	}
+	still, still2, drifted := run(0), run(0), run(0.2)
+	for i := range still {
+		if still[i] != still2[i] {
+			t.Fatal("drift=0 is not deterministic")
+		}
+	}
+	diverged := false
+	for i := range still {
+		if still[i] != drifted[i] {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Error("drift=0.2 never changed performance timing")
+	}
+}
+
+func TestWithProficiencyDriftClamps(t *testing.T) {
+	if d := SixParticipants()[0].WithProficiencyDrift(-1).ProficiencyDrift; d != 0 {
+		t.Errorf("negative drift not clamped: %g", d)
+	}
+}

@@ -1,0 +1,250 @@
+package scenario
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+
+	"repro/internal/metrics/expose"
+)
+
+// Bands are the health assertions a soak run holds a /metricsz scrape
+// (and the load report) to. Ceilings marked "negative disables" treat 0
+// as a hard "none allowed" bound; floors and bounds marked "zero
+// disables" are off when unset.
+type Bands struct {
+	// MaxErrorRate caps LoadReport.ErrorRate; 1 disables (nothing can
+	// exceed a rate of 1).
+	MaxErrorRate float64
+	// MinChunks is a floor on summed echowrite_chunks_total — a soak
+	// that processed nothing is a failure, not a pass. Zero disables.
+	MinChunks float64
+	// MaxBackpressureRatio caps rejects/(rejects+chunks) from the
+	// echowrite_backpressure_rejects_total and echowrite_chunks_total
+	// counters. Negative disables.
+	MaxBackpressureRatio float64
+	// MaxEvictions caps summed echowrite_idle_evictions_total — an
+	// active soak should never idle a session out. Negative disables.
+	MaxEvictions float64
+	// FeedLatencyMaxMs bounds the echowrite_feed_latency_milliseconds
+	// histogram: at least FeedLatencyQuantile of feeds must land in a
+	// bucket at or under this many milliseconds (evaluated on the next
+	// log-spaced bucket boundary at or above it, so the check is
+	// conservative in the server's favor only by one bucket). Zero
+	// disables.
+	FeedLatencyMaxMs float64
+	// FeedLatencyQuantile is the fraction of feeds that must meet
+	// FeedLatencyMaxMs (default 0.99 when the bound is enabled).
+	FeedLatencyQuantile float64
+	// RequireWS additionally requires the streaming families
+	// (echowrite_ws_*) to be present — set when the run exercised the
+	// WebSocket ingest path.
+	RequireWS bool
+}
+
+// DefaultBands is the assertion set ewload applies unless flags say
+// otherwise: some progress, no evictions, bounded shedding, and a
+// feed-latency tail that stays under half a second.
+func DefaultBands() Bands {
+	return Bands{
+		MaxErrorRate:         0.01,
+		MinChunks:            1,
+		MaxBackpressureRatio: 0.5,
+		MaxEvictions:         0,
+		FeedLatencyMaxMs:     512,
+		FeedLatencyQuantile:  0.99,
+	}
+}
+
+// CheckErrorRate applies the MaxErrorRate band to a load report's
+// error rate.
+func (b Bands) CheckErrorRate(rate float64) error {
+	if b.MaxErrorRate < 1 && rate > b.MaxErrorRate {
+		return fmt.Errorf("scenario: error rate %.4f exceeds band %.4f", rate, b.MaxErrorRate)
+	}
+	return nil
+}
+
+// CheckMetrics applies the metric bands to a strictly parsed /metricsz
+// exposition and returns every violation joined into one error (nil if
+// all bands hold). Violations are independent so one scrape reports
+// them all at once.
+func (b Bands) CheckMetrics(fams []expose.Family) error {
+	byName := make(map[string]*expose.Family, len(fams))
+	for i := range fams {
+		byName[fams[i].Name] = &fams[i]
+	}
+	var errs []error
+
+	chunks, err := sumCounter(byName, "echowrite_chunks_total")
+	if err != nil {
+		errs = append(errs, err)
+	}
+	if b.MinChunks > 0 && chunks < b.MinChunks {
+		errs = append(errs, fmt.Errorf("scenario: echowrite_chunks_total = %g, band requires ≥ %g", chunks, b.MinChunks))
+	}
+
+	if b.MaxBackpressureRatio >= 0 {
+		rejects, err := sumCounter(byName, "echowrite_backpressure_rejects_total")
+		if err != nil {
+			errs = append(errs, err)
+		} else if total := rejects + chunks; total > 0 {
+			if ratio := rejects / total; ratio > b.MaxBackpressureRatio {
+				errs = append(errs, fmt.Errorf("scenario: backpressure ratio %.4f (%g rejects / %g feeds) exceeds band %.4f",
+					ratio, rejects, total, b.MaxBackpressureRatio))
+			}
+		}
+	}
+
+	if b.MaxEvictions >= 0 {
+		ev, err := sumCounter(byName, "echowrite_idle_evictions_total")
+		if err != nil {
+			errs = append(errs, err)
+		} else if ev > b.MaxEvictions {
+			errs = append(errs, fmt.Errorf("scenario: echowrite_idle_evictions_total = %g exceeds band %g", ev, b.MaxEvictions))
+		}
+	}
+
+	if b.FeedLatencyMaxMs > 0 {
+		if err := b.checkFeedLatency(byName); err != nil {
+			errs = append(errs, err)
+		}
+	}
+
+	if b.RequireWS {
+		for _, name := range []string{"echowrite_ws_connections", "echowrite_ws_frames_in_total", "echowrite_ws_frames_out_total"} {
+			if byName[name] == nil {
+				errs = append(errs, fmt.Errorf("scenario: streaming family %s missing from scrape", name))
+			}
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// checkFeedLatency aggregates the per-shard feed-latency histogram and
+// requires the configured quantile of observations at or under the
+// bound.
+func (b Bands) checkFeedLatency(byName map[string]*expose.Family) error {
+	const famName = "echowrite_feed_latency_milliseconds"
+	fam := byName[famName]
+	if fam == nil {
+		return fmt.Errorf("scenario: family %s missing from scrape", famName)
+	}
+	cum := map[float64]float64{} // upper bound → observations ≤ bound, summed over shards
+	total := 0.0
+	for _, s := range fam.Samples {
+		switch s.Name {
+		case famName + "_bucket":
+			le, err := bucketBound(s.Labels)
+			if err != nil {
+				return err
+			}
+			cum[le] += s.Value
+		case famName + "_count":
+			total += s.Value
+		}
+	}
+	if total == 0 {
+		// Nothing observed; MinChunks is the band that catches a dead
+		// run, an empty histogram has no tail to bound.
+		return nil
+	}
+	bounds := make([]float64, 0, len(cum))
+	for le := range cum {
+		bounds = append(bounds, le)
+	}
+	sort.Float64s(bounds)
+	// The first bucket boundary at or above the configured bound.
+	bound := math.Inf(1)
+	for _, le := range bounds {
+		if le >= b.FeedLatencyMaxMs {
+			bound = le
+			break
+		}
+	}
+	q := b.FeedLatencyQuantile
+	if q <= 0 {
+		q = 0.99
+	}
+	frac := cum[bound] / total
+	if frac < q {
+		return fmt.Errorf("scenario: only %.2f%% of %g feeds finished ≤ %gms (bucket le=%g), band requires %.2f%%",
+			100*frac, total, b.FeedLatencyMaxMs, bound, 100*q)
+	}
+	return nil
+}
+
+func bucketBound(labels []expose.Label) (float64, error) {
+	for _, l := range labels {
+		if l.Name != "le" {
+			continue
+		}
+		if l.Value == "+Inf" {
+			return math.Inf(1), nil
+		}
+		le, err := strconv.ParseFloat(l.Value, 64)
+		if err != nil {
+			return 0, fmt.Errorf("scenario: bad le label %q: %w", l.Value, err)
+		}
+		return le, nil
+	}
+	return 0, fmt.Errorf("scenario: histogram bucket without le label")
+}
+
+func sumCounter(byName map[string]*expose.Family, name string) (float64, error) {
+	fam := byName[name]
+	if fam == nil {
+		return 0, fmt.Errorf("scenario: family %s missing from scrape", name)
+	}
+	sum := 0.0
+	for _, s := range fam.Samples {
+		sum += s.Value
+	}
+	return sum, nil
+}
+
+// Scrape fetches url, strictly parses the exposition, and returns both
+// the families and the raw bytes (for -metrics-push forwarding). A
+// non-200 status or a parse failure is an error: a soak must not
+// silently pass because its evidence was unreadable.
+func Scrape(client *http.Client, url string) ([]expose.Family, []byte, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, nil, fmt.Errorf("scenario: scrape %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, nil, fmt.Errorf("scenario: scrape %s: status %d", url, resp.StatusCode)
+	}
+	var buf bytes.Buffer
+	fams, err := expose.Parse(io.TeeReader(resp.Body, &buf))
+	if err != nil {
+		return nil, nil, fmt.Errorf("scenario: scrape %s: %w", url, err)
+	}
+	return fams, buf.Bytes(), nil
+}
+
+// Push POSTs a raw exposition to a collector URL (pushgateway-style).
+// Non-2xx responses are errors.
+func Push(client *http.Client, url string, exposition []byte) error {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Post(url, "text/plain; version=0.0.4", bytes.NewReader(exposition))
+	if err != nil {
+		return fmt.Errorf("scenario: push %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		return fmt.Errorf("scenario: push %s: status %d", url, resp.StatusCode)
+	}
+	return nil
+}

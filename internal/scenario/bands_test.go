@@ -1,0 +1,170 @@
+package scenario
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics/expose"
+)
+
+// fixture renders a strictly parseable /metricsz exposition with the
+// families the band checker reads. The latency histogram puts `fast`
+// observations in the 4 ms bucket and `slow` in the +Inf tail.
+func fixture(t *testing.T, chunks, rejects, evictions, fast, slow int) []expose.Family {
+	t.Helper()
+	var b strings.Builder
+	counter := func(name, help string, v int) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s{shard=\"0\"} %d\n", name, help, name, name, v)
+	}
+	counter("echowrite_chunks_total", "Chunks.", chunks)
+	counter("echowrite_backpressure_rejects_total", "Rejects.", rejects)
+	counter("echowrite_idle_evictions_total", "Evictions.", evictions)
+	fmt.Fprintf(&b, "# HELP echowrite_feed_latency_milliseconds Latency.\n")
+	fmt.Fprintf(&b, "# TYPE echowrite_feed_latency_milliseconds histogram\n")
+	for _, le := range []string{"1", "4", "64", "512"} {
+		cum := fast
+		if le == "1" {
+			cum = 0
+		}
+		fmt.Fprintf(&b, "echowrite_feed_latency_milliseconds_bucket{shard=\"0\",le=\"%s\"} %d\n", le, cum)
+	}
+	fmt.Fprintf(&b, "echowrite_feed_latency_milliseconds_bucket{shard=\"0\",le=\"+Inf\"} %d\n", fast+slow)
+	fmt.Fprintf(&b, "echowrite_feed_latency_milliseconds_sum{shard=\"0\"} %d\n", 4*fast+1000*slow)
+	fmt.Fprintf(&b, "echowrite_feed_latency_milliseconds_count{shard=\"0\"} %d\n", fast+slow)
+	fams, err := expose.Parse(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("fixture does not parse: %v", err)
+	}
+	return fams
+}
+
+func TestCheckMetricsHealthyFixturePasses(t *testing.T) {
+	fams := fixture(t, 200, 5, 0, 200, 1)
+	if err := DefaultBands().CheckMetrics(fams); err != nil {
+		t.Fatalf("healthy fixture violated bands: %v", err)
+	}
+}
+
+// TestCheckMetricsSickFixtureFails is the intentionally-failing
+// fixture: a scrape showing evictions, majority shedding, and a fat
+// latency tail must trip every corresponding band in one pass.
+func TestCheckMetricsSickFixtureFails(t *testing.T) {
+	fams := fixture(t, 100, 900, 3, 10, 90)
+	err := DefaultBands().CheckMetrics(fams)
+	if err == nil {
+		t.Fatal("sick fixture passed the bands")
+	}
+	for _, want := range []string{"backpressure ratio", "idle_evictions", "feeds finished"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("violation report missing %q:\n%v", want, err)
+		}
+	}
+}
+
+func TestCheckMetricsMinChunks(t *testing.T) {
+	fams := fixture(t, 0, 0, 0, 0, 0)
+	err := DefaultBands().CheckMetrics(fams)
+	if err == nil || !strings.Contains(err.Error(), "chunks_total") {
+		t.Fatalf("dead run passed MinChunks: %v", err)
+	}
+}
+
+func TestCheckMetricsDisabledBands(t *testing.T) {
+	b := Bands{MaxErrorRate: 1, MaxBackpressureRatio: -1, MaxEvictions: -1}
+	fams := fixture(t, 0, 1000, 50, 0, 100)
+	if err := b.CheckMetrics(fams); err != nil {
+		t.Fatalf("disabled bands still fired: %v", err)
+	}
+}
+
+func TestCheckMetricsMissingFamily(t *testing.T) {
+	fams := fixture(t, 100, 0, 0, 100, 0)
+	// Drop the histogram family.
+	var trimmed []expose.Family
+	for _, f := range fams {
+		if f.Name != "echowrite_feed_latency_milliseconds" {
+			trimmed = append(trimmed, f)
+		}
+	}
+	err := DefaultBands().CheckMetrics(trimmed)
+	if err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("missing histogram family not reported: %v", err)
+	}
+}
+
+func TestCheckMetricsRequireWS(t *testing.T) {
+	fams := fixture(t, 100, 0, 0, 100, 0)
+	b := DefaultBands()
+	b.RequireWS = true
+	err := b.CheckMetrics(fams)
+	if err == nil || !strings.Contains(err.Error(), "echowrite_ws_connections") {
+		t.Fatalf("missing WS families not reported: %v", err)
+	}
+}
+
+func TestCheckErrorRate(t *testing.T) {
+	b := DefaultBands()
+	if err := b.CheckErrorRate(0); err != nil {
+		t.Errorf("zero error rate rejected: %v", err)
+	}
+	if err := b.CheckErrorRate(0.5); err == nil {
+		t.Error("50% error rate passed a 1% band")
+	}
+	b.MaxErrorRate = 1
+	if err := b.CheckErrorRate(0.99); err != nil {
+		t.Errorf("MaxErrorRate=1 should disable the check: %v", err)
+	}
+}
+
+func TestScrapeAndPush(t *testing.T) {
+	exposition := "# HELP up Up.\n# TYPE up gauge\nup 1\n"
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, exposition)
+	}))
+	defer srv.Close()
+	fams, raw, err := Scrape(nil, srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fams) != 1 || fams[0].Name != "up" {
+		t.Fatalf("scraped %v", fams)
+	}
+	if string(raw) != exposition {
+		t.Fatalf("raw bytes %q, want %q", raw, exposition)
+	}
+
+	var pushed []byte
+	sink := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		pushed, _ = io.ReadAll(r.Body)
+	}))
+	defer sink.Close()
+	if err := Push(nil, sink.URL, raw); err != nil {
+		t.Fatal(err)
+	}
+	if string(pushed) != exposition {
+		t.Fatalf("pushed %q", pushed)
+	}
+
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusBadGateway)
+	}))
+	defer bad.Close()
+	if _, _, err := Scrape(nil, bad.URL); err == nil {
+		t.Error("bad scrape status accepted")
+	}
+	if err := Push(nil, bad.URL, raw); err == nil {
+		t.Error("bad push status accepted")
+	}
+
+	garbled := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "up 1\n") // no HELP/TYPE: strict parse must fail
+	}))
+	defer garbled.Close()
+	if _, _, err := Scrape(nil, garbled.URL); err == nil {
+		t.Error("unparseable exposition accepted")
+	}
+}

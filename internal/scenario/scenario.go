@@ -1,0 +1,162 @@
+// Package scenario turns a declarative test matrix — environment ×
+// device × word/proficiency × seed — into deterministic recorded traffic
+// traces and asserts service health bands over a /metricsz scrape. It is
+// the glue between the acoustic simulator (what a writer sounds like)
+// and the load harness (what the server does under many of them):
+// cmd/ewload expands a matrix, records each cell's WAV trace once into a
+// content-addressed cache, and replays identical bytes run after run.
+package scenario
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/acoustic"
+	"repro/internal/audio"
+	"repro/internal/capture"
+	"repro/internal/participant"
+	"repro/internal/stroke"
+)
+
+// Prof is one proficiency treatment: a starting level plus the
+// per-performance random-walk sigma (see participant.ProficiencyDrift).
+type Prof struct {
+	Level float64
+	Drift float64
+}
+
+// Cell is one fully specified scenario: everything Synthesize needs to
+// render the exact trace, and nothing more — the trace cache hashes the
+// cell, so every field must be a value the recording depends on.
+type Cell struct {
+	Env         acoustic.EnvironmentKind
+	Device      string // device slug, see acoustic.DeviceNames
+	Word        string
+	Proficiency Prof
+	Seed        uint64
+}
+
+// Name is the cell's stable, filesystem- and flag-safe identifier:
+// env.device.word.p<level%>d<drift‰>.s<seed>. ewload's -scenario flag
+// accepts these names.
+func (c Cell) Name() string {
+	return fmt.Sprintf("%s.%s.%s.p%02.0fd%03.0f.s%d",
+		c.Env.Slug(), c.Device, c.Word,
+		c.Proficiency.Level*100, c.Proficiency.Drift*1000, c.Seed)
+}
+
+// Synthesize renders the cell's microphone trace: a participant (chosen
+// from the roster by seed, at the cell's proficiency treatment) writes
+// the word on the device in the environment. Same cell → bit-identical
+// samples; that determinism is what the trace cache and the golden-hash
+// test pin.
+func (c Cell) Synthesize() (*audio.Signal, error) {
+	dev, err := acoustic.DeviceByName(c.Device)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", c.Name(), err)
+	}
+	env, err := acoustic.EnvironmentByKind(c.Env)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", c.Name(), err)
+	}
+	roster := participant.SixParticipants()
+	p := roster[int(c.Seed)%len(roster)].
+		WithProficiency(c.Proficiency.Level).
+		WithProficiencyDrift(c.Proficiency.Drift)
+	// Decorrelate the motor seed from the acoustic seed (which Perform
+	// shares with the scene synthesizer) with a fixed odd multiplier.
+	sess := participant.NewSession(p, c.Seed*0x9e3779b1+1)
+	rec, err := capture.PerformWord(sess, stroke.DefaultScheme(), c.Word, dev, env, c.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", c.Name(), err)
+	}
+	return rec.Signal, nil
+}
+
+// Matrix is the declarative cross product. Expand emits one Cell per
+// combination in a fixed nesting order (environment, device, word,
+// proficiency, seed), so cell lists — and therefore trace IDs and
+// replay order — are stable across runs.
+type Matrix struct {
+	Name          string
+	Environments  []acoustic.EnvironmentKind
+	Devices       []string
+	Words         []string
+	Proficiencies []Prof
+	Seeds         []uint64
+}
+
+// Expand materializes the cross product.
+func (m Matrix) Expand() []Cell {
+	cells := make([]Cell, 0,
+		len(m.Environments)*len(m.Devices)*len(m.Words)*len(m.Proficiencies)*len(m.Seeds))
+	for _, env := range m.Environments {
+		for _, dev := range m.Devices {
+			for _, w := range m.Words {
+				for _, p := range m.Proficiencies {
+					for _, s := range m.Seeds {
+						cells = append(cells, Cell{
+							Env: env, Device: dev, Word: w,
+							Proficiency: p, Seed: s,
+						})
+					}
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// DefaultMatrix is the full soak surface: every environment the
+// simulator models (including the adversarial café/cabin/second-writer
+// additions) crossed with a phone, a tablet and a budget handset, a
+// practiced and an unpracticed-but-drifting writer.
+func DefaultMatrix() Matrix {
+	return Matrix{
+		Name:         "all",
+		Environments: acoustic.AllEnvironmentKinds(),
+		Devices:      []string{"mate9", "tablet", "budget"},
+		Words:        []string{"on"},
+		Proficiencies: []Prof{
+			{Level: 0.8, Drift: 0},
+			{Level: 0.3, Drift: 0.1},
+		},
+		Seeds: []uint64{1},
+	}
+}
+
+// SmokeMatrix is the small slice `make soak-smoke` runs in CI: the two
+// hardest new environments on the best and worst microphones.
+func SmokeMatrix() Matrix {
+	return Matrix{
+		Name:          "smoke",
+		Environments:  []acoustic.EnvironmentKind{acoustic.CafeBabble, acoustic.SecondWriter},
+		Devices:       []string{"mate9", "budget"},
+		Words:         []string{"on"},
+		Proficiencies: []Prof{{Level: 0.7, Drift: 0.05}},
+		Seeds:         []uint64{1},
+	}
+}
+
+// Select resolves ewload's -scenario argument: a matrix name ("all",
+// "smoke") yields its full expansion; otherwise the argument must be
+// one cell name from either matrix. The error lists what would have
+// matched.
+func Select(name string) ([]Cell, error) {
+	switch name {
+	case "all":
+		return DefaultMatrix().Expand(), nil
+	case "smoke":
+		return SmokeMatrix().Expand(), nil
+	}
+	all := append(DefaultMatrix().Expand(), SmokeMatrix().Expand()...)
+	var names []string
+	for _, c := range all {
+		if c.Name() == name {
+			return []Cell{c}, nil
+		}
+		names = append(names, c.Name())
+	}
+	return nil, fmt.Errorf("scenario: no matrix or cell named %q (have all, smoke, or one of: %s)",
+		name, strings.Join(names, ", "))
+}

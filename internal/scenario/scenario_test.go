@@ -1,0 +1,265 @@
+package scenario
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestExpandOrderAndCount(t *testing.T) {
+	m := DefaultMatrix()
+	cells := m.Expand()
+	want := len(m.Environments) * len(m.Devices) * len(m.Words) * len(m.Proficiencies) * len(m.Seeds)
+	if len(cells) != want {
+		t.Fatalf("expanded %d cells, want %d", len(cells), want)
+	}
+	// Fixed nesting order: the first len(Devices)*... cells share the
+	// first environment.
+	perEnv := want / len(m.Environments)
+	for i, c := range cells {
+		if c.Env != m.Environments[i/perEnv] {
+			t.Fatalf("cell %d has env %v, expansion order drifted", i, c.Env)
+		}
+	}
+	// Names are unique and flag-safe.
+	seen := map[string]bool{}
+	for _, c := range cells {
+		n := c.Name()
+		if seen[n] {
+			t.Fatalf("duplicate cell name %s", n)
+		}
+		seen[n] = true
+		if strings.ContainsAny(n, " /\\\t") {
+			t.Fatalf("cell name %q not filesystem-safe", n)
+		}
+	}
+}
+
+func TestSelect(t *testing.T) {
+	if cells, err := Select("all"); err != nil || len(cells) != len(DefaultMatrix().Expand()) {
+		t.Fatalf("Select(all) = %d cells, %v", len(cells), err)
+	}
+	smoke := SmokeMatrix().Expand()
+	if cells, err := Select("smoke"); err != nil || len(cells) != len(smoke) {
+		t.Fatalf("Select(smoke) = %d cells, %v", len(cells), err)
+	}
+	one, err := Select(smoke[0].Name())
+	if err != nil || len(one) != 1 || one[0] != smoke[0] {
+		t.Fatalf("Select(%s) = %v, %v", smoke[0].Name(), one, err)
+	}
+	if _, err := Select("no-such-scenario"); err == nil {
+		t.Fatal("bogus scenario name accepted")
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	c := SmokeMatrix().Expand()[0]
+	a, err := c.Synthesize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Synthesize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Samples) != len(b.Samples) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.Samples), len(b.Samples))
+	}
+	for i := range a.Samples {
+		if math.Float64bits(a.Samples[i]) != math.Float64bits(b.Samples[i]) {
+			t.Fatalf("sample %d differs between identical cells", i)
+		}
+	}
+	// A different seed must not produce the same trace.
+	c2 := c
+	c2.Seed++
+	d, err := c2.Synthesize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Samples) == len(a.Samples) {
+		same := true
+		for i := range a.Samples {
+			if a.Samples[i] != d.Samples[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical traces")
+		}
+	}
+}
+
+func TestSynthesizeRejectsBogusCell(t *testing.T) {
+	c := SmokeMatrix().Expand()[0]
+	c.Device = "no-such-device"
+	if _, err := c.Synthesize(); err == nil {
+		t.Error("unknown device accepted")
+	}
+	c = SmokeMatrix().Expand()[0]
+	c.Env = 99
+	if _, err := c.Synthesize(); err == nil {
+		t.Error("unknown environment accepted")
+	}
+}
+
+func TestTraceIDStableAndSensitive(t *testing.T) {
+	c := SmokeMatrix().Expand()[0]
+	if c.TraceID() != c.TraceID() {
+		t.Fatal("TraceID not stable")
+	}
+	ids := map[string]string{c.Name(): c.TraceID()}
+	for _, mut := range []func(*Cell){
+		func(x *Cell) { x.Seed++ },
+		func(x *Cell) { x.Word = "go" },
+		func(x *Cell) { x.Device = "tablet" },
+		func(x *Cell) { x.Proficiency.Level += 0.1 },
+		func(x *Cell) { x.Proficiency.Drift += 0.01 },
+	} {
+		x := c
+		mut(&x)
+		id := x.TraceID()
+		for name, other := range ids {
+			if id == other {
+				t.Fatalf("cell %s collides with %s", x.Name(), name)
+			}
+		}
+		ids[x.Name()] = id
+	}
+}
+
+func TestEnsureTraceCachesAndReplaysIdenticalBytes(t *testing.T) {
+	dir := t.TempDir()
+	c := SmokeMatrix().Expand()[0]
+	p1, err := EnsureTrace(dir, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := os.ReadFile(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sidecar exists and names the cell.
+	side, err := os.ReadFile(strings.TrimSuffix(p1, ".wav") + ".json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(side), c.Name()) {
+		t.Errorf("sidecar does not name the cell:\n%s", side)
+	}
+	// Second Ensure must hit the cache: corrupt mtime-invisible state by
+	// replacing the file, then verify EnsureTrace does NOT re-render.
+	marker := []byte("MARKER")
+	if err := os.WriteFile(p1, marker, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := EnsureTrace(dir, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2 != p1 {
+		t.Fatalf("cache path moved: %s vs %s", p1, p2)
+	}
+	got, _ := os.ReadFile(p2)
+	if string(got) != string(marker) {
+		t.Fatal("EnsureTrace re-rendered a cached trace")
+	}
+	// Restore and check LoadTrace round-trips the recorded bytes.
+	if err := os.WriteFile(p1, first, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sig, err := LoadTrace(dir, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sig.Samples) == 0 || sig.Rate != 44100 {
+		t.Fatalf("loaded trace: %d samples at %g Hz", len(sig.Samples), sig.Rate)
+	}
+}
+
+const goldenTracePath = "testdata/golden_trace_hashes.txt"
+
+// TestGoldenTraceHashes pins the recorded bytes of every smoke-matrix
+// cell: the scenario harness's whole value is that a replayed soak
+// sends identical traffic, so the WAV files themselves are golden.
+// Regenerate deliberately with
+//
+//	EW_UPDATE_GOLDEN=1 go test -run TestGoldenTraceHashes ./internal/scenario
+//
+// and commit the diff next to the synthesis change that caused it
+// (bumping traceFormatVersion at the same time). Byte-exactness is
+// pinned on amd64, matching the pipeline spectrogram golden.
+func TestGoldenTraceHashes(t *testing.T) {
+	dir := t.TempDir()
+	lines := []string{
+		"# SHA-256 of each smoke-matrix trace WAV. Regenerate with",
+		"# EW_UPDATE_GOLDEN=1 go test -run TestGoldenTraceHashes ./internal/scenario",
+	}
+	got := map[string]string{}
+	for _, c := range SmokeMatrix().Expand() {
+		p, err := EnsureTrace(dir, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := fmt.Sprintf("%x", sha256.Sum256(blob))
+		got[c.Name()] = sum
+		lines = append(lines, c.Name()+" "+sum)
+	}
+
+	if os.Getenv("EW_UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(goldenTracePath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenTracePath, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d traces)", goldenTracePath, len(got))
+		return
+	}
+	if runtime.GOARCH != "amd64" {
+		t.Skipf("byte-exact golden pinned on amd64; GOARCH=%s rounds floating point differently", runtime.GOARCH)
+	}
+	f, err := os.Open(goldenTracePath)
+	if err != nil {
+		t.Fatalf("%v (regenerate with EW_UPDATE_GOLDEN=1)", err)
+	}
+	defer f.Close()
+	want := map[string]string{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed golden line %q", line)
+		}
+		want[fields[0]] = fields[1]
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(got) {
+		t.Fatalf("golden lists %d traces, matrix has %d (regenerate)", len(want), len(got))
+	}
+	for name, sum := range got {
+		if want[name] == "" {
+			t.Errorf("cell %s missing from golden (regenerate)", name)
+		} else if want[name] != sum {
+			t.Errorf("trace %s drifted: sha256 %s, golden %s (deliberate synthesis change? bump traceFormatVersion and regenerate)",
+				name, sum, want[name])
+		}
+	}
+}

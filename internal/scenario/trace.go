@@ -1,0 +1,136 @@
+package scenario
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/audio"
+)
+
+// traceFormatVersion invalidates the trace cache when the synthesis
+// pipeline changes in a way that alters recorded bytes (the cache is
+// addressed by the cell *descriptor*, not the audio, so a synthesis
+// change would otherwise serve stale traces). Bump it alongside any
+// such change and regenerate the golden trace hashes.
+const traceFormatVersion = 1
+
+// descriptor is the canonical, versioned identity of a trace. Field
+// order is fixed by the struct, so json.Marshal output — and therefore
+// the content address — is byte-stable.
+type descriptor struct {
+	Version     int     `json:"version"`
+	Env         string  `json:"env"`
+	Device      string  `json:"device"`
+	Word        string  `json:"word"`
+	Proficiency float64 `json:"proficiency"`
+	Drift       float64 `json:"drift"`
+	Seed        uint64  `json:"seed"`
+}
+
+func (c Cell) descriptor() descriptor {
+	return descriptor{
+		Version:     traceFormatVersion,
+		Env:         c.Env.Slug(),
+		Device:      c.Device,
+		Word:        c.Word,
+		Proficiency: c.Proficiency.Level,
+		Drift:       c.Proficiency.Drift,
+		Seed:        c.Seed,
+	}
+}
+
+// TraceID is the content address: SHA-256 of the canonical descriptor
+// JSON. Two cells that would record the same audio share an ID; any
+// parameter change moves the trace to a new file instead of silently
+// overwriting an old one.
+func (c Cell) TraceID() string {
+	blob, err := json.Marshal(c.descriptor())
+	if err != nil {
+		// Marshaling a flat struct of scalars cannot fail.
+		panic(fmt.Sprintf("scenario: marshal descriptor: %v", err))
+	}
+	return fmt.Sprintf("%x", sha256.Sum256(blob))
+}
+
+// EnsureTrace returns the path of the cell's cached WAV under dir,
+// synthesizing and recording it on first use. The write is
+// tmp+rename-atomic so a crashed run never leaves a half trace behind,
+// and a <id>.json sidecar records the human-readable descriptor next to
+// the opaque hash. Replay runs read the identical bytes every time.
+func EnsureTrace(dir string, c Cell) (string, error) {
+	id := c.TraceID()
+	wavPath := filepath.Join(dir, id+".wav")
+	if _, err := os.Stat(wavPath); err == nil {
+		return wavPath, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("scenario: trace dir: %w", err)
+	}
+	sig, err := c.Synthesize()
+	if err != nil {
+		return "", err
+	}
+	var buf bytes.Buffer
+	if err := audio.EncodeWAV(&buf, sig); err != nil {
+		return "", fmt.Errorf("scenario %s: encode trace: %w", c.Name(), err)
+	}
+	if err := writeAtomic(wavPath, buf.Bytes()); err != nil {
+		return "", err
+	}
+	side := struct {
+		descriptor
+		Cell string `json:"cell"`
+	}{c.descriptor(), c.Name()}
+	meta, err := json.MarshalIndent(side, "", "  ")
+	if err != nil {
+		panic(fmt.Sprintf("scenario: marshal sidecar: %v", err))
+	}
+	if err := writeAtomic(filepath.Join(dir, id+".json"), append(meta, '\n')); err != nil {
+		return "", err
+	}
+	return wavPath, nil
+}
+
+// LoadTrace ensures the cell's trace exists and decodes it. Loading via
+// the WAV file rather than re-synthesizing is the point: the bytes the
+// server sees come from the cache, so a soak run is reproducible even
+// across synthesis-code changes (until the cache is cleared).
+func LoadTrace(dir string, c Cell) (*audio.Signal, error) {
+	path, err := EnsureTrace(dir, c)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: open trace: %w", c.Name(), err)
+	}
+	defer f.Close()
+	sig, err := audio.DecodeWAV(f)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: decode trace %s: %w", c.Name(), path, err)
+	}
+	return sig, nil
+}
+
+func writeAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".trace-*")
+	if err != nil {
+		return fmt.Errorf("scenario: temp trace: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("scenario: write trace: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("scenario: close trace: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("scenario: publish trace: %w", err)
+	}
+	return nil
+}

@@ -49,6 +49,16 @@ type LoadConfig struct {
 	// latency then measures the frame→ack round trip, head-to-head
 	// comparable with the POST round trip.
 	WS bool
+	// Recordings, when non-empty, replaces synthesis: writers share
+	// these pre-recorded traces round-robin and Word/Signals/Seed are
+	// ignored. This is the scenario replay path — the bytes on the wire
+	// come from a trace cache, identical run after run.
+	Recordings []*audio.Signal
+	// Duration switches the run into soak mode: every writer performs
+	// full sessions back to back (open, stream, flush, close) until the
+	// deadline passes, instead of stopping after one. Zero keeps the
+	// single-pass behavior.
+	Duration time.Duration
 }
 
 func (c LoadConfig) withDefaults() LoadConfig {
@@ -78,7 +88,8 @@ type LoadReport struct {
 	Writers      int
 	ChunksSent   int
 	Detections   int
-	Words        int // writers whose flush produced ≥1 word candidate
+	Words        int // sessions whose flush produced ≥1 word candidate
+	Sessions     int // completed writer sessions (= Writers unless soaking)
 	Backpressure int // 429 responses (HTTP) or backpressure events (WS) observed
 	Errors       int // non-backpressure failures (chunks dropped, HTTP errors)
 	Elapsed      time.Duration
@@ -116,13 +127,13 @@ func (r *LoadReport) ErrorRate() float64 {
 // String renders the human-readable summary cmd/ewload prints.
 func (r *LoadReport) String() string {
 	var b bytes.Buffer
-	fmt.Fprintf(&b, "writers            %d\n", r.Writers)
+	fmt.Fprintf(&b, "writers            %d (%d sessions)\n", r.Writers, r.Sessions)
 	fmt.Fprintf(&b, "audio streamed     %.1f s (%.2f× real time)\n", r.AudioSeconds, r.RealTimeFactor())
 	fmt.Fprintf(&b, "chunks sent        %d in %v (%.0f chunks/s)\n",
 		r.ChunksSent, r.Elapsed.Round(time.Millisecond),
 		float64(r.ChunksSent)/r.Elapsed.Seconds())
 	fmt.Fprintf(&b, "detections         %d\n", r.Detections)
-	fmt.Fprintf(&b, "writers with words %d\n", r.Words)
+	fmt.Fprintf(&b, "sessions w/ words  %d\n", r.Words)
 	fmt.Fprintf(&b, "backpressure       %d\n", r.Backpressure)
 	fmt.Fprintf(&b, "errors             %d (%.2f%% of chunks)\n", r.Errors, 100*r.ErrorRate())
 	fmt.Fprintf(&b, "chunk latency ms   p50 %.2f  p95 %.2f  p99 %.2f\n",
@@ -132,13 +143,19 @@ func (r *LoadReport) String() string {
 	return b.String()
 }
 
-// RunLoad synthesizes the writer recordings, drives Writers concurrent
-// sessions against the server and aggregates the report.
+// RunLoad synthesizes (or replays) the writer recordings, drives
+// Writers concurrent sessions against the server and aggregates the
+// report. With Duration set, each writer loops whole sessions until the
+// deadline (soak mode).
 func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	cfg = cfg.withDefaults()
-	signals, err := synthesizeWriters(cfg)
-	if err != nil {
-		return nil, err
+	signals := cfg.Recordings
+	if len(signals) == 0 {
+		var err error
+		signals, err = synthesizeWriters(cfg)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	var (
@@ -153,24 +170,31 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		drive = driveWriterWS
 	}
 	start := time.Now()
+	deadline := start.Add(cfg.Duration)
 	for w := 0; w < cfg.Writers; w++ {
 		sig := signals[w%len(signals)]
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			res := drive(cfg, sig)
-			mu.Lock()
-			report.ChunksSent += res.chunks
-			report.Detections += res.detections
-			report.Backpressure += res.backpressure
-			report.Errors += res.errors
-			report.AudioSeconds += sig.Duration()
-			if res.words > 0 {
-				report.Words++
+			for {
+				res := drive(cfg, sig)
+				mu.Lock()
+				report.Sessions++
+				report.ChunksSent += res.chunks
+				report.Detections += res.detections
+				report.Backpressure += res.backpressure
+				report.Errors += res.errors
+				report.AudioSeconds += sig.Duration()
+				if res.words > 0 {
+					report.Words++
+				}
+				chunkLat = append(chunkLat, res.chunkLat...)
+				strokeLat = append(strokeLat, res.strokeLat...)
+				mu.Unlock()
+				if cfg.Duration <= 0 || !time.Now().Before(deadline) {
+					return
+				}
 			}
-			chunkLat = append(chunkLat, res.chunkLat...)
-			strokeLat = append(strokeLat, res.strokeLat...)
-			mu.Unlock()
 		}()
 	}
 	wg.Wait()

@@ -1,9 +1,12 @@
 package serve
 
 import (
+	"math"
 	"net/http/httptest"
 	"testing"
+	"time"
 
+	"repro/internal/audio"
 	"repro/internal/testutil/leak"
 )
 
@@ -61,5 +64,55 @@ func TestRunLoadInProcess(t *testing.T) {
 	st := mgr.Snapshot()
 	if st.Chunks == 0 || st.ActiveSessions != 0 {
 		t.Errorf("server snapshot %+v after load", st)
+	}
+	if report.Sessions != 4 {
+		t.Errorf("single-pass run completed %d sessions, want one per writer", report.Sessions)
+	}
+}
+
+// TestRunLoadReplaySoak drives the scenario-replay path: pre-recorded
+// traces instead of synthesis, looped until a soak deadline. The replay
+// must send exactly the recording's bytes (chunk math below) and the
+// soak must complete more sessions than writers.
+func TestRunLoadReplaySoak(t *testing.T) {
+	leak.Check(t)
+	mgr, err := NewManager(Config{MaxSessions: 8, Workers: 2, QueueDepth: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Shutdown()
+	ts := httptest.NewServer(NewServer(mgr).Handler())
+	defer ts.Close()
+
+	// A short recording (quarter second) so each session pass is quick.
+	rec := &audio.Signal{Rate: 44100, Samples: make([]float64, 11025)}
+	for i := range rec.Samples {
+		rec.Samples[i] = 0.1 * math.Sin(2*math.Pi*20000*float64(i)/44100)
+	}
+	report, err := RunLoad(LoadConfig{
+		BaseURL:      ts.URL,
+		Writers:      2,
+		ChunkSamples: 4096,
+		Client:       ts.Client(),
+		Recordings:   []*audio.Signal{rec},
+		Duration:     300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", report)
+	if report.Errors != 0 {
+		t.Errorf("soak hit %d errors", report.Errors)
+	}
+	if report.Sessions <= report.Writers {
+		t.Errorf("soak completed %d sessions over %d writers; deadline loop never looped", report.Sessions, report.Writers)
+	}
+	chunksPerPass := (len(rec.Samples) + 4095) / 4096
+	if report.ChunksSent != report.Sessions*chunksPerPass {
+		t.Errorf("chunks sent %d, want %d sessions × %d chunks: replay did not send the recording verbatim",
+			report.ChunksSent, report.Sessions, chunksPerPass)
+	}
+	if got, want := report.AudioSeconds, float64(report.Sessions)*rec.Duration(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("audio seconds %g, want %g", got, want)
 	}
 }

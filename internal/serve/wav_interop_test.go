@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"bytes"
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/audio"
+)
+
+// TestWAVDecodeSurvivesPCM16Wire proves the property the record/replay
+// harness leans on: a WAV-decoded trace pushed through the serving wire
+// codec (EncodePCM16 → decodePCM16) comes back bit-identical, because
+// both sides quantize on the same ×32768 grid. Random — not
+// pre-quantized — signals, so the WAV encoder's own rounding is under
+// test too.
+func TestWAVDecodeSurvivesPCM16Wire(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 31))
+		s := &audio.Signal{Rate: 44100, Samples: make([]float64, 128)}
+		for i := range s.Samples {
+			// Span the full range including overloads beyond ±1.
+			s.Samples[i] = (rng.Float64() - 0.5) * 2.4
+		}
+		var buf bytes.Buffer
+		if err := audio.EncodeWAV(&buf, s); err != nil {
+			t.Logf("encode: %v", err)
+			return false
+		}
+		dec, err := audio.DecodeWAV(&buf)
+		if err != nil {
+			t.Logf("decode: %v", err)
+			return false
+		}
+		wire, err := decodePCM16(EncodePCM16(dec.Samples), 1<<20)
+		if err != nil {
+			t.Logf("wire: %v", err)
+			return false
+		}
+		for i := range dec.Samples {
+			if math.Float64bits(wire[i]) != math.Float64bits(dec.Samples[i]) {
+				t.Logf("sample %d: wav %v -> wire %v", i, dec.Samples[i], wire[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWAVWireDoubleRoundTrip pins the stronger idempotence claim: once a
+// signal has been through WAV quantization, a second WAV round trip and
+// the wire round trip all agree exactly.
+func TestWAVWireDoubleRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 9))
+	s := &audio.Signal{Rate: 44100, Samples: make([]float64, 512)}
+	for i := range s.Samples {
+		s.Samples[i] = (rng.Float64() - 0.5) * 2
+	}
+	var first bytes.Buffer
+	if err := audio.EncodeWAV(&first, s); err != nil {
+		t.Fatal(err)
+	}
+	once, err := audio.DecodeWAV(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	if err := audio.EncodeWAV(&second, once); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatal("second WAV encode changed bytes: quantization is not idempotent")
+	}
+	if !bytes.Equal(EncodePCM16(once.Samples), second.Bytes()[44:]) {
+		t.Fatal("wire PCM16 disagrees with WAV data chunk for quantized samples")
+	}
+}
