@@ -2,7 +2,7 @@
 # serving code. `make ci` is what every PR must keep green.
 GO ?= go
 
-.PHONY: ci vet lint build test race fuzz-smoke metricsz-smoke ws-smoke bench-smoke bench-baseline stress bench soak-smoke soak
+.PHONY: ci vet lint lint-fast build test race fuzz-smoke metricsz-smoke ws-smoke bench-smoke bench-baseline stress bench soak-smoke soak
 
 ci: vet lint build test race fuzz-smoke metricsz-smoke ws-smoke bench-smoke soak-smoke
 
@@ -11,9 +11,16 @@ vet:
 
 # The project-specific analyzer suite (internal/analysis, driven by
 # cmd/ewvet): lock discipline, guarded fields, float equality, hot-path
-# allocations, goroutine lifecycles. Exits non-zero on any finding.
+# allocations, goroutine lifecycles, plus the interprocedural layer —
+# call-graph construction, hot-path propagation, and global lock-order
+# deadlock detection. Exits non-zero on any finding.
 lint:
 	$(GO) run ./cmd/ewvet .
+
+# Inner-loop variant: intra-procedural analyzers only, skipping the
+# module-wide call-graph construction the interprocedural layer needs.
+lint-fast:
+	$(GO) run ./cmd/ewvet -fast .
 
 build:
 	$(GO) build ./...

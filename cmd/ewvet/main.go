@@ -2,16 +2,22 @@
 // suite (internal/analysis) over the whole module: lock discipline in
 // the serving layer, float-equality hygiene in the DSP core,
 // allocation budgets on annotated hot paths, guarded-field access and
-// goroutine lifecycle rules. It prints findings as file:line:col and
-// exits non-zero when any are found, so `make lint` gates CI on it.
+// goroutine lifecycle rules, plus the interprocedural layer — call
+// graph construction, hot-path propagation (hotprop) and global
+// lock-order deadlock detection (lockorder). It prints findings as
+// file:line:col and exits non-zero when any are found, so `make lint`
+// gates CI on it.
 //
 // Usage:
 //
-//	ewvet [-list] [-only name,name] [dir]
+//	ewvet [-list] [-only name,name] [-fast] [-json] [-timing] [dir]
 //
 // dir defaults to the current directory; the module containing it is
 // analyzed in full (testdata fixture packages are skipped, exactly as
-// the go tool skips them).
+// the go tool skips them). -fast keeps only the intra-procedural
+// analyzers (the `make lint-fast` inner-loop gate), -json emits the
+// machine-readable findings document, -timing prints per-analyzer
+// wall time to stderr.
 package main
 
 import (
@@ -26,14 +32,24 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
 	only := flag.String("only", "", "comma-separated analyzer names to run (default all)")
+	fast := flag.Bool("fast", false, "intra-procedural analyzers only (skip callgraph/hotprop/lockorder)")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON (file/line/analyzer/message/trail)")
+	timing := flag.Bool("timing", false, "print per-analyzer wall time to stderr")
 	flag.Parse()
 
 	analyzers := analysis.Registry()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-14s %s\n", a.Name(), a.Doc())
+			kind := "package"
+			if _, ok := a.(analysis.ModuleAnalyzer); ok {
+				kind = "module"
+			}
+			fmt.Printf("%-14s [%s] %s\n", a.Name(), kind, a.Doc())
 		}
 		return
+	}
+	if *fast {
+		analyzers = analysis.Fast(analyzers)
 	}
 	if *only != "" {
 		want := make(map[string]bool)
@@ -65,7 +81,19 @@ func main() {
 	if err != nil {
 		fatalf("ewvet: %v", err)
 	}
-	findings := analysis.Run(pkgs, analyzers)
+	findings, timings := analysis.RunTimed(pkgs, analyzers)
+	if *timing {
+		analysis.WriteTimings(os.Stderr, timings)
+	}
+	if *jsonOut {
+		if err := analysis.WriteJSON(os.Stdout, findings, len(pkgs), len(analyzers)); err != nil {
+			fatalf("ewvet: %v", err)
+		}
+		if len(findings) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 	for _, f := range findings {
 		fmt.Println(f)
 	}

@@ -16,7 +16,15 @@
 //	                        requires the caller to hold the named lock;
 //	                        the lock is treated as held throughout.
 //	// ew:hotpath           on a function's doc comment: the hotalloc
-//	                        analyzer audits every loop in the body.
+//	                        analyzer audits every loop in the body, and
+//	                        hotprop propagates the heat into every
+//	                        callee reachable through the call graph.
+//	// ew:coldcall          on a call site inside hot-reachable code:
+//	                        the callee is genuinely cold (error path,
+//	                        once-per-session setup) and hotprop must
+//	                        not propagate through this edge. The
+//	                        callgraph analyzer flags stale coldcall
+//	                        comments that no longer sit on a call.
 //	// ew:exact             on a float ==/!= comparison: the comparison
 //	                        is deliberately exact (zero or a sentinel
 //	                        value assigned verbatim, never computed).
@@ -30,6 +38,8 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"strings"
+	"time"
 )
 
 // Finding is one analyzer hit, formatted file:line:col style by
@@ -38,10 +48,18 @@ type Finding struct {
 	Analyzer string
 	Pos      token.Position
 	Message  string
+	// Trail, when non-empty, is the interprocedural path that makes the
+	// site relevant — for hotprop the call chain from the ew:hotpath
+	// root, for lockorder the acquisition paths around the cycle.
+	Trail []string
 }
 
 func (f Finding) String() string {
-	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+	s := fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+	if len(f.Trail) > 0 {
+		s += " (via " + strings.Join(f.Trail, " → ") + ")"
+	}
+	return s
 }
 
 // Package is one loaded, type-checked package: everything an analyzer
@@ -63,8 +81,10 @@ type Package struct {
 	Notes *Annotations
 }
 
-// Analyzer is one invariant check. Run must be stateless: the driver
-// may call it for many packages.
+// Analyzer is one invariant check's identity. Every analyzer also
+// implements exactly one of PackageAnalyzer (intra-procedural, sees one
+// package at a time) or ModuleAnalyzer (interprocedural, sees the whole
+// load at once and may consult the call graph).
 type Analyzer interface {
 	// Name is the short identifier used in findings and ew:allow tags.
 	Name() string
@@ -73,11 +93,29 @@ type Analyzer interface {
 	// Match reports whether the analyzer wants to see the package with
 	// the given import path (fixture paths under testdata always match).
 	Match(path string) bool
+}
+
+// PackageAnalyzer is an analyzer that reasons within function and
+// package boundaries. Run must be stateless: the driver may call it
+// for many packages.
+type PackageAnalyzer interface {
+	Analyzer
 	// Run analyzes one package and returns its findings.
 	Run(pkg *Package) []Finding
 }
 
-// Registry returns the full analyzer suite in stable order.
+// ModuleAnalyzer is an analyzer that reasons across packages — it
+// receives every loaded package that passed Match, plus the shared
+// module context (call graph) built over the full load.
+type ModuleAnalyzer interface {
+	Analyzer
+	// RunModule analyzes the whole module at once.
+	RunModule(mod *Module) []Finding
+}
+
+// Registry returns the full analyzer suite in stable order:
+// intra-procedural analyzers first, then the interprocedural layer
+// (callgraph, hotprop, lockorder) that builds on the call graph.
 func Registry() []Analyzer {
 	return []Analyzer{
 		Lockhold{},
@@ -85,20 +123,69 @@ func Registry() []Analyzer {
 		Floateq{},
 		Hotalloc{},
 		Goexit{},
+		Callgraph{},
+		Hotprop{},
+		Lockorder{},
 	}
 }
 
-// Run applies every matching analyzer to every package and returns the
-// findings sorted by position.
-func Run(pkgs []*Package, analyzers []Analyzer) []Finding {
-	var out []Finding
-	for _, pkg := range pkgs {
-		for _, a := range analyzers {
-			if !a.Match(pkg.Path) {
-				continue
-			}
-			out = append(out, a.Run(pkg)...)
+// Fast filters analyzers down to the intra-procedural subset — the
+// inner-loop `make lint-fast` gate, which skips the module-wide
+// type-graph construction the interprocedural layer needs.
+func Fast(analyzers []Analyzer) []Analyzer {
+	var out []Analyzer
+	for _, a := range analyzers {
+		if _, ok := a.(PackageAnalyzer); ok {
+			out = append(out, a)
 		}
+	}
+	return out
+}
+
+// Timing records one analyzer's aggregate work during a run.
+type Timing struct {
+	Analyzer string
+	// Packages counts how many loaded packages passed Match — the tree
+	// gate test asserts this is non-zero for every registered analyzer.
+	Packages int
+	Duration time.Duration
+}
+
+// Run applies every matching analyzer and returns the findings sorted
+// by position.
+func Run(pkgs []*Package, analyzers []Analyzer) []Finding {
+	findings, _ := RunTimed(pkgs, analyzers)
+	return findings
+}
+
+// RunTimed is Run plus per-analyzer wall time, in registry order.
+func RunTimed(pkgs []*Package, analyzers []Analyzer) ([]Finding, []Timing) {
+	mod := NewModule(pkgs)
+	var out []Finding
+	timings := make([]Timing, 0, len(analyzers))
+	for _, a := range analyzers {
+		start := time.Now()
+		matched := 0
+		switch a := a.(type) {
+		case PackageAnalyzer:
+			for _, pkg := range pkgs {
+				if !a.Match(pkg.Path) {
+					continue
+				}
+				matched++
+				out = append(out, a.Run(pkg)...)
+			}
+		case ModuleAnalyzer:
+			for _, pkg := range pkgs {
+				if a.Match(pkg.Path) {
+					matched++
+				}
+			}
+			if matched > 0 {
+				out = append(out, a.RunModule(mod)...)
+			}
+		}
+		timings = append(timings, Timing{Analyzer: a.Name(), Packages: matched, Duration: time.Since(start)})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -113,7 +200,7 @@ func Run(pkgs []*Package, analyzers []Analyzer) []Finding {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return out
+	return out, timings
 }
 
 // isFixturePath reports whether path points into the analyzer fixture

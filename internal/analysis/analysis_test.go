@@ -97,7 +97,10 @@ func contains(s, sub string) bool {
 
 // TestModuleClean loads the whole module and asserts the suite reports
 // nothing: the tree must stay annotation-clean, exactly as `make lint`
-// requires.
+// requires. It also asserts, via the timing report, that every
+// registered analyzer actually ran against at least one module package
+// — a Match predicate that silently stopped matching would otherwise
+// turn this test into a no-op for that analyzer.
 func TestModuleClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-module type-check is slow; run without -short")
@@ -110,7 +113,19 @@ func TestModuleClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, f := range analysis.Run(pkgs, analysis.Registry()) {
+	findings, timings := analysis.RunTimed(pkgs, analysis.Registry())
+	for _, f := range findings {
 		t.Errorf("%s", f)
+	}
+	ran := make(map[string]int)
+	for _, tm := range timings {
+		ran[tm.Analyzer] = tm.Packages
+	}
+	for _, a := range analysis.Registry() {
+		if n, ok := ran[a.Name()]; !ok {
+			t.Errorf("analyzer %s produced no timing entry: it never ran", a.Name())
+		} else if n == 0 {
+			t.Errorf("analyzer %s matched zero module packages: this test no longer covers it", a.Name())
+		}
 	}
 }

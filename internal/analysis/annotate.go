@@ -24,7 +24,7 @@ func NewAnnotations(fset *token.FileSet, files []*ast.File) *Annotations {
 			for _, c := range cg.List {
 				text := c.Text
 				idx := strings.Index(text, "ew:")
-				if idx < 0 {
+				if idx < 0 || !directiveStart(text, idx) {
 					continue
 				}
 				body := strings.TrimSpace(text[idx+len("ew:"):])
@@ -54,6 +54,19 @@ func NewAnnotations(fset *token.FileSet, files []*ast.File) *Annotations {
 		}
 	}
 	return a
+}
+
+// directiveStart reports whether the "ew:" at text[idx:] begins the
+// comment's content — only the comment marker and whitespace may
+// precede it. Mentions of the grammar in prose ("use ew:exact", or an
+// indented `// ew:coldcall` example inside a doc comment) are not
+// directives; a trailing-comment directive like `x() // ew:coldcall`
+// still qualifies because the statement is not part of c.Text.
+func directiveStart(text string, idx int) bool {
+	lead := text[:idx]
+	lead = strings.TrimPrefix(lead, "//")
+	lead = strings.TrimPrefix(lead, "/*")
+	return strings.TrimLeft(lead, " \t") == ""
 }
 
 // at returns the directives on the given file line.
@@ -89,6 +102,38 @@ func (a *Annotations) Allowed(pos token.Pos, analyzer string) bool {
 	})
 }
 
+// Coldcall reports whether the call site at pos carries `ew:coldcall`,
+// optionally followed by prose ("ew:coldcall — once per session"). The
+// hotprop analyzer does not propagate heat through such an edge.
+func (a *Annotations) Coldcall(pos token.Pos) bool {
+	return a.onOrAbove(pos, func(tag string) bool {
+		rest, found := strings.CutPrefix(tag, "coldcall")
+		return found && (rest == "" || rest[0] == ' ' || rest[0] == ':' || rest[0] == '(')
+	})
+}
+
+// ColdcallLines lists every (file, line) carrying an `ew:coldcall`
+// directive, so the callgraph analyzer can flag stale annotations that
+// no longer sit on a call site.
+func (a *Annotations) ColdcallLines() map[string]map[int]bool {
+	out := make(map[string]map[int]bool)
+	for file, byLine := range a.tags {
+		for line, tags := range byLine {
+			for _, tag := range tags {
+				rest, found := strings.CutPrefix(tag, "coldcall")
+				if !found || !(rest == "" || rest[0] == ' ' || rest[0] == ':' || rest[0] == '(') {
+					continue
+				}
+				if out[file] == nil {
+					out[file] = make(map[int]bool)
+				}
+				out[file][line] = true
+			}
+		}
+	}
+	return out
+}
+
 // Exact reports whether the comparison at pos carries `ew:exact`,
 // optionally followed by prose ("ew:exact (same sentinel)").
 func (a *Annotations) Exact(pos token.Pos) bool {
@@ -107,7 +152,7 @@ func docDirective(doc *ast.CommentGroup, keyword string) ([]string, bool) {
 	for _, c := range doc.List {
 		text := c.Text
 		idx := strings.Index(text, "ew:"+keyword)
-		if idx < 0 {
+		if idx < 0 || !directiveStart(text, idx) {
 			continue
 		}
 		rest := text[idx+len("ew:")+len(keyword):]

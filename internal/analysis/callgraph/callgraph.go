@@ -1,0 +1,476 @@
+// Package callgraph builds a conservative, module-wide static call
+// graph from go/types information — no SSA, no external dependencies.
+// It is the substrate the interprocedural analyzers (hotprop,
+// lockorder) walk: every way control can plausibly flow from one
+// in-module function into another becomes an edge.
+//
+// Resolution rules, most precise first:
+//
+//   - Direct calls to named functions and methods resolve statically.
+//   - Interface method calls resolve by method-set matching: an edge is
+//     added to M's implementation on every in-module concrete type
+//     whose (pointer) method set satisfies the interface. Dispatch to
+//     out-of-module concrete types is invisible (soundness caveat).
+//   - A function literal is its own node. A literal that is called
+//     where it appears gets a plain call edge; a literal that escapes
+//     (assigned, passed, returned) gets a *ref* edge from the enclosing
+//     function, treating creation as a possible call — conservative
+//     for reachability, since the creator cannot be proven not to run
+//     it.
+//   - A bound-method value (`x.M` without a call) likewise gets a ref
+//     edge to M at the site of the value's creation.
+//   - `go` statements produce edges tagged KindGo so order-sensitive
+//     clients (lockorder) can skip them; `defer` runs on the same
+//     goroutine and stays a plain edge.
+//
+// Reflection and assembly stubs are out of scope: a call that reaches
+// a function only via reflect.Value.Call is not an edge.
+package callgraph
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Unit is one loaded, type-checked package — the minimal slice of the
+// loader's output the builder needs. The analysis package adapts its
+// *Package to this.
+type Unit struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Info  *types.Info
+}
+
+// EdgeKind classifies how control reaches the callee.
+type EdgeKind int
+
+const (
+	// KindStatic is a direct call to a named function or method.
+	KindStatic EdgeKind = iota
+	// KindInterface is an interface-dispatch edge resolved by
+	// method-set matching against in-module concrete types.
+	KindInterface
+	// KindRef marks a function value escaping at its creation site (a
+	// function literal or bound method not immediately called); the
+	// enclosing function is conservatively assumed to run it.
+	KindRef
+	// KindGo is a call made by a `go` statement: reachable, but on a
+	// fresh goroutine.
+	KindGo
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case KindStatic:
+		return "static"
+	case KindInterface:
+		return "interface"
+	case KindRef:
+		return "ref"
+	case KindGo:
+		return "go"
+	}
+	return fmt.Sprintf("EdgeKind(%d)", int(k))
+}
+
+// Node is one function in the graph: either a declared function/method
+// (Func non-nil; Decl non-nil when the body is in-module) or a
+// function literal (Lit non-nil).
+type Node struct {
+	Func *types.Func   // nil for literals
+	Decl *ast.FuncDecl // body of an in-module named function
+	Lit  *ast.FuncLit  // body of a literal
+	Unit *Unit         // package the body lives in (nil if out-of-module)
+}
+
+// Body returns the statement block the node executes, or nil when the
+// function's body is outside the module.
+func (n *Node) Body() *ast.BlockStmt {
+	switch {
+	case n.Lit != nil:
+		return n.Lit.Body
+	case n.Decl != nil:
+		return n.Decl.Body
+	}
+	return nil
+}
+
+// Name renders a short, human-readable identity: "Stream.Feed" for
+// methods, "Extract" for functions, "func@file:line" for literals.
+func (n *Node) Name() string {
+	if n.Lit != nil {
+		pos := n.Unit.Fset.Position(n.Lit.Pos())
+		return fmt.Sprintf("func@%s:%d", shortFile(pos.Filename), pos.Line)
+	}
+	f := n.Func
+	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return named.Obj().Name() + "." + f.Name()
+		}
+	}
+	return f.Name()
+}
+
+// FullName qualifies Name with the defining package path for
+// cross-package unambiguity in messages and JSON trails.
+func (n *Node) FullName() string {
+	if n.Lit != nil {
+		return n.Name()
+	}
+	if pkg := n.Func.Pkg(); pkg != nil {
+		return pkg.Path() + "." + n.Name()
+	}
+	return n.Name()
+}
+
+func shortFile(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}
+
+// Edge is one possible transfer of control.
+type Edge struct {
+	Caller *Node
+	Callee *Node
+	// Site is the call expression, go statement argument, or escaping
+	// function-value expression that created the edge.
+	Site ast.Node
+	Kind EdgeKind
+}
+
+// Pos returns the edge site's position.
+func (e *Edge) Pos() token.Position { return e.Caller.Unit.Fset.Position(e.Site.Pos()) }
+
+// Graph is the whole-module call graph.
+type Graph struct {
+	// funcs maps a named function's canonical object to its node.
+	funcs map[*types.Func]*Node
+	// lits maps literal bodies to their nodes.
+	lits map[*ast.FuncLit]*Node
+	// out lists each node's outgoing edges in source order.
+	out map[*Node][]*Edge
+}
+
+// NodeFor returns the graph node for a named function, or nil when the
+// function was never seen (out-of-module and never called).
+func (g *Graph) NodeFor(f *types.Func) *Node {
+	if f == nil {
+		return nil
+	}
+	return g.funcs[canonical(f)]
+}
+
+// LitNode returns the node for a function literal.
+func (g *Graph) LitNode(lit *ast.FuncLit) *Node { return g.lits[lit] }
+
+// Out returns n's outgoing edges in source order.
+func (g *Graph) Out(n *Node) []*Edge { return g.out[n] }
+
+// Nodes returns every node with an in-module body, sorted by position
+// for deterministic iteration.
+func (g *Graph) Nodes() []*Node {
+	var out []*Node
+	for _, n := range g.funcs {
+		if n.Body() != nil {
+			out = append(out, n)
+		}
+	}
+	for _, n := range g.lits {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		ap, bp := a.Unit.Fset.Position(a.Body().Pos()), b.Unit.Fset.Position(b.Body().Pos())
+		if ap.Filename != bp.Filename {
+			return ap.Filename < bp.Filename
+		}
+		return ap.Offset < bp.Offset
+	})
+	return out
+}
+
+// canonical strips generic instantiation so every instantiation of one
+// declaration shares a node.
+func canonical(f *types.Func) *types.Func { return f.Origin() }
+
+// builder carries construction state.
+type builder struct {
+	g *Graph
+	// concrete lists every in-module non-interface named type, the
+	// candidate set for interface dispatch.
+	concrete []*types.Named
+}
+
+// Build constructs the graph over the given units (normally the whole
+// module; fixture tests pass a single package).
+func Build(units []*Unit) *Graph {
+	b := &builder{g: &Graph{
+		funcs: make(map[*types.Func]*Node),
+		lits:  make(map[*ast.FuncLit]*Node),
+		out:   make(map[*Node][]*Edge),
+	}}
+
+	// Pass 1: nodes for every declared function, and the concrete-type
+	// universe for interface dispatch.
+	for _, u := range units {
+		for _, file := range u.Files {
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				obj, ok := u.Info.Defs[fn.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				b.g.funcs[canonical(obj)] = &Node{Func: canonical(obj), Decl: fn, Unit: u}
+			}
+		}
+		for _, obj := range u.Info.Defs {
+			tn, ok := obj.(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok || types.IsInterface(named) {
+				continue
+			}
+			b.concrete = append(b.concrete, named)
+		}
+	}
+	// Deterministic dispatch order regardless of map iteration.
+	sort.Slice(b.concrete, func(i, j int) bool {
+		a, c := b.concrete[i].Obj(), b.concrete[j].Obj()
+		if a.Pkg().Path() != c.Pkg().Path() {
+			return a.Pkg().Path() < c.Pkg().Path()
+		}
+		return a.Name() < c.Name()
+	})
+
+	// Pass 2: edges out of every body.
+	for _, u := range units {
+		for _, file := range u.Files {
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				obj, ok := u.Info.Defs[fn.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				b.walkBody(b.g.funcs[canonical(obj)], u, fn.Body)
+			}
+		}
+	}
+	return b.g
+}
+
+// nodeForCallee interns a node for a named callee that may live
+// outside the loaded units (stdlib): such nodes have no body and no
+// outgoing edges, but still appear as targets.
+func (b *builder) nodeForCallee(f *types.Func) *Node {
+	f = canonical(f)
+	if n, ok := b.g.funcs[f]; ok {
+		return n
+	}
+	n := &Node{Func: f}
+	b.g.funcs[f] = n
+	return n
+}
+
+// walkBody scans one function body for edges. Function literals are
+// registered as their own nodes and their bodies walked under the
+// literal node, so lock- and loop-context never leaks across the
+// closure boundary in clients.
+func (b *builder) walkBody(caller *Node, u *Unit, body *ast.BlockStmt) {
+	var walk func(n ast.Node, inGo bool)
+	walk = func(n ast.Node, inGo bool) {
+		ast.Inspect(n, func(c ast.Node) bool {
+			switch c := c.(type) {
+			case *ast.GoStmt:
+				// The spawned call's edges (and any literal defined in the
+				// arguments) are tagged KindGo.
+				walk(c.Call, true)
+				return false
+			case *ast.FuncLit:
+				lit := b.litNode(c, u)
+				b.addEdge(caller, lit, c, refKind(inGo))
+				b.walkBody(lit, u, c.Body)
+				return false
+			case *ast.CallExpr:
+				b.call(caller, u, c, inGo)
+				// Recurse manually: the call's own Fun selector/literal must
+				// not double as an escaping function value, but nested
+				// expressions inside it still can.
+				switch fun := ast.Unparen(c.Fun).(type) {
+				case *ast.FuncLit:
+					litNode := b.litNode(fun, u)
+					b.addEdge(caller, litNode, c, callKind(inGo))
+					b.walkBody(litNode, u, fun.Body)
+				case *ast.SelectorExpr:
+					walk(fun.X, inGo)
+				case *ast.Ident:
+					// nothing nested
+				default:
+					walk(c.Fun, inGo)
+				}
+				for _, a := range c.Args {
+					walk(a, inGo)
+				}
+				return false
+			case *ast.SelectorExpr:
+				b.methodValue(caller, u, c, inGo)
+				return true
+			}
+			return true
+		})
+	}
+	walk(body, false)
+}
+
+func (b *builder) litNode(lit *ast.FuncLit, u *Unit) *Node {
+	if n, ok := b.g.lits[lit]; ok {
+		return n
+	}
+	n := &Node{Lit: lit, Unit: u}
+	b.g.lits[lit] = n
+	return n
+}
+
+func refKind(inGo bool) EdgeKind {
+	if inGo {
+		return KindGo
+	}
+	return KindRef
+}
+
+func callKind(inGo bool) EdgeKind {
+	if inGo {
+		return KindGo
+	}
+	return KindStatic
+}
+
+// call resolves one call expression to zero or more edges.
+func (b *builder) call(caller *Node, u *Unit, call *ast.CallExpr, inGo bool) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := u.Info.Uses[fun].(*types.Func); ok {
+			b.addEdge(caller, b.nodeForCallee(f), call, callKind(inGo))
+		}
+		// A call through a plain function-typed variable stays
+		// unresolved here; the creation-site ref edge covers the targets.
+	case *ast.SelectorExpr:
+		sel := u.Info.Selections[fun]
+		if sel == nil {
+			// Package-qualified call (pkg.Func).
+			if f, ok := u.Info.Uses[fun.Sel].(*types.Func); ok {
+				b.addEdge(caller, b.nodeForCallee(f), call, callKind(inGo))
+			}
+			return
+		}
+		if sel.Kind() != types.MethodVal {
+			return // field of function type: covered by the ref edge at creation
+		}
+		f, ok := sel.Obj().(*types.Func)
+		if !ok {
+			return
+		}
+		if types.IsInterface(sel.Recv()) {
+			b.dispatch(caller, sel.Recv(), f, call, inGo)
+			return
+		}
+		b.addEdge(caller, b.nodeForCallee(f), call, callKind(inGo))
+	}
+}
+
+// dispatch adds interface-dispatch edges: the callee set is every
+// in-module concrete type implementing the receiver interface, via the
+// method matching f's name.
+func (b *builder) dispatch(caller *Node, recv types.Type, f *types.Func, site ast.Node, inGo bool) {
+	iface, ok := recv.Underlying().(*types.Interface)
+	if !ok {
+		return
+	}
+	kind := KindInterface
+	if inGo {
+		kind = KindGo
+	}
+	for _, named := range b.concrete {
+		var impl types.Type = named
+		if !types.Implements(impl, iface) {
+			impl = types.NewPointer(named)
+			if !types.Implements(impl, iface) {
+				continue
+			}
+		}
+		obj, _, _ := types.LookupFieldOrMethod(impl, true, f.Pkg(), f.Name())
+		m, ok := obj.(*types.Func)
+		if !ok {
+			continue
+		}
+		b.addEdge(caller, b.nodeForCallee(m), site, kind)
+	}
+}
+
+// methodValue adds a ref edge when a method is mentioned without being
+// called (a bound-method value like `s.handleFrame` passed elsewhere).
+func (b *builder) methodValue(caller *Node, u *Unit, sel *ast.SelectorExpr, inGo bool) {
+	s := u.Info.Selections[sel]
+	if s == nil || s.Kind() != types.MethodVal {
+		return
+	}
+	// The walk never routes a call's own Fun selector here, so any
+	// MethodVal arriving escaped as a value.
+	f, ok := s.Obj().(*types.Func)
+	if !ok {
+		return
+	}
+	if types.IsInterface(s.Recv()) {
+		// A bound interface-method value: conservative dispatch ref.
+		b.dispatchRef(caller, s.Recv(), f, sel, inGo)
+		return
+	}
+	b.addEdge(caller, b.nodeForCallee(f), sel, refKind(inGo))
+}
+
+func (b *builder) dispatchRef(caller *Node, recv types.Type, f *types.Func, site ast.Node, inGo bool) {
+	iface, ok := recv.Underlying().(*types.Interface)
+	if !ok {
+		return
+	}
+	kind := KindRef
+	if inGo {
+		kind = KindGo
+	}
+	for _, named := range b.concrete {
+		var impl types.Type = named
+		if !types.Implements(impl, iface) {
+			impl = types.NewPointer(named)
+			if !types.Implements(impl, iface) {
+				continue
+			}
+		}
+		obj, _, _ := types.LookupFieldOrMethod(impl, true, f.Pkg(), f.Name())
+		if m, ok := obj.(*types.Func); ok {
+			b.addEdge(caller, b.nodeForCallee(m), site, kind)
+		}
+	}
+}
+
+func (b *builder) addEdge(caller, callee *Node, site ast.Node, kind EdgeKind) {
+	b.g.out[caller] = append(b.g.out[caller], &Edge{Caller: caller, Callee: callee, Site: site, Kind: kind})
+}

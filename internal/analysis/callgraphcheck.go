@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"go/token"
+)
+
+// Callgraph forces construction of the module-wide call graph and
+// validates the annotations that parameterize it: an `ew:coldcall`
+// directive must sit on (or directly above) a line that actually
+// carries an outgoing call edge, otherwise the opt-out is stale — the
+// call it used to cool was moved or deleted, and heat may now be
+// propagating where the author believed it was cut.
+//
+// Running it first in the registry also means a later analyzer crash
+// in graph construction surfaces under this analyzer's name, where it
+// belongs.
+type Callgraph struct{}
+
+func (Callgraph) Name() string { return "callgraph" }
+func (Callgraph) Doc() string {
+	return "module call-graph construction; flags stale ew:coldcall annotations off any call edge"
+}
+
+// Match accepts every package: the graph is module-wide by definition.
+func (Callgraph) Match(path string) bool { return true }
+
+func (c Callgraph) RunModule(mod *Module) []Finding {
+	g := mod.Graph()
+
+	// Every line with an outgoing edge, per file: a coldcall directive
+	// is live if an edge site sits on its line or the line below (the
+	// directive may be written above the call).
+	edgeLines := make(map[string]map[int]bool)
+	for _, n := range g.Nodes() {
+		for _, e := range g.Out(n) {
+			pos := e.Pos()
+			if edgeLines[pos.Filename] == nil {
+				edgeLines[pos.Filename] = make(map[int]bool)
+			}
+			edgeLines[pos.Filename][pos.Line] = true
+		}
+	}
+
+	var out []Finding
+	for _, pkg := range mod.Pkgs {
+		for file, lines := range pkg.Notes.ColdcallLines() {
+			for line := range lines {
+				if edgeLines[file][line] || edgeLines[file][line+1] {
+					continue
+				}
+				out = append(out, Finding{
+					Analyzer: c.Name(),
+					Pos:      token.Position{Filename: file, Line: line, Column: 1},
+					Message:  "stale ew:coldcall: no call edge on this line or the next",
+				})
+			}
+		}
+	}
+	return out
+}

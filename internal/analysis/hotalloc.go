@@ -64,9 +64,11 @@ func (h Hotalloc) walk(pkg *Package, n ast.Node, inLoop bool, report func(ast.No
 		h.walk(pkg, n.Body, true, report)
 		return
 	case *ast.IfStmt:
-		if isErrCheck(pkg, n.Cond) {
+		if isErrCheck(pkg, n.Cond) || isErrReturn(pkg, n.Body) {
 			// Cold error path: allocations building the error are fine,
-			// but the fallthrough after the if is still hot.
+			// but the fallthrough after the if is still hot. The condition
+			// itself still runs per iteration, so it stays audited.
+			h.walk(pkg, n.Cond, inLoop, report)
 			h.walk(pkg, n.Else, inLoop, report)
 			return
 		}
@@ -143,13 +145,41 @@ func isErrCheck(pkg *Package, cond ast.Expr) bool {
 	}
 	isErr := func(e ast.Expr) bool {
 		t := pkg.Info.Types[e].Type
-		if t == nil {
-			return false
-		}
-		named, ok := t.(*types.Named)
-		return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+		return t != nil && isErrorType(t)
 	}
 	return isErr(bin.X) || isErr(bin.Y)
+}
+
+// isErrReturn matches branch bodies that are exactly one return
+// statement handing back a freshly constructed error (a fmt.Errorf /
+// errors.New call among the results) — validation-failure paths like
+// `if len(row) != cols { return 0, 0, fmt.Errorf(...) }`. Such a
+// branch is cold for the same reason an `if err != nil` body is: it
+// runs at most once per call, after which the function is done.
+func isErrReturn(pkg *Package, body *ast.BlockStmt) bool {
+	if body == nil || len(body.List) != 1 {
+		return false
+	}
+	ret, ok := body.List[0].(*ast.ReturnStmt)
+	if !ok {
+		return false
+	}
+	for _, res := range ret.Results {
+		call, ok := ast.Unparen(res).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if t := pkg.Info.Types[call].Type; t != nil && isErrorType(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// isErrorType reports whether t is the universe error type.
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
 }
 
 // children invokes f on each direct child node of n.

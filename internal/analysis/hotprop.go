@@ -1,0 +1,245 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+
+	"repro/internal/analysis/callgraph"
+)
+
+// Hotprop propagates `// ew:hotpath` heat through the module call
+// graph: every function transitively reachable from an annotated root
+// is audited with hotalloc's loop-allocation checks and lockhold's
+// blocking-while-locked checks, and each finding carries the call
+// trail that makes the site hot ("reached via Feed → process →
+// columnsInto").
+//
+// Propagation is conservative — it follows static calls, interface
+// dispatch (in-module implementors), `go` statements, and escaping
+// function values. Two opt-outs cut it:
+//
+//   - `// ew:coldcall` on a call site stops propagation through that
+//     edge (the callee runs on an error path or once per session, not
+//     per column). The callgraph analyzer flags stale coldcalls.
+//   - `// ew:allow hotprop` on a finding site suppresses that one
+//     finding, with a justifying comment.
+//
+// One allocation shape is exempt by policy rather than annotation: the
+// builder idiom `dst = append(dst, ...)` where dst is a slice
+// parameter of the enclosing function that is also returned. The
+// caller owns the backing array and amortizes its growth (the metrics
+// exposition encoders are built on this), so the append is not a
+// per-iteration allocation attributable to the callee.
+//
+// Functions annotated ew:hotpath themselves are skipped here: hotalloc
+// already audits them directly, and one finding per site is enough.
+type Hotprop struct{}
+
+func (Hotprop) Name() string { return "hotprop" }
+func (Hotprop) Doc() string {
+	return "hotalloc/lockhold checks propagated through the call graph from ew:hotpath roots"
+}
+
+// Match accepts every package: reachability, not location, decides
+// what is audited.
+func (Hotprop) Match(path string) bool { return true }
+
+// hotReach is one reachable function plus the shortest call trail from
+// a hot root to it.
+type hotReach struct {
+	node  *callgraph.Node
+	trail []string
+}
+
+func (h Hotprop) RunModule(mod *Module) []Finding {
+	g := mod.Graph()
+
+	// Roots: every declared function whose doc carries ew:hotpath.
+	var queue []hotReach
+	seen := make(map[*callgraph.Node]bool)
+	for _, n := range g.Nodes() {
+		if n.Decl == nil || !IsHotpath(n.Decl) {
+			continue
+		}
+		seen[n] = true
+		queue = append(queue, hotReach{node: n, trail: []string{n.Name()}})
+	}
+
+	// BFS: shortest trail wins; deterministic because Nodes() and Out()
+	// are source-ordered.
+	var reached []hotReach
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		pkg := mod.PackageFor(cur.node)
+		for _, e := range g.Out(cur.node) {
+			if seen[e.Callee] || e.Callee.Body() == nil {
+				continue
+			}
+			if pkg != nil && pkg.Notes.Coldcall(e.Site.Pos()) {
+				continue
+			}
+			seen[e.Callee] = true
+			trail := append(append([]string{}, cur.trail...), e.Callee.Name())
+			next := hotReach{node: e.Callee, trail: trail}
+			reached = append(reached, next)
+			queue = append(queue, next)
+		}
+	}
+	// Audit order: source order of the reached bodies.
+	sort.Slice(reached, func(i, j int) bool {
+		a, b := reached[i], reached[j]
+		ap := a.node.Unit.Fset.Position(a.node.Body().Pos())
+		bp := b.node.Unit.Fset.Position(b.node.Body().Pos())
+		if ap.Filename != bp.Filename {
+			return ap.Filename < bp.Filename
+		}
+		return ap.Offset < bp.Offset
+	})
+
+	var out []Finding
+	for _, r := range reached {
+		pkg := mod.PackageFor(r.node)
+		if pkg == nil {
+			continue
+		}
+		// Hotpath-annotated callees are hotalloc's direct responsibility.
+		if r.node.Decl != nil && IsHotpath(r.node.Decl) {
+			continue
+		}
+		out = append(out, h.audit(mod, pkg, r)...)
+	}
+	return out
+}
+
+// builderAppend recognizes the exempt builder idiom: an append whose
+// destination is a slice parameter of the audited function, which also
+// returns that slice type. The caller supplied (and re-receives) the
+// backing array, so its growth amortizes across calls at the caller's
+// discretion rather than allocating per iteration here.
+func builderAppend(pkg *Package, node *callgraph.Node, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if b, ok := pkg.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	if len(call.Args) == 0 {
+		return false
+	}
+	dst, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	v, ok := pkg.Info.Uses[dst].(*types.Var)
+	if !ok {
+		return false
+	}
+	if _, ok := v.Type().Underlying().(*types.Slice); !ok {
+		return false
+	}
+	sig := nodeSignature(pkg, node)
+	if sig == nil {
+		return false
+	}
+	isParam := false
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sig.Params().At(i) == v {
+			isParam = true
+			break
+		}
+	}
+	if !isParam {
+		return false
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if types.Identical(sig.Results().At(i).Type(), v.Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// nodeSignature recovers the types.Signature of a graph node's
+// function, declared or literal.
+func nodeSignature(pkg *Package, n *callgraph.Node) *types.Signature {
+	if n.Func != nil {
+		if sig, ok := n.Func.Type().(*types.Signature); ok {
+			return sig
+		}
+	}
+	if n.Lit != nil {
+		if tv, ok := pkg.Info.Types[n.Lit]; ok {
+			if sig, ok := tv.Type.(*types.Signature); ok {
+				return sig
+			}
+		}
+	}
+	return nil
+}
+
+// audit runs the intra-procedural hot checks over one reachable body.
+func (h Hotprop) audit(mod *Module, pkg *Package, r hotReach) []Finding {
+	var out []Finding
+	report := func(n ast.Node, msg string) {
+		if pkg.Notes.Allowed(n.Pos(), h.Name()) {
+			return
+		}
+		if call, ok := n.(*ast.CallExpr); ok && builderAppend(pkg, r.node, call) {
+			return
+		}
+		out = append(out, Finding{
+			Analyzer: h.Name(),
+			Pos:      posOf(pkg, n.Pos()),
+			Message:  msg,
+			Trail:    r.trail,
+		})
+	}
+
+	body := r.node.Body()
+
+	// hotalloc's checks: allocations inside loops of the hot body. The
+	// body is audited exactly as if it carried ew:hotpath itself.
+	Hotalloc{}.walk(pkg, body, false, report)
+
+	// lockhold's checks: blocking operations while a mutex is held.
+	// Packages lockhold itself matches are skipped — the direct analyzer
+	// already reports there, and a second finding with a trail would be
+	// noise on the same line.
+	if (Lockhold{}).Match(pkg.Path) {
+		return out
+	}
+	var seed []string
+	if r.node.Decl != nil {
+		seed = HeldOnEntry(r.node.Decl)
+	}
+	walkHeldBody(pkg, body, seed, false, func(n ast.Node, held heldSet) {
+		if len(held) == 0 {
+			return
+		}
+		if sel, ok := n.(*ast.SelectStmt); ok {
+			if !hasDefaultClause(sel.Body) {
+				report(sel, "select with no default may block while holding "+held.String())
+			}
+			return
+		}
+		inspectNoFuncLit(n, func(c ast.Node) bool {
+			switch c := c.(type) {
+			case *ast.SendStmt:
+				report(c, "channel send may block while holding "+held.String())
+			case *ast.UnaryExpr:
+				if c.Op.String() == "<-" {
+					report(c, "channel receive may block while holding "+held.String())
+				}
+			case *ast.CallExpr:
+				if what, blocking := blockingCall(pkg, c); blocking {
+					report(c, what+" while holding "+held.String())
+				}
+			}
+			return true
+		})
+	})
+	return out
+}

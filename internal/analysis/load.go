@@ -10,21 +10,33 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
-// loader parses and type-checks module packages on demand. Imports of
-// module-internal paths recurse through the loader; stdlib imports fall
-// back to the source importer (the module has no external
-// dependencies, so those two cases are exhaustive).
+// loader parses and type-checks module packages. Imports of
+// module-internal paths resolve through the loader's package map (or
+// recurse, on the sequential fixture path); stdlib imports fall back
+// to the source importer (the module has no external dependencies, so
+// those two cases are exhaustive).
+//
+// The loader is safe for the concurrent type-check phase of
+// LoadModule: the shared token.FileSet synchronizes internally, pkgs
+// is guarded by pkgsMu, and the stdlib source importer — which makes
+// no concurrency promises — is serialized behind stdMu.
 type loader struct {
 	fset    *token.FileSet
 	modPath string
 	modRoot string
-	std     types.Importer
+
+	stdMu sync.Mutex // serializes std, which is not documented as concurrency-safe
+	std   types.Importer
+
+	pkgsMu  sync.RWMutex
 	pkgs    map[string]*Package // completed module packages by import path
-	loading map[string]bool     // import-cycle guard
+	loading map[string]bool     // import-cycle guard (sequential path only)
 }
 
 func newLoader(modRoot string) (*loader, error) {
@@ -76,9 +88,25 @@ func modulePath(root string) (string, error) {
 	return "", fmt.Errorf("analysis: no module line in %s/go.mod", root)
 }
 
+// parsedPkg is one package after the parse phase, before type-checking.
+type parsedPkg struct {
+	dir   string
+	path  string
+	files []*ast.File
+	deps  []string // module-internal imports
+}
+
 // LoadModule loads and type-checks every package in the module rooted
 // at modRoot, skipping testdata and hidden directories. Packages come
 // back sorted by import path.
+//
+// Loading runs in two phases. All package directories parse
+// concurrently (parsing touches only the FileSet, which is
+// concurrency-safe). Type-checking is then scheduled over the import
+// DAG extracted from the parsed files: a bounded worker pool checks
+// any package whose module-internal dependencies have completed, so
+// independent subtrees check in parallel while dependents wait exactly
+// as long as they must.
 func LoadModule(modRoot string) ([]*Package, error) {
 	l, err := newLoader(modRoot)
 	if err != nil {
@@ -104,16 +132,166 @@ func LoadModule(modRoot string) ([]*Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	var pkgs []*Package
-	for _, dir := range dirs {
-		pkg, err := l.loadDir(dir)
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(dirs) {
+		workers = len(dirs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	// Phase 1: parse every directory concurrently.
+	parsed := make([]*parsedPkg, len(dirs))
+	errs := make([]error, len(dirs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, dir := range dirs {
+		wg.Add(1)
+		go func(i int, dir string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			parsed[i], errs[i] = l.parseDir(dir)
+		}(i, dir)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		pkgs = append(pkgs, pkg)
 	}
+
+	if len(parsed) == 0 {
+		return nil, nil
+	}
+
+	byPath := make(map[string]*parsedPkg, len(parsed))
+	for _, p := range parsed {
+		byPath[p.path] = p
+	}
+	// Restrict deps to packages in this load; anything else resolves
+	// through the importer (stdlib).
+	indeg := make(map[string]int, len(parsed))
+	dependents := make(map[string][]*parsedPkg)
+	for _, p := range parsed {
+		for _, dep := range p.deps {
+			if _, ok := byPath[dep]; !ok {
+				continue
+			}
+			indeg[p.path]++
+			dependents[dep] = append(dependents[dep], p)
+		}
+	}
+	if err := checkAcyclic(parsed, indeg, dependents); err != nil {
+		return nil, err
+	}
+
+	// Phase 2: type-check in topological waves, bounded workers. The
+	// ready channel holds every package at most once, so sends under
+	// the lock never block.
+	ready := make(chan *parsedPkg, len(parsed))
+	var (
+		mu       sync.Mutex
+		firstErr error
+		done     int
+	)
+	abort := make(chan struct{})
+	for _, p := range parsed {
+		if indeg[p.path] == 0 {
+			ready <- p
+		}
+	}
+	var cwg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			for {
+				select {
+				case p, ok := <-ready:
+					if !ok {
+						return
+					}
+					if err := l.check(p); err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+							close(abort)
+						}
+						mu.Unlock()
+						return
+					}
+					mu.Lock()
+					done++
+					for _, d := range dependents[p.path] {
+						indeg[d.path]--
+						if indeg[d.path] == 0 {
+							ready <- d
+						}
+					}
+					if done == len(parsed) {
+						close(ready)
+					}
+					mu.Unlock()
+				case <-abort:
+					return
+				}
+			}
+		}()
+	}
+	cwg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	pkgs := make([]*Package, 0, len(parsed))
+	l.pkgsMu.RLock()
+	for _, p := range parsed {
+		pkgs = append(pkgs, l.pkgs[p.path])
+	}
+	l.pkgsMu.RUnlock()
 	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
 	return pkgs, nil
+}
+
+// checkAcyclic runs Kahn's algorithm over a copy of the indegree map:
+// if some package is unreachable from the zero-indegree frontier the
+// module import graph has a cycle, which would deadlock the scheduler.
+func checkAcyclic(parsed []*parsedPkg, indeg map[string]int, dependents map[string][]*parsedPkg) error {
+	left := make(map[string]int, len(indeg))
+	for k, v := range indeg {
+		left[k] = v
+	}
+	var frontier []string
+	for _, p := range parsed {
+		if left[p.path] == 0 {
+			frontier = append(frontier, p.path)
+		}
+	}
+	seen := 0
+	for len(frontier) > 0 {
+		path := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		seen++
+		for _, d := range dependents[path] {
+			left[d.path]--
+			if left[d.path] == 0 {
+				frontier = append(frontier, d.path)
+			}
+		}
+	}
+	if seen != len(parsed) {
+		var stuck []string
+		for _, p := range parsed {
+			if left[p.path] > 0 {
+				stuck = append(stuck, p.path)
+			}
+		}
+		sort.Strings(stuck)
+		return fmt.Errorf("analysis: import cycle among %s", strings.Join(stuck, ", "))
+	}
+	return nil
 }
 
 // LoadDir loads a single package directory (used by the fixture tests
@@ -154,22 +332,32 @@ func (l *loader) importPathFor(dir string) (string, error) {
 	return l.modPath + "/" + filepath.ToSlash(rel), nil
 }
 
-// Import implements types.Importer: module paths load recursively,
-// everything else is stdlib and defers to the source importer.
+// Import implements types.Importer: module paths come from the package
+// map (already checked, on the parallel path, because the scheduler
+// orders dependencies first) or load recursively on the sequential
+// path; everything else is stdlib and defers to the source importer.
 func (l *loader) Import(path string) (*types.Package, error) {
 	if pathIsIn(path, l.modPath) {
+		l.pkgsMu.RLock()
+		pkg, ok := l.pkgs[path]
+		l.pkgsMu.RUnlock()
+		if ok {
+			return pkg.Types, nil
+		}
 		pkg, err := l.loadDir(filepath.Join(l.modRoot, filepath.FromSlash(strings.TrimPrefix(path, l.modPath))))
 		if err != nil {
 			return nil, err
 		}
 		return pkg.Types, nil
 	}
+	l.stdMu.Lock()
+	defer l.stdMu.Unlock()
 	return l.std.Import(path)
 }
 
-// loadDir parses and type-checks one package directory, memoized by
-// import path.
-func (l *loader) loadDir(dir string) (*Package, error) {
+// parseDir parses one package directory's buildable Go files and
+// records its module-internal imports for the scheduler.
+func (l *loader) parseDir(dir string) (*parsedPkg, error) {
 	dir, err := filepath.Abs(dir)
 	if err != nil {
 		return nil, err
@@ -178,15 +366,6 @@ func (l *loader) loadDir(dir string) (*Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	if pkg, ok := l.pkgs[path]; ok {
-		return pkg, nil
-	}
-	if l.loading[path] {
-		return nil, fmt.Errorf("analysis: import cycle through %s", path)
-	}
-	l.loading[path] = true
-	defer delete(l.loading, path)
-
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -212,7 +391,25 @@ func (l *loader) loadDir(dir string) (*Package, error) {
 	if len(files) == 0 {
 		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
 	}
+	p := &parsedPkg{dir: dir, path: path, files: files}
+	depSet := make(map[string]bool)
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			ip := strings.Trim(imp.Path.Value, `"`)
+			if pathIsIn(ip, l.modPath) && !depSet[ip] {
+				depSet[ip] = true
+				p.deps = append(p.deps, ip)
+			}
+		}
+	}
+	sort.Strings(p.deps)
+	return p, nil
+}
 
+// check type-checks a parsed package and publishes it in the package
+// map. On the parallel path every module-internal dependency is
+// already in the map by scheduling order.
+func (l *loader) check(p *parsedPkg) error {
 	info := &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
 		Defs:       make(map[*ast.Ident]types.Object),
@@ -222,19 +419,59 @@ func (l *loader) loadDir(dir string) (*Package, error) {
 		Scopes:     make(map[ast.Node]*types.Scope),
 	}
 	conf := types.Config{Importer: l}
-	tpkg, err := conf.Check(path, l.fset, files, info)
+	tpkg, err := conf.Check(p.path, l.fset, p.files, info)
 	if err != nil {
-		return nil, fmt.Errorf("analysis: type-check %s: %w", path, err)
+		return fmt.Errorf("analysis: type-check %s: %w", p.path, err)
 	}
 	pkg := &Package{
-		Path:  path,
-		Dir:   dir,
+		Path:  p.path,
+		Dir:   p.dir,
 		Fset:  l.fset,
-		Files: files,
+		Files: p.files,
 		Types: tpkg,
 		Info:  info,
-		Notes: NewAnnotations(l.fset, files),
+		Notes: NewAnnotations(l.fset, p.files),
 	}
-	l.pkgs[path] = pkg
+	l.pkgsMu.Lock()
+	l.pkgs[p.path] = pkg
+	l.pkgsMu.Unlock()
+	return nil
+}
+
+// loadDir parses and type-checks one package directory, memoized by
+// import path — the sequential path used by LoadDir and recursive
+// fixture imports. It must only run single-goroutine (the loading
+// cycle guard is unsynchronized by design).
+func (l *loader) loadDir(dir string) (*Package, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	path, err := l.importPathFor(dir)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgsMu.RLock()
+	pkg, ok := l.pkgs[path]
+	l.pkgsMu.RUnlock()
+	if ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	p, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if err := l.check(p); err != nil {
+		return nil, err
+	}
+	l.pkgsMu.RLock()
+	pkg = l.pkgs[path]
+	l.pkgsMu.RUnlock()
 	return pkg, nil
 }

@@ -1,0 +1,56 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestLoadModuleDeterministic pins the contract the parallel loader
+// must keep: the package list (and each package's file set) is
+// identical run to run regardless of goroutine scheduling.
+func TestLoadModuleDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module type-check is slow; run without -short")
+	}
+	modRoot, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := analysis.LoadModule(modRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := analysis.LoadModule(modRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("package counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Path != b[i].Path {
+			t.Errorf("package %d: %s vs %s", i, a[i].Path, b[i].Path)
+		}
+		if len(a[i].Files) != len(b[i].Files) {
+			t.Errorf("%s: file counts differ: %d vs %d", a[i].Path, len(a[i].Files), len(b[i].Files))
+		}
+	}
+}
+
+// BenchmarkLoadModule pins the loader's wall time: the parse phase
+// fans out across packages and type-checking is scheduled over the
+// import DAG, so this is the number `make lint` pays before any
+// analyzer runs.
+func BenchmarkLoadModule(b *testing.B) {
+	modRoot, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := analysis.LoadModule(modRoot); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

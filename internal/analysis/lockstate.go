@@ -83,17 +83,30 @@ type lockWalker struct {
 }
 
 // WalkHeld applies the must-hold analysis to fn, seeding the held set
-// from any `ew:holds` directives on its doc comment.
+// from any `ew:holds` directives on its doc comment. Function literals
+// inside the body are walked afterwards with an empty held set.
 func WalkHeld(pkg *Package, fn *ast.FuncDecl, visit func(n ast.Node, held heldSet)) {
 	if fn.Body == nil {
 		return
 	}
+	walkHeldBody(pkg, fn.Body, HeldOnEntry(fn), true, visit)
+}
+
+// walkHeldBody is WalkHeld over an arbitrary body with an explicit
+// held-on-entry seed. When walkLits is false, function literals are
+// not walked at all — interprocedural clients (lockorder) visit each
+// literal as its own call-graph node instead, so a literal's
+// acquisitions attach to the literal, never to its creator.
+func walkHeldBody(pkg *Package, body *ast.BlockStmt, seed []string, walkLits bool, visit func(n ast.Node, held heldSet)) {
 	w := &lockWalker{pkg: pkg, visit: visit}
 	held := heldSet{}
-	for _, key := range HeldOnEntry(fn) {
+	for _, key := range seed {
 		held[key] = true
 	}
-	w.block(fn.Body.List, held, nil)
+	w.block(body.List, held, nil)
+	if !walkLits {
+		return
+	}
 	for len(w.funcLits) > 0 {
 		lit := w.funcLits[0]
 		w.funcLits = w.funcLits[1:]
@@ -330,6 +343,12 @@ func (w *lockWalker) recordBranch(s *ast.BranchStmt, held heldSet, ctxs []*break
 // sync.Mutex or sync.RWMutex, returning the flattened lock key and the
 // operation name.
 func (w *lockWalker) lockCall(call *ast.CallExpr) (key, op string, ok bool) {
+	return lockCallInfo(w.pkg, call)
+}
+
+// lockCallInfo is the package-level form of lockCall, shared with the
+// lockorder analyzer.
+func lockCallInfo(pkg *Package, call *ast.CallExpr) (key, op string, ok bool) {
 	sel, isSel := call.Fun.(*ast.SelectorExpr)
 	if !isSel {
 		return "", "", false
@@ -340,7 +359,7 @@ func (w *lockWalker) lockCall(call *ast.CallExpr) (key, op string, ok bool) {
 	default:
 		return "", "", false
 	}
-	selection := w.pkg.Info.Selections[sel]
+	selection := pkg.Info.Selections[sel]
 	if selection == nil || !isSyncMutex(selection.Recv()) {
 		return "", "", false
 	}

@@ -1,0 +1,59 @@
+package analysis
+
+import (
+	"go/token"
+
+	"repro/internal/analysis/callgraph"
+)
+
+// Module is the shared context ModuleAnalyzers run against: the full
+// set of loaded packages plus a lazily built, memoized call graph.
+// Building the graph once and handing it to every interprocedural
+// analyzer keeps the expanded suite's cost one graph construction, not
+// one per analyzer.
+type Module struct {
+	Pkgs []*Package
+
+	graph  *callgraph.Graph
+	byPath map[string]*Package
+}
+
+// NewModule wraps a loaded package set. The call graph is not built
+// until an analyzer asks for it.
+func NewModule(pkgs []*Package) *Module {
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	return &Module{Pkgs: pkgs, byPath: byPath}
+}
+
+// Graph returns the module-wide call graph, building it on first use.
+func (m *Module) Graph() *callgraph.Graph {
+	if m.graph == nil {
+		units := make([]*callgraph.Unit, len(m.Pkgs))
+		for i, p := range m.Pkgs {
+			units[i] = p.Unit()
+		}
+		m.graph = callgraph.Build(units)
+	}
+	return m.graph
+}
+
+// PackageFor resolves the loaded package a call-graph node's body lives
+// in, or nil for bodiless (out-of-module) nodes.
+func (m *Module) PackageFor(n *callgraph.Node) *Package {
+	if n == nil || n.Unit == nil {
+		return nil
+	}
+	return m.byPath[n.Unit.Path]
+}
+
+// Unit adapts a loaded package to the callgraph builder's input.
+func (p *Package) Unit() *callgraph.Unit {
+	return &callgraph.Unit{Path: p.Path, Fset: p.Fset, Files: p.Files, Info: p.Info}
+}
+
+// posOf returns the fset position of a node in pkg, a tiny helper the
+// interprocedural analyzers share.
+func posOf(pkg *Package, pos token.Pos) token.Position { return pkg.Fset.Position(pos) }

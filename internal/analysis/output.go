@@ -1,0 +1,52 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonFinding is the machine-readable shape of one finding, the
+// contract behind `ewvet -json`.
+type jsonFinding struct {
+	File     string   `json:"file"`
+	Line     int      `json:"line"`
+	Col      int      `json:"col"`
+	Analyzer string   `json:"analyzer"`
+	Message  string   `json:"message"`
+	Trail    []string `json:"trail,omitempty"`
+}
+
+// jsonReport is the top-level `ewvet -json` document.
+type jsonReport struct {
+	Packages  int           `json:"packages"`
+	Analyzers int           `json:"analyzers"`
+	Findings  []jsonFinding `json:"findings"`
+}
+
+// WriteJSON renders findings as indented JSON, stable across runs for
+// a given input (findings arrive sorted from Run).
+func WriteJSON(w io.Writer, findings []Finding, packages, analyzers int) error {
+	report := jsonReport{Packages: packages, Analyzers: analyzers, Findings: []jsonFinding{}}
+	for _, f := range findings {
+		report.Findings = append(report.Findings, jsonFinding{
+			File:     f.Pos.Filename,
+			Line:     f.Pos.Line,
+			Col:      f.Pos.Column,
+			Analyzer: f.Analyzer,
+			Message:  f.Message,
+			Trail:    f.Trail,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}
+
+// WriteTimings renders the `-timing` table: one line per analyzer in
+// registry order, with the matched-package count and wall time.
+func WriteTimings(w io.Writer, timings []Timing) {
+	for _, t := range timings {
+		fmt.Fprintf(w, "%-14s %3d pkg  %12s\n", t.Analyzer, t.Packages, t.Duration)
+	}
+}

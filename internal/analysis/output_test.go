@@ -1,0 +1,95 @@
+package analysis_test
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/analysis"
+)
+
+// TestWriteJSONGolden pins the exact `ewvet -json` document shape:
+// tooling that consumes the report (CI annotators, editors) parses
+// these field names and this layout, so any drift must be deliberate.
+func TestWriteJSONGolden(t *testing.T) {
+	findings := []analysis.Finding{
+		{
+			Analyzer: "hotprop",
+			Pos:      token.Position{Filename: "internal/dtw/dtw.go", Line: 126, Column: 13},
+			Message:  "append may grow its backing array inside hot loop",
+			Trail:    []string{"Stream.Feed", "Stream.process", "NearestN"},
+		},
+		{
+			Analyzer: "floateq",
+			Pos:      token.Position{Filename: "internal/dsp/filter.go", Line: 112, Column: 10},
+			Message:  "floating-point == comparison",
+		},
+	}
+	var buf strings.Builder
+	if err := analysis.WriteJSON(&buf, findings, 20, 8); err != nil {
+		t.Fatal(err)
+	}
+	const golden = `{
+  "packages": 20,
+  "analyzers": 8,
+  "findings": [
+    {
+      "file": "internal/dtw/dtw.go",
+      "line": 126,
+      "col": 13,
+      "analyzer": "hotprop",
+      "message": "append may grow its backing array inside hot loop",
+      "trail": [
+        "Stream.Feed",
+        "Stream.process",
+        "NearestN"
+      ]
+    },
+    {
+      "file": "internal/dsp/filter.go",
+      "line": 112,
+      "col": 10,
+      "analyzer": "floateq",
+      "message": "floating-point == comparison"
+    }
+  ]
+}
+`
+	if got := buf.String(); got != golden {
+		t.Errorf("JSON report drifted from golden.\ngot:\n%s\nwant:\n%s", got, golden)
+	}
+}
+
+// TestWriteJSONEmpty pins that a clean run still emits a well-formed
+// document with an empty findings array, not null.
+func TestWriteJSONEmpty(t *testing.T) {
+	var buf strings.Builder
+	if err := analysis.WriteJSON(&buf, nil, 20, 8); err != nil {
+		t.Fatal(err)
+	}
+	const golden = `{
+  "packages": 20,
+  "analyzers": 8,
+  "findings": []
+}
+`
+	if got := buf.String(); got != golden {
+		t.Errorf("empty JSON report drifted from golden.\ngot:\n%s\nwant:\n%s", got, golden)
+	}
+}
+
+// TestWriteTimingsGolden pins the `-timing` table layout.
+func TestWriteTimingsGolden(t *testing.T) {
+	timings := []analysis.Timing{
+		{Analyzer: "lockhold", Packages: 3, Duration: 1500 * time.Microsecond},
+		{Analyzer: "callgraph", Packages: 20, Duration: 250 * time.Millisecond},
+	}
+	var buf strings.Builder
+	analysis.WriteTimings(&buf, timings)
+	const golden = "lockhold         3 pkg         1.5ms\n" +
+		"callgraph       20 pkg         250ms\n"
+	if got := buf.String(); got != golden {
+		t.Errorf("timing table drifted from golden.\ngot:\n%q\nwant:\n%q", got, golden)
+	}
+}

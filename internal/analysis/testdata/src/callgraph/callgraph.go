@@ -1,0 +1,90 @@
+// Package callgraph is the golden fixture for call-graph construction:
+// interface dispatch via method-set matching, closures, bound methods,
+// go statements — plus the callgraph analyzer's stale-coldcall check.
+//
+// Edge expectations live in `edge`/`noedge` comments consumed by the
+// callgraph package's own test (both directions: an `edge` must exist,
+// a `noedge` must not); `want` comments are the analyzer findings
+// checked by TestAnalyzerFixtures.
+package callgraph
+
+// Ring is implemented by Bell (pointer receiver) and Gong (value
+// receiver) but NOT by Flute, whose Chime has the wrong signature.
+type Ring interface{ Chime() int }
+
+type Bell struct{ n int }
+
+func (b *Bell) Chime() int { return b.n }
+
+type Gong struct{}
+
+func (Gong) Chime() int { return 1 }
+
+type Flute struct{}
+
+func (Flute) Chime(octave int) int { return octave }
+
+// Sound dispatches through the interface: method-set matching must
+// resolve both in-module implementors and neither non-implementor.
+//
+// edge "Sound -> Bell.Chime interface"
+// edge "Sound -> Gong.Chime interface"
+// noedge "Sound -> Flute.Chime"
+func Sound(r Ring) int { return r.Chime() }
+
+// Direct calls resolve statically.
+//
+// edge "Direct -> Bell.Chime static"
+// noedge "Direct -> Gong.Chime"
+func Direct() int {
+	b := &Bell{n: 2}
+	return b.Chime()
+}
+
+// Closure: the literal escapes into a variable, giving the enclosing
+// function a ref edge to the literal; the literal's body calls Direct.
+//
+// edge "Closures -> lit ref"
+// edge "lit -> Direct static"
+func Closures() int {
+	f := func() int { return Direct() }
+	return f()
+}
+
+// Immediate: a literal called where it appears is a plain call edge.
+//
+// edge "Immediate -> lit static"
+func Immediate() int {
+	return func() int { return Sound(Gong{}) }()
+}
+
+// Bound method value: `g.Chime` escapes without being called, so the
+// creation site conservatively counts as a possible call.
+//
+// edge "Bound -> Gong.Chime ref"
+// noedge "Bound -> Bell.Chime"
+func Bound() func() int {
+	g := Gong{}
+	return g.Chime
+}
+
+// Spawn: go statements produce edges tagged go, which order-sensitive
+// clients skip.
+//
+// edge "Spawn -> Direct go"
+func Spawn() {
+	go Direct()
+}
+
+// Stale directive: the comment below sits on a line with no call, so
+// the callgraph analyzer must flag it.
+func Stale() int {
+	x := 1 // ew:coldcall — stale: nothing is called here. // want "stale ew:coldcall"
+	return x
+}
+
+// Live directive: coldcall on a real call site is fine (hotprop reads
+// it; callgraph must not flag it).
+func Live() int {
+	return Direct() // ew:coldcall — fixture: a genuinely cold callee
+}

@@ -72,6 +72,22 @@ func checked(cols [][]float64) ([]float64, error) {
 	return out, nil
 }
 
+// validated returns a fresh error from a validation branch inside the
+// loop: the branch terminates the call, so the fmt.Errorf argument
+// boxing is cold. Accepted.
+//
+// ew:hotpath
+func validated(cols [][]float64) (float64, error) {
+	total := 0.0
+	for i, col := range cols {
+		if len(col) == 0 {
+			return 0, fmt.Errorf("column %d is empty", i)
+		}
+		total += col[0]
+	}
+	return total, nil
+}
+
 // retained allocates a row that escapes to the caller — a justified,
 // annotated exception: accepted.
 //

@@ -1,0 +1,153 @@
+// Package hotprop is the golden fixture for hot-path propagation:
+// a transitive allocation two call frames below the ew:hotpath root, a
+// coldcall opt-out, interface dispatch into a hot implementor, closure
+// bodies, blocking-while-locked in a reachable callee, and allow/clean
+// variants.
+package hotprop
+
+import (
+	"sync"
+	"time"
+)
+
+// Feed is the hot root: everything it can reach is audited.
+//
+// ew:hotpath — fixture root.
+func Feed(samples []float64) float64 {
+	return process(samples)
+}
+
+// process is one frame below the root: no allocation of its own, but
+// it forwards the heat.
+func process(samples []float64) float64 {
+	return columnsInto(samples) + finishStroke(len(samples))
+}
+
+// columnsInto is two frames below the root; the make inside its loop
+// must be reported with the full trail Feed → process → columnsInto.
+func columnsInto(samples []float64) float64 {
+	total := 0.0
+	for range samples {
+		scratch := make([]float64, 8) // want "make allocates inside hot loop"
+		total += scratch[0]
+	}
+	return total
+}
+
+// finishStroke runs once per detected stroke, not per column: the edge
+// is annotated cold, so coldAlloc's loop allocation stays unreported.
+func finishStroke(n int) float64 {
+	return coldAlloc(n) // ew:coldcall — per-stroke emission, not per-column work
+}
+
+func coldAlloc(n int) float64 {
+	out := 0.0
+	for i := 0; i < n; i++ {
+		buf := make([]float64, 4) // cold: unreachable through a hot edge
+		out += buf[0]
+	}
+	return out
+}
+
+// Window is dispatched through an interface from the hot root; the
+// in-module implementor's loop allocation must be found.
+type Window interface{ Apply([]float64) }
+
+type Hann struct{}
+
+func (Hann) Apply(frame []float64) {
+	for i := range frame {
+		w := append([]float64(nil), frame[i]) // want "append may grow its backing array inside hot loop"
+		frame[i] = w[0]
+	}
+}
+
+// FeedWindowed is a second hot root exercising interface dispatch.
+//
+// ew:hotpath — fixture root (interface dispatch).
+func FeedWindowed(w Window, frame []float64) {
+	w.Apply(frame)
+}
+
+// hotClosure escapes from a reachable function; its body is hot too.
+func hotClosure() func(int) []int {
+	return func(n int) []int {
+		var out []int
+		for i := 0; i < n; i++ {
+			out = append(out, i) // want "append may grow its backing array inside hot loop"
+		}
+		return out
+	}
+}
+
+// FeedClosure reaches the closure through two edges: the call and the
+// escaping literal.
+//
+// ew:hotpath — fixture root (closure tracking).
+func FeedClosure() []int {
+	return hotClosure()(4)
+}
+
+// locker is reachable from Feed's package-mate root below: hotprop
+// re-runs lockhold's blocking checks here even though the lockhold
+// analyzer itself never matches this package.
+type locker struct {
+	mu sync.Mutex
+}
+
+func (l *locker) slowSync() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	time.Sleep(time.Millisecond) // want "time.Sleep runs while holding l.mu"
+}
+
+// FeedLocked is a hot root whose callee blocks under a mutex.
+//
+// ew:hotpath — fixture root (lockhold propagation).
+func FeedLocked(l *locker) {
+	l.slowSync()
+}
+
+// allowedAlloc shows the site-level opt-out: the justification rides
+// on the annotation.
+func allowedAlloc(n int) []byte {
+	var out []byte
+	for i := 0; i < n; i++ {
+		// ew:allow hotprop — fixture: amortized growth is deliberate here.
+		out = append(out, byte(i))
+	}
+	return out
+}
+
+// FeedAllowed reaches the allowed site; no finding.
+//
+// ew:hotpath — fixture root (allow opt-out).
+func FeedAllowed() []byte {
+	return allowedAlloc(3)
+}
+
+// buildInto is the exempt builder idiom: dst is a slice parameter and
+// the function returns it, so the caller owns the amortized capacity.
+// No finding despite the in-loop append.
+func buildInto(dst []byte, n int) []byte {
+	for i := 0; i < n; i++ {
+		dst = append(dst, byte(i))
+	}
+	return dst
+}
+
+// FeedBuilder reaches the builder; the carve-out keeps it clean.
+//
+// ew:hotpath — fixture root (builder-append carve-out).
+func FeedBuilder() []byte {
+	return buildInto(make([]byte, 0, 8), 8)
+}
+
+// NotReached allocates in a loop but no hot root can reach it: clean.
+func NotReached(n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+// Package lockorder is the golden fixture for global lock-order
+// deadlock detection: a direct 2-cycle, a 3-cycle spread over three
+// functions, a cycle closed across call edges, and the clean variants
+// — consistent ordering, unlock-before-acquire, and the ew:allow
+// opt-out.
+package lockorder
+
+import "sync"
+
+// ---- 2-cycle: inverted pair inside two functions -------------------
+
+type Alpha struct{ mu sync.Mutex }
+type Beta struct{ mu sync.Mutex }
+
+func TakeAB(a *Alpha, b *Beta) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	// Both acquisition paths must be named in the finding: the forward
+	// edge made here and the reverse edge from TakeBA.
+	b.mu.Lock() // want "lock-order cycle (deadlock risk): lockorder.Alpha.mu → lockorder.Beta.mu → lockorder.Alpha.mu" want "while holding lockorder.Alpha.mu (in TakeAB)" want "while holding lockorder.Beta.mu (in TakeBA)"
+	b.mu.Unlock()
+}
+
+func TakeBA(a *Alpha, b *Beta) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.mu.Lock()
+	a.mu.Unlock()
+}
+
+// ---- 3-cycle: each function is individually consistent -------------
+
+type Cyan struct{ mu sync.Mutex }
+type Dove struct{ mu sync.Mutex }
+type Erin struct{ mu sync.Mutex }
+
+func RingCD(c *Cyan, d *Dove) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d.mu.Lock() // want "lockorder.Cyan.mu → lockorder.Dove.mu → lockorder.Erin.mu → lockorder.Cyan.mu"
+	d.mu.Unlock()
+}
+
+func RingDE(d *Dove, e *Erin) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e.mu.Lock()
+	e.mu.Unlock()
+}
+
+func RingEC(e *Erin, c *Cyan) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	c.mu.Lock()
+	c.mu.Unlock()
+}
+
+// ---- cross-call cycle: the second acquisition hides in a callee ----
+
+type Inner struct{ mu sync.Mutex }
+type Outer struct{ mu sync.Mutex }
+
+func (o *Outer) Flush(in *Inner) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	in.grab()
+}
+
+func (in *Inner) grab() {
+	in.mu.Lock()
+	in.mu.Unlock()
+}
+
+func (in *Inner) Reverse(o *Outer) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	o.poke() // want "lockorder.Inner.mu → lockorder.Outer.mu → lockorder.Inner.mu"
+}
+
+func (o *Outer) poke() {
+	o.mu.Lock()
+	o.mu.Unlock()
+}
+
+// ---- clean: consistent order with a defer-unlock region ------------
+
+type Pine struct{ mu sync.Mutex }
+type Quip struct{ mu sync.Mutex }
+
+func OrderedOne(p *Pine, q *Quip) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	q.mu.Lock()
+	q.mu.Unlock()
+}
+
+// OrderedTwo releases q.mu before taking p.mu, so no Quip→Pine edge
+// forms and the pair stays acyclic despite the reversed source order.
+func OrderedTwo(p *Pine, q *Quip) {
+	q.mu.Lock()
+	q.mu.Unlock()
+	p.mu.Lock()
+	p.mu.Unlock()
+}
+
+// ---- clean: goroutine acquisitions are not ordered under the caller –
+
+type Vane struct{ mu sync.Mutex }
+type Wisp struct{ mu sync.Mutex }
+
+// SpawnUnordered holds Vane.mu while *spawning* a goroutine that takes
+// Wisp.mu; the inverse order in GoOther would only cycle if go-edges
+// propagated held state, which they must not.
+func SpawnUnordered(v *Vane, w *Wisp) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	go func() {
+		w.mu.Lock()
+		w.mu.Unlock()
+	}()
+}
+
+func GoOther(v *Vane, w *Wisp) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	go func() {
+		v.mu.Lock()
+		v.mu.Unlock()
+	}()
+}
+
+// ---- clean: explicit opt-out with justification --------------------
+
+type Rook struct{ mu sync.Mutex }
+type Swan struct{ mu sync.Mutex }
+
+func AllowedAB(r *Rook, s *Swan) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s.mu.Lock() // ew:allow lockorder — fixture: startup-only path, external ordering
+	s.mu.Unlock()
+}
+
+func AllowedBA(r *Rook, s *Swan) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r.mu.Lock() // ew:allow lockorder — fixture: startup-only path, external ordering
+	r.mu.Unlock()
+}

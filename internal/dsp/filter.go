@@ -108,7 +108,8 @@ func ZeroOneNormalize(x []float64) []float64 {
 	// A constant input yields span identically zero (maxV and minV are
 	// copies of the same element); any nonzero span, however small,
 	// still keeps (x[i]-minV)/span inside [0,1] because x[i]-minV ≤ span
-	// exactly. ew:exact
+	// exactly.
+	// ew:exact
 	if span == 0 {
 		for i := range x {
 			x[i] = 0

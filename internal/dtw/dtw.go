@@ -123,6 +123,9 @@ func NearestN(query []float64, library [][]float64, k int, opts Options) ([]Matc
 		if err != nil {
 			continue
 		}
+		// ew:allow hotprop: matches has cap len(library) hoisted above the
+		// loop and gains at most one entry per template, so this append
+		// never grows the backing array.
 		matches = append(matches, Match{Index: i, Distance: d})
 	}
 	if len(matches) == 0 {

@@ -1,0 +1,92 @@
+package imgproc
+
+import "testing"
+
+// The enhancement chain runs once per pipeline flush on the hot path,
+// so its matrix constructors were rewritten to share one contiguous
+// backing allocation instead of allocating every row (flagged by
+// hotprop). These tests pin the post-fix allocation budgets: with
+// 32-row inputs the old per-row scheme cost ≥ rows allocations per
+// call, so a single-digit bound fails loudly on any regression.
+
+func grid(rows, cols int) [][]uint8 {
+	m := NewMatrixOf[uint8](rows, cols)
+	for r := 2; r < rows-2; r++ {
+		for c := 2; c < cols-2; c++ {
+			m[r][c] = 1
+		}
+	}
+	// Punch an interior hole so FillHoles and the component scan do work.
+	m[rows/2][cols/2] = 0
+	return m
+}
+
+func TestFillHolesAllocBudget(t *testing.T) {
+	bin := grid(32, 32)
+	got := testing.AllocsPerRun(20, func() {
+		if _, err := FillHoles(bin); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got > 8 {
+		t.Errorf("FillHoles allocates %.0f times per call, want <= 8 (contiguous backing regressed)", got)
+	}
+}
+
+func TestConnectedComponentsAllocBudget(t *testing.T) {
+	bin := grid(32, 32)
+	got := testing.AllocsPerRun(20, func() {
+		if _, _, err := ConnectedComponents(bin); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got > 8 {
+		t.Errorf("ConnectedComponents allocates %.0f times per call, want <= 8 (contiguous backing regressed)", got)
+	}
+}
+
+func TestRemoveSmallComponentsAllocBudget(t *testing.T) {
+	bin := grid(32, 32)
+	got := testing.AllocsPerRun(20, func() {
+		if _, err := RemoveSmallComponents(bin, 2); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got > 16 {
+		t.Errorf("RemoveSmallComponents allocates %.0f times per call, want <= 16 (contiguous backing regressed)", got)
+	}
+}
+
+func TestBinarizeAllocBudget(t *testing.T) {
+	m := NewMatrix(32, 32)
+	got := testing.AllocsPerRun(20, func() {
+		Binarize(m, 0.5)
+	})
+	if got > 2 {
+		t.Errorf("Binarize allocates %.0f times per call, want <= 2 (contiguous backing regressed)", got)
+	}
+}
+
+// TestBinarizeRaggedShape pins the pre-rewrite contract that Binarize,
+// unlike the validating operations, accepts ragged input and mirrors
+// its shape.
+func TestBinarizeRaggedShape(t *testing.T) {
+	m := [][]float64{{0.9}, {0.1, 0.8, 0.2}, {}}
+	out := Binarize(m, 0.5)
+	if len(out) != len(m) {
+		t.Fatalf("rows: got %d, want %d", len(out), len(m))
+	}
+	for r := range m {
+		if len(out[r]) != len(m[r]) {
+			t.Fatalf("row %d length: got %d, want %d", r, len(out[r]), len(m[r]))
+		}
+	}
+	want := [][]uint8{{1}, {0, 1, 0}, {}}
+	for r := range want {
+		for c := range want[r] {
+			if out[r][c] != want[r][c] {
+				t.Errorf("out[%d][%d] = %d, want %d", r, c, out[r][c], want[r][c])
+			}
+		}
+	}
+}

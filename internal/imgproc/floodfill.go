@@ -14,10 +14,7 @@ func FillHoles(bin [][]uint8) ([][]uint8, error) {
 		return nil, err
 	}
 	// reachable marks background pixels 4-connected to the border.
-	reachable := make([][]bool, rows)
-	for r := range reachable {
-		reachable[r] = make([]bool, cols)
-	}
+	reachable := NewMatrixOf[bool](rows, cols)
 	stack := make([][2]int, 0, rows+cols)
 	push := func(r, c int) {
 		if r < 0 || r >= rows || c < 0 || c >= cols {
@@ -45,9 +42,8 @@ func FillHoles(bin [][]uint8) ([][]uint8, error) {
 		push(p[0], p[1]-1)
 		push(p[0], p[1]+1)
 	}
-	out := make([][]uint8, rows)
+	out := NewMatrixOf[uint8](rows, cols)
 	for r := range out {
-		out[r] = make([]uint8, cols)
 		for c := 0; c < cols; c++ {
 			if bin[r][c] == 1 || !reachable[r][c] {
 				out[r][c] = 1
@@ -75,10 +71,7 @@ func ConnectedComponents(bin [][]uint8) ([][]int, []Component, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	labels := make([][]int, rows)
-	for r := range labels {
-		labels[r] = make([]int, cols)
-	}
+	labels := NewMatrixOf[int](rows, cols)
 	var comps []Component
 	stack := make([][2]int, 0, 64)
 	for r := 0; r < rows; r++ {
@@ -89,6 +82,9 @@ func ConnectedComponents(bin [][]uint8) ([][]int, []Component, error) {
 			id := len(comps) + 1
 			comp := Component{Label: id, MinRow: r, MaxRow: r, MinCol: c, MaxCol: c}
 			labels[r][c] = id
+			// ew:allow hotprop: append into stack[:0] reuses the capacity
+			// retained from every previous component; it allocates at most
+			// once past the hoisted 64-slot seed.
 			stack = append(stack[:0], [2]int{r, c})
 			for len(stack) > 0 {
 				p := stack[len(stack)-1]
@@ -113,10 +109,17 @@ func ConnectedComponents(bin [][]uint8) ([][]int, []Component, error) {
 					}
 					if bin[rr][cc] == 1 && labels[rr][cc] == 0 {
 						labels[rr][cc] = id
+						// ew:allow hotprop: flood-fill frontier growth is
+						// amortized — each pixel is pushed at most once per
+						// call, so total appends are bounded by rows·cols and
+						// the backing array doubles O(log) times, not per
+						// iteration.
 						stack = append(stack, [2]int{rr, cc})
 					}
 				}
 			}
+			// ew:allow hotprop: one append per discovered component, not per
+			// pixel; denoised spectrogram windows hold a handful of blobs.
 			comps = append(comps, comp)
 		}
 	}
@@ -137,9 +140,8 @@ func RemoveSmallComponents(bin [][]uint8, minSize int) ([][]uint8, error) {
 			keep[c.Label] = true
 		}
 	}
-	out := make([][]uint8, len(bin))
+	out := NewMatrixOf[uint8](len(bin), len(bin[0]))
 	for r := range bin {
-		out[r] = make([]uint8, len(bin[r]))
 		for c := range bin[r] {
 			if bin[r][c] == 1 && keep[labels[r][c]] {
 				out[r][c] = 1

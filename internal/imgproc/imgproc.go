@@ -37,8 +37,16 @@ func Dims(m [][]float64) (rows, cols int, err error) {
 // NewMatrix allocates a rows×cols zero matrix backed by one contiguous
 // allocation.
 func NewMatrix(rows, cols int) [][]float64 {
-	backing := make([]float64, rows*cols)
-	m := make([][]float64, rows)
+	return NewMatrixOf[float64](rows, cols)
+}
+
+// NewMatrixOf allocates a rows×cols zero matrix of any element type,
+// backed by one contiguous allocation: two allocations total instead
+// of rows+1, which keeps the per-flush enhancement chain off the
+// hot-path allocation budget.
+func NewMatrixOf[T any](rows, cols int) [][]T {
+	backing := make([]T, rows*cols)
+	m := make([][]T, rows)
 	for r := range m {
 		m[r], backing = backing[:cols:cols], backing[cols:]
 	}
@@ -73,6 +81,9 @@ func Median3x3(m [][]float64) ([][]float64, error) {
 					if rr < 0 || rr >= rows || cc < 0 || cc >= cols {
 						continue
 					}
+					// ew:allow hotprop: buf is reset to buf[:0] each pixel and
+					// holds at most the 9 taps its hoisted capacity covers, so
+					// this append never grows the backing array.
 					buf = append(buf, m[rr][cc])
 				}
 			}
@@ -204,11 +215,18 @@ func Normalize01(m [][]float64) [][]float64 {
 }
 
 // Binarize maps m to a uint8 matrix with 1 where m[r][c] >= t and 0
-// elsewhere (paper threshold: 0.15 after normalization).
+// elsewhere (paper threshold: 0.15 after normalization). Rows share
+// one contiguous backing allocation sized to the total element count,
+// so ragged inputs keep their shape without per-row allocations.
 func Binarize(m [][]float64, t float64) [][]uint8 {
+	total := 0
+	for _, row := range m {
+		total += len(row)
+	}
+	backing := make([]uint8, total)
 	out := make([][]uint8, len(m))
 	for r, row := range m {
-		out[r] = make([]uint8, len(row))
+		out[r], backing = backing[:len(row):len(row)], backing[len(row):]
 		for c, v := range row {
 			if v >= t {
 				out[r][c] = 1

@@ -69,6 +69,10 @@ func suppressBursts(m [][]float64, cfg BurstConfig) []int {
 			run++
 		}
 		for k := f; k < run; k++ {
+			// ew:allow hotprop: grows only while a burst is present — nil in
+			// the common clean-window case, bounded by the window length
+			// otherwise; preallocating would charge every flush for the
+			// rare contaminated one.
 			frames = append(frames, k)
 		}
 		if run-f <= maxRun {

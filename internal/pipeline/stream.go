@@ -245,6 +245,8 @@ func (s *Stream) process(final bool) ([]Detection, error) {
 		}
 		det.Segment = segment.Segment{Start: absStart, End: absEnd}
 		det.Contaminated = overlapsBurst(sg, bursts)
+		// ew:allow hotprop: one append per classified stroke per flush —
+		// detections are user-scale events, not per-column work.
 		out = append(out, det)
 		s.emittedEnd = absEnd + 1
 	}

@@ -110,6 +110,15 @@ func Detect(profile []float64, cfg Config) ([]Segment, error) {
 		startRun = 2
 	}
 	acc := dsp.SmoothDerivative(profile)
+	// quiet reports whether frame k is below the end thresholds. It
+	// captures only loop invariants, so it is hoisted out of the
+	// per-segment scan rather than allocated each iteration.
+	quiet := func(k int) bool {
+		if math.Abs(acc[k]) >= cfg.EndThreshold {
+			return false
+		}
+		return cfg.EndSpeedFloor <= 0 || math.Abs(profile[k]) < cfg.EndSpeedFloor
+	}
 	var segs []Segment
 	i := 0
 	for i < n {
@@ -150,7 +159,8 @@ func Detect(profile []float64, cfg Config) ([]Segment, error) {
 			}
 			// Zero shift is assigned literally by mvce for frames with no
 			// active pixels, never computed, so exact equality is the
-			// right test for "the contour touched rest". ew:exact
+			// right test for "the contour touched rest".
+			// ew:exact
 			if a == 0 {
 				break
 			}
@@ -162,12 +172,6 @@ func Detect(profile []float64, cfg Config) ([]Segment, error) {
 			start = segs[len(segs)-1].End + 1
 		}
 		// Scan forward for a run of EndRun quiet frames.
-		quiet := func(k int) bool {
-			if math.Abs(acc[k]) >= cfg.EndThreshold {
-				return false
-			}
-			return cfg.EndSpeedFloor <= 0 || math.Abs(profile[k]) < cfg.EndSpeedFloor
-		}
 		end := -1
 		for j := p + 1; j < n; j++ {
 			if j-start+1 >= maxFrames {
@@ -196,6 +200,8 @@ func Detect(profile []float64, cfg Config) ([]Segment, error) {
 			end = n - 1
 		}
 		if end-start+1 >= minFrames && start <= end {
+			// ew:allow hotprop: one append per detected stroke — a few per
+			// window at most, not per-frame work.
 			segs = append(segs, Segment{Start: start, End: end})
 		}
 		i = end + 1
