@@ -1,0 +1,334 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// batchTile is the depth-first tile of BatchPlan's stage traversal, in
+// complexes: stages with span above it run breadth-first over each
+// lane's whole plane (their twiddle tables stay cache-hot while the
+// lanes stream through back-to-back); the remaining stages are carried
+// tile by tile while the tile is L1-resident. 1024 complexes = 16 KiB,
+// a third of L1d on the serving hardware, leaving room for the narrow
+// tail twiddles.
+const batchTile = 1024
+
+// BatchPlan computes the band magnitudes of up to K independent
+// real-valued frames — one per session — through one shared
+// twiddle/scratch set. The per-frame RFFTPlan math is unchanged: the
+// same even/odd pack, the same radix-4 DIF butterfly sequence, the same
+// band-only unpacking, so columns are bit-identical to the per-frame
+// path. What batching buys is kernel width and table reuse: the pack
+// runs through a vectorized window-multiply kernel, the wide DIF stages
+// stream every lane past twiddle tables that stay resident, and on
+// AVX-512 hardware the two final stages (span 16 and the
+// multiplication-free span 4) collapse into one fused four-butterfly
+// kernel that never spills the block between stages.
+//
+// A BatchPlan owns one scratch plane the lanes stream through and is
+// not safe for concurrent use; the serve collector drives one per
+// shard.
+type BatchPlan struct {
+	n int // real frame length
+	m int // n/2, the complex transform length
+	k int // max lanes per call
+	// post, rev and stages are the same tables an RFFTPlan of size n
+	// builds; see NewRFFTPlan.
+	post   []complex128
+	rev    []int
+	stages []stageTwiddles
+	// zv holds per-stage quad twiddle tables for the AVX-512 kernels
+	// (nil entries where the stage is too narrow to group by four).
+	zv [][]float64
+	// z is the packed scratch plane, m complexes, reused per lane.
+	z []complex128
+	// r2 records a trailing radix-2 stage (log2(m) odd); fuse records
+	// that the stage list ends (span 16, span 4) so the fused tail
+	// kernel applies.
+	r2, fuse bool
+	// vec routes eligible stages through the AVX pair kernel, vec512
+	// through the AVX-512 quad kernels. Construction seeds them from
+	// the host CPU; tests flip them to pin kernel-tier equivalence.
+	vec, vec512 bool
+}
+
+// NewBatchPlan builds a shared plan for batches of up to k real frames
+// of length n. n must be a power of two and at least 2; k at least 1.
+func NewBatchPlan(n, k int) (*BatchPlan, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("dsp: batch plan size must be a power of two >= 2, got %d", n)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("dsp: batch plan lanes must be >= 1, got %d", k)
+	}
+	m := n / 2
+	p := &BatchPlan{
+		n:      n,
+		m:      m,
+		k:      k,
+		z:      make([]complex128, m),
+		vec:    hasAVX,
+		vec512: hasAVX512,
+	}
+	p.post, p.rev, p.stages = newRFFTTables(n)
+	p.zv = make([][]float64, len(p.stages))
+	for i, st := range p.stages {
+		p.zv[i] = newStageTwiddlesQuad(st.w, st.span)
+	}
+	ns := len(p.stages)
+	p.r2 = m >= 2 && trailingRadix2(m)
+	p.fuse = ns >= 2 && p.stages[ns-1].span == 4 && p.stages[ns-2].span == 16
+	return p, nil
+}
+
+// Size reports the real frame length the plan was built for.
+func (p *BatchPlan) Size() int { return p.n }
+
+// Lanes reports the maximum number of frames per Columns call.
+func (p *BatchPlan) Lanes() int { return p.k }
+
+// Columns computes the magnitudes of DFT bins [low, high) for each
+// frame in one shared pass: dsts[i] receives the column of frames[i].
+// win is the analysis window (nil for none; otherwise frame length),
+// fused into the pack pass exactly as rfftBand does, so the results are
+// bit-identical to per-frame WindowedMagnitudes calls. len(frames) and
+// len(dsts) must match and not exceed Lanes; every frame must have
+// length Size and every dst length high-low. The call performs no
+// allocation.
+func (p *BatchPlan) Columns(frames [][]float64, win []float64, low, high int, dsts [][]float64) error {
+	return p.columns(frames, win, low, high, dsts, false)
+}
+
+// columns is Columns with the magnitude formula selectable: hypot false
+// matches rfftBand (sqrt(re²+im²)), true matches the EngineRFFT
+// reference path (cmplx.Abs).
+func (p *BatchPlan) columns(frames [][]float64, win []float64, low, high int, dsts [][]float64, hypot bool) error {
+	lanes := len(frames)
+	if lanes == 0 {
+		return nil
+	}
+	if lanes > p.k {
+		return fmt.Errorf("dsp: batch of %d frames exceeds plan lanes %d", lanes, p.k)
+	}
+	if len(dsts) != lanes {
+		return fmt.Errorf("dsp: batch dst count %d does not match frame count %d", len(dsts), lanes)
+	}
+	if low < 0 || high > p.m || low >= high {
+		return fmt.Errorf("dsp: band [%d,%d) invalid for transform size %d", low, high, p.n)
+	}
+	if win != nil && len(win) != p.n {
+		return fmt.Errorf("dsp: window length %d does not match plan size %d", len(win), p.n)
+	}
+	w := high - low
+	for l, frame := range frames {
+		if len(frame) != p.n {
+			return fmt.Errorf("dsp: batch frame %d length %d does not match plan size %d", l, len(frame), p.n)
+		}
+		if len(dsts[l]) != w {
+			return fmt.Errorf("dsp: batch dst %d length %d does not match band width %d", l, len(dsts[l]), w)
+		}
+	}
+	// One lane at a time through the single shared plane: the plane and
+	// the narrow-stage twiddle tables stay cache-resident while the
+	// lanes stream through back-to-back, which is where batching wins
+	// over per-session plans — a resident-plane-per-lane layout was
+	// measured ~25% slower from the extra working set alone.
+	for l, frame := range frames {
+		p.pack(p.z, frame, win)
+		p.forward(p.z)
+		p.unpackBand(low, high, dsts[l], hypot)
+	}
+	return nil
+}
+
+// pack fills one lane's plane with the even/odd packed, window-fused
+// frame — the same elementwise products as RFFTPlan.transformHalf, via
+// the vector kernel when available.
+//
+// ew:hotpath — runs once per lane per batch on the serving path.
+func (p *BatchPlan) pack(z []complex128, frame, win []float64) {
+	if win == nil {
+		for i := range z {
+			z[i] = complex(frame[2*i], frame[2*i+1])
+		}
+		return
+	}
+	if p.vec && p.n%8 == 0 {
+		packMulAVX(z, frame, win)
+		return
+	}
+	for i := range z {
+		z[i] = complex(frame[2*i]*win[2*i], frame[2*i+1]*win[2*i+1])
+	}
+}
+
+// forward runs the DIF stage network over one lane's plane: the wide
+// stages sweep the whole plane, then the narrow tail runs depth-first
+// per 16 KiB tile — the tile stays L1-resident across the remaining
+// stages, and on AVX-512 the span-16/span-4 pair collapses into a
+// single register-resident kernel.
+//
+// ew:hotpath — the butterfly network is the dominant per-column cost.
+func (p *BatchPlan) forward(z []complex128) {
+	ns := len(p.stages)
+	si := 0
+	step := batchTile
+	if step > p.m {
+		step = p.m
+	}
+	for ; si < ns && p.stages[si].span > step; si++ {
+		p.runStage(z, si)
+	}
+	fuse := p.fuse && p.vec512
+	for base := 0; base < p.m; base += step {
+		blk := z[base : base+step : base+step]
+		for sj := si; sj < ns; sj++ {
+			if fuse && sj == ns-2 {
+				difStage16x4AVX512(blk, p.zv[sj])
+				break
+			}
+			p.runStage(blk, sj)
+		}
+		if p.r2 {
+			for j := 0; j+1 < len(blk); j += 2 {
+				a, b := blk[j], blk[j+1]
+				blk[j] = a + b
+				blk[j+1] = a - b
+			}
+		}
+	}
+}
+
+// runStage applies stage si over z (a whole plane or an aligned tile),
+// through the widest kernel tier available: AVX-512 quad, AVX pair,
+// then the scalar loops of the per-frame path.
+func (p *BatchPlan) runStage(z []complex128, si int) {
+	st := p.stages[si]
+	if p.vec512 && p.zv[si] != nil {
+		difStageAVX512(z, p.zv[si], st.span)
+		return
+	}
+	if p.vec && st.wv != nil {
+		difStageAVX(z, st.wv, st.span)
+		return
+	}
+	difStageScalar(z, st)
+}
+
+// unpackBand recovers band bins [low, high) of the current lane from
+// the shared plane and writes their magnitudes into dst, using the same
+// per-bin recombination as RFFTPlan.unpackBin read against the shared
+// tables.
+//
+// ew:hotpath — O(B) recombinations per lane per column.
+func (p *BatchPlan) unpackBand(low, high int, dst []float64, hypot bool) {
+	z := p.z
+	m := p.m
+	for i := range dst {
+		k := low + i
+		zk := z[p.rev[k]]
+		zm := z[p.rev[(m-k)&(m-1)]]
+		zr, zi := real(zk), imag(zk)
+		mr, mi := real(zm), imag(zm)
+		er, ei := (zr+mr)/2, (zi-mi)/2
+		or, oi := (zi+mi)/2, (mr-zr)/2
+		tw := p.post[k]
+		wr, wi := real(tw), imag(tw)
+		x := complex(er+wr*or-wi*oi, ei+wr*oi+wi*or)
+		if hypot {
+			dst[i] = cmplx.Abs(x)
+		} else {
+			dst[i] = math.Sqrt(real(x)*real(x) + imag(x)*imag(x))
+		}
+	}
+}
+
+// BatchSTFT adapts a BatchPlan to an STFTConfig: it resolves the
+// configured engine exactly as NewSTFT does and computes batched
+// columns bit-identical to what a per-session STFT would produce for
+// the same config. The two rfft-backed engines (the serving default
+// EngineAuto when the band is wide, and the EngineRFFT reference) run
+// through the shared BatchPlan; the Goertzel bank and the full-FFT
+// reference have no shared-plan structure to exploit, so those configs
+// fall back to a per-frame loop over one internal STFT — still one
+// instance per shard instead of per session.
+//
+// A BatchSTFT is not safe for concurrent use.
+type BatchSTFT struct {
+	cfg    STFTConfig
+	window *Window
+	plan   *BatchPlan // rfft-backed engines; nil for fallback configs
+	hypot  bool       // EngineRFFT magnitude formula (cmplx.Abs)
+	seq    *STFT      // per-frame fallback engine
+	k      int
+}
+
+// NewBatchSTFT validates cfg like NewSTFT and builds a batched column
+// computer for up to k frames per call.
+func NewBatchSTFT(cfg STFTConfig, k int) (*BatchSTFT, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("dsp: batch lanes must be >= 1, got %d", k)
+	}
+	// Resolve defaults and the engine choice through the per-frame
+	// constructor so batching can never disagree with it.
+	st, err := NewSTFT(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cfg = st.Config()
+	b := &BatchSTFT{cfg: cfg, window: st.window, seq: st, k: k}
+	if st.EngineKind() == EngineRFFT {
+		plan, err := NewBatchPlan(cfg.FFTSize, k)
+		if err != nil {
+			return nil, err
+		}
+		b.plan = plan
+		b.hypot = cfg.Engine == EngineRFFT
+	}
+	return b, nil
+}
+
+// Config returns the configuration (after defaulting).
+func (b *BatchSTFT) Config() STFTConfig { return b.cfg }
+
+// Lanes reports the maximum number of frames per Columns call.
+func (b *BatchSTFT) Lanes() int { return b.k }
+
+// Bins reports the retained band width, the length of every column.
+func (b *BatchSTFT) Bins() int { return b.cfg.HighBin - b.cfg.LowBin }
+
+// Batched reports whether columns run through the shared BatchPlan
+// (false for configs that fall back to the per-frame loop).
+func (b *BatchSTFT) Batched() bool { return b.plan != nil }
+
+// Columns computes one magnitude column per frame: dsts[i] receives the
+// column of frames[i] and must have length Bins (its backing array is
+// written in place, so the call performs no allocation). At most Lanes
+// frames per call; every frame must be exactly FFTSize samples. Columns
+// are bit-identical to FrameColumn on a per-session STFT with the same
+// config.
+//
+// ew:hotpath — one call per collector cycle on the batched serving path.
+func (b *BatchSTFT) Columns(frames [][]float64, dsts [][]float64) error {
+	if len(frames) > b.k {
+		return fmt.Errorf("dsp: batch of %d frames exceeds lanes %d", len(frames), b.k)
+	}
+	if b.plan != nil {
+		win := b.window.coeffs
+		return b.plan.columns(frames, win, b.cfg.LowBin, b.cfg.HighBin, dsts, b.hypot)
+	}
+	if len(dsts) != len(frames) {
+		return fmt.Errorf("dsp: batch dst count %d does not match frame count %d", len(dsts), len(frames))
+	}
+	for i, frame := range frames {
+		if len(dsts[i]) != b.Bins() {
+			return fmt.Errorf("dsp: batch dst %d length %d does not match band width %d", i, len(dsts[i]), b.Bins())
+		}
+		if _, err := b.seq.FrameColumnInto(dsts[i][:0], frame); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,42 @@
+//go:build amd64
+
+package dsp
+
+// hasAVX512 reports whether the CPU and OS support full 512-bit AVX-512
+// state (F+DQ plus opmask/ZMM XCR0 enablement). The batched spectral
+// path widens the radix-4 DIF kernel to four butterflies per iteration
+// when available; the two-butterfly AVX kernel and the pure-Go loop are
+// the fallbacks, all three bit-identical on band magnitudes.
+var hasAVX512 = cpuHasAVX512()
+
+// cpuHasAVX512 checks CPUID for AVX512F/DQ and XGETBV for ZMM state
+// enablement. Implemented in batch_amd64.s.
+func cpuHasAVX512() bool
+
+// difStageAVX512 runs one radix-4 DIF stage of the given span over z,
+// processing four butterflies per iteration. tzv is the stage's
+// lane-duplicated quad twiddle table (see newStageTwiddlesQuad). span
+// must be >= 16 so every block holds at least one butterfly quad, and
+// the caller must have verified hasAVX512. Implemented in
+// batch_amd64.s.
+//
+//go:noescape
+func difStageAVX512(z []complex128, tzv []float64, span int)
+
+// difStage16x4AVX512 runs the fused tail of the DIF network — the
+// span-16 radix-4 stage immediately followed by the multiplication-free
+// span-4 stage — per 16-complex block entirely in registers. tzv is the
+// span-16 quad twiddle table (48 doubles, shared by every block).
+// len(z) must be a multiple of 16 and the caller must have verified
+// hasAVX512. Implemented in batch_amd64.s.
+//
+//go:noescape
+func difStage16x4AVX512(z []complex128, tzv []float64)
+
+// packMulAVX performs the fused window multiply of the even/odd pack
+// pass: dst viewed as 2·len(dst) doubles receives frame[i]·win[i]. The
+// caller guarantees len(frame) == len(win) == 2·len(dst), that the
+// length is a multiple of 8, and hasAVX. Implemented in batch_amd64.s.
+//
+//go:noescape
+func packMulAVX(dst []complex128, frame, win []float64)

@@ -1,0 +1,25 @@
+//go:build !amd64
+
+package dsp
+
+// hasAVX512 is false off amd64; BatchPlan always takes the pure-Go
+// stage loops.
+const hasAVX512 = false
+
+// difStageAVX512 is never called when hasAVX512 is false; this stub
+// keeps the batch path portable.
+func difStageAVX512(z []complex128, tzv []float64, span int) {
+	panic("dsp: difStageAVX512 called without AVX-512 support")
+}
+
+// difStage16x4AVX512 is never called when hasAVX512 is false; this stub
+// keeps the batch path portable.
+func difStage16x4AVX512(z []complex128, tzv []float64) {
+	panic("dsp: difStage16x4AVX512 called without AVX-512 support")
+}
+
+// packMulAVX is never called when hasAVX is false; this stub keeps the
+// batch path portable.
+func packMulAVX(dst []complex128, frame, win []float64) {
+	panic("dsp: packMulAVX called without AVX support")
+}

@@ -1,0 +1,347 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// batchFrames synthesizes k deterministic, mutually distinct frames of
+// length n — each lane gets its own tone mix and phase so a lane mixup
+// in the batch kernels cannot cancel out.
+func batchFrames(n, k int) [][]float64 {
+	frames := make([][]float64, k)
+	for l := range frames {
+		f := make([]float64, n)
+		base := 18000 + 137*float64(l)
+		phase := 0.31 * float64(l)
+		for i := range f {
+			t := float64(i) / 44100
+			f[i] = math.Sin(2*math.Pi*base*t+phase) +
+				0.4*math.Sin(2*math.Pi*(base-220)*t) +
+				0.03*math.Sin(2*math.Pi*(350+11*float64(l))*t)
+		}
+		frames[l] = f
+	}
+	return frames
+}
+
+// refBandMagnitudes computes the per-frame reference column exactly as
+// rfftBand does: fused windowed pack, the per-frame DIF network, and
+// sqrt(re²+im²) per band bin.
+func refBandMagnitudes(t *testing.T, frame, win []float64, low, high int) []float64 {
+	t.Helper()
+	plan, err := NewRFFTPlan(len(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.transformHalf(frame, win); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]float64, high-low)
+	for i := range dst {
+		x := plan.unpackBin(low + i)
+		dst[i] = math.Sqrt(real(x)*real(x) + imag(x)*imag(x))
+	}
+	return dst
+}
+
+// TestBatchPlanMatchesPerFrame pins the tentpole bit-identity claim at
+// the plan level: for every transform shape class (fused span-16/4
+// tail, trailing radix-2 tail, single-stage, and the degenerate tiny
+// sizes), batched columns must equal the per-frame RFFTPlan path bit
+// for bit, on every kernel tier the host can run.
+func TestBatchPlanMatchesPerFrame(t *testing.T) {
+	const lanes = 5
+	for _, n := range []int{2, 4, 8, 16, 32, 128, 512, 4096, 8192} {
+		for _, windowed := range []bool{false, true} {
+			t.Run(fmt.Sprintf("n%d_win%v", n, windowed), func(t *testing.T) {
+				frames := batchFrames(n, lanes)
+				var win []float64
+				if windowed {
+					w, err := NewWindow(WindowHanning, n)
+					if err != nil {
+						t.Fatal(err)
+					}
+					win = w.coeffs
+				}
+				m := n / 2
+				low, high := 0, m
+				if m > 8 {
+					low, high = m/4, m-3 // off-center crop exercises rev lookups
+				}
+				want := make([][]float64, lanes)
+				for l := range frames {
+					want[l] = refBandMagnitudes(t, frames[l], win, low, high)
+				}
+				p, err := NewBatchPlan(n, lanes)
+				if err != nil {
+					t.Fatal(err)
+				}
+				tiers := []struct {
+					name        string
+					vec512, vec bool
+				}{
+					{"host", p.vec512, p.vec},
+					{"avx", false, p.vec},
+					{"scalar", false, false},
+				}
+				dsts := make([][]float64, lanes)
+				for l := range dsts {
+					dsts[l] = make([]float64, high-low)
+				}
+				for _, tier := range tiers {
+					p.vec512, p.vec = tier.vec512, tier.vec
+					if err := p.Columns(frames, win, low, high, dsts); err != nil {
+						t.Fatalf("tier %s: %v", tier.name, err)
+					}
+					for l := range dsts {
+						for i, got := range dsts[l] {
+							if got != want[l][i] {
+								t.Fatalf("tier %s lane %d bin %d: got %v want %v",
+									tier.name, l, low+i, got, want[l][i])
+							}
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestBatchPlanRaggedAndRepeated checks that a plan survives ragged
+// reuse: successive calls with different lane counts (including the
+// empty batch) never bleed state between lanes or calls.
+func TestBatchPlanRaggedAndRepeated(t *testing.T) {
+	const n, lanes = 1024, 16
+	p, err := NewBatchPlan(n, lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWindow(WindowHamming, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := batchFrames(n, lanes)
+	low, high := 100, 300
+	for _, k := range []int{lanes, 1, 7, 0, 16, 3} {
+		dsts := make([][]float64, k)
+		for l := range dsts {
+			dsts[l] = make([]float64, high-low)
+		}
+		if err := p.Columns(frames[:k], w.coeffs, low, high, dsts); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		for l := 0; l < k; l++ {
+			want := refBandMagnitudes(t, frames[l], w.coeffs, low, high)
+			for i, got := range dsts[l] {
+				if got != want[i] {
+					t.Fatalf("k=%d lane %d bin %d: got %v want %v", k, l, i, got, want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestBatchSTFTMatchesSTFT is the differential harness of the tentpole:
+// for every engine kind and a spread of window kinds and batch sizes,
+// BatchSTFT.Columns must be bit-identical to FrameColumn on a
+// per-session STFT with the same config — including the configs that
+// fall back to the per-frame loop.
+func TestBatchSTFTMatchesSTFT(t *testing.T) {
+	def := DefaultSTFTConfig()
+	cases := []struct {
+		name    string
+		cfg     STFTConfig
+		batched bool
+	}{
+		{"auto_band_default", def, true},
+		{"auto_band_hamming", STFTConfig{SampleRate: 44100, FFTSize: 2048, HopSize: 256,
+			Window: WindowHamming, LowBin: 400, HighBin: 700}, true},
+		{"auto_goertzel_narrow", STFTConfig{SampleRate: 44100, FFTSize: 1024, HopSize: 256,
+			Window: WindowBlackman, LowBin: 10, HighBin: 28}, false},
+		{"rfft_explicit", STFTConfig{SampleRate: 44100, FFTSize: 2048, HopSize: 256,
+			Window: WindowRectangular, LowBin: 100, HighBin: 300, Engine: EngineRFFT}, true},
+		{"goertzel_forced", STFTConfig{SampleRate: 44100, FFTSize: 1024, HopSize: 256,
+			Window: WindowHanning, LowBin: 50, HighBin: 60, Engine: EngineGoertzel}, false},
+		{"fullfft", STFTConfig{SampleRate: 44100, FFTSize: 1024, HopSize: 256,
+			Window: WindowHanning, LowBin: 0, HighBin: 512, Engine: EngineFFT}, false},
+	}
+	const maxLanes = 16
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bs, err := NewBatchSTFT(tc.cfg, maxLanes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bs.Batched() != tc.batched {
+				t.Fatalf("Batched() = %v, want %v", bs.Batched(), tc.batched)
+			}
+			ref, err := NewSTFT(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			frames := batchFrames(bs.Config().FFTSize, maxLanes)
+			for _, k := range []int{1, 5, maxLanes} {
+				dsts := make([][]float64, k)
+				for l := range dsts {
+					dsts[l] = make([]float64, bs.Bins())
+				}
+				if err := bs.Columns(frames[:k], dsts); err != nil {
+					t.Fatalf("k=%d: %v", k, err)
+				}
+				for l := 0; l < k; l++ {
+					want, err := ref.FrameColumn(frames[l])
+					if err != nil {
+						t.Fatal(err)
+					}
+					for i, got := range dsts[l] {
+						if got != want[i] {
+							t.Fatalf("k=%d lane %d bin %d: got %v want %v", k, l, i, got, want[i])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBatchColumnsAllocFree pins the hot-loop allocation contract the
+// bench gate enforces: a Columns call on preallocated dsts performs no
+// allocation, on both the batched and the fallback path.
+func TestBatchColumnsAllocFree(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  STFTConfig
+	}{
+		{"batched", DefaultSTFTConfig()},
+		{"fallback", STFTConfig{SampleRate: 44100, FFTSize: 1024, HopSize: 256,
+			Window: WindowHanning, LowBin: 50, HighBin: 60, Engine: EngineGoertzel}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			const lanes = 4
+			bs, err := NewBatchSTFT(tc.cfg, lanes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			frames := batchFrames(bs.Config().FFTSize, lanes)
+			dsts := make([][]float64, lanes)
+			for l := range dsts {
+				dsts[l] = make([]float64, bs.Bins())
+			}
+			allocs := testing.AllocsPerRun(10, func() {
+				if err := bs.Columns(frames, dsts); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("Columns allocated %v times per call, want 0", allocs)
+			}
+		})
+	}
+}
+
+func TestBatchPlanErrors(t *testing.T) {
+	if _, err := NewBatchPlan(1000, 4); err == nil {
+		t.Fatal("non-power-of-two size accepted")
+	}
+	if _, err := NewBatchPlan(1024, 0); err == nil {
+		t.Fatal("zero lanes accepted")
+	}
+	p, err := NewBatchPlan(1024, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := batchFrames(1024, 3)
+	good := [][]float64{make([]float64, 100), make([]float64, 100)}
+	if err := p.Columns(frames, nil, 0, 100, good[:2]); err == nil || len(frames) == 0 {
+		t.Fatalf("3 frames on a 2-lane plan accepted: %v", err)
+	}
+	if err := p.Columns(frames[:2], nil, 0, 100, good[:1]); err == nil {
+		t.Fatal("dst count mismatch accepted")
+	}
+	if err := p.Columns(frames[:2], nil, 400, 513, good); err == nil {
+		t.Fatal("band past n/2 accepted")
+	}
+	if err := p.Columns(frames[:2], make([]float64, 8), 0, 100, good); err == nil {
+		t.Fatal("short window accepted")
+	}
+	if err := p.Columns([][]float64{frames[0][:512], frames[1]}, nil, 0, 100, good); err == nil {
+		t.Fatal("short frame accepted")
+	}
+	if err := p.Columns(frames[:2], nil, 0, 99, good); err == nil {
+		t.Fatal("dst length mismatch accepted")
+	}
+}
+
+func TestBatchSTFTErrors(t *testing.T) {
+	if _, err := NewBatchSTFT(DefaultSTFTConfig(), 0); err == nil {
+		t.Fatal("zero lanes accepted")
+	}
+	bad := DefaultSTFTConfig()
+	bad.FFTSize = 1000
+	if _, err := NewBatchSTFT(bad, 4); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	bs, err := NewBatchSTFT(DefaultSTFTConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := batchFrames(bs.Config().FFTSize, 3)
+	dsts := make([][]float64, 3)
+	for l := range dsts {
+		dsts[l] = make([]float64, bs.Bins())
+	}
+	if err := bs.Columns(frames, dsts); err == nil {
+		t.Fatal("3 frames on a 2-lane batch accepted")
+	}
+}
+
+// BenchmarkSTFTBatch measures the tentpole ratio directly: batch16 runs
+// one 16-lane BatchSTFT pass per op; seq16 runs the same 16 columns
+// through 16 per-session STFT instances, the pre-batching serving
+// shape. Both live in one benchmark so the comparison is same-run; the
+// committed baseline gates batch16 at 0 allocs/op.
+func BenchmarkSTFTBatch(b *testing.B) {
+	const lanes = 16
+	cfg := DefaultSTFTConfig()
+	frames := batchFrames(cfg.FFTSize, lanes)
+	b.Run("batch16", func(b *testing.B) {
+		bs, err := NewBatchSTFT(cfg, lanes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dsts := make([][]float64, lanes)
+		for l := range dsts {
+			dsts[l] = make([]float64, bs.Bins())
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := bs.Columns(frames, dsts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("seq16", func(b *testing.B) {
+		sts := make([]*STFT, lanes)
+		dsts := make([][]float64, lanes)
+		for l := range sts {
+			st, err := NewSTFT(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sts[l] = st
+			dsts[l] = make([]float64, 0, st.Bins())
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for l, st := range sts {
+				if _, err := st.FrameColumnInto(dsts[l][:0], frames[l]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}

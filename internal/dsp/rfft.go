@@ -60,15 +60,28 @@ func NewRFFTPlan(n int) (*RFFTPlan, error) {
 	}
 	m := n / 2
 	p := &RFFTPlan{
-		n:    n,
-		m:    m,
-		post: make([]complex128, m),
-		rev:  make([]int, m),
-		z:    make([]complex128, m),
+		n: n,
+		m: m,
+		z: make([]complex128, m),
 	}
+	p.post, p.rev, p.stages = newRFFTTables(n)
+	p.vec = hasAVX
+	return p, nil
+}
+
+// newRFFTTables builds the read-only tables of a real-input plan of
+// size n (a validated power of two >= 2): the unpacking post-twiddles,
+// the digit-reversed output permutation of the DIF recursion, and the
+// per-stage sequential twiddle tables. Shared by RFFTPlan and
+// BatchPlan so both transforms run the identical factorization against
+// bit-identical factors.
+func newRFFTTables(n int) (post []complex128, rev []int, stages []stageTwiddles) {
+	m := n / 2
+	post = make([]complex128, m)
+	rev = make([]int, m)
 	for k := 0; k < m; k++ {
 		angle := -2 * math.Pi * float64(k) / float64(n)
-		p.post[k] = complex(math.Cos(angle), math.Sin(angle))
+		post[k] = complex(math.Cos(angle), math.Sin(angle))
 	}
 	// Radix sequence: radix-4 stages down to span 4, with a final radix-2
 	// stage when log2(m) is odd. Record it to derive the digit-reversed
@@ -90,16 +103,15 @@ func NewRFFTPlan(n int) (*RFFTPlan, error) {
 			pos += (rem % r) * span
 			rem /= r
 		}
-		p.rev[k] = pos
+		rev[k] = pos
 	}
 	for span := m; span >= 4; span /= 4 {
 		if span%4 != 0 {
 			break
 		}
-		p.stages = append(p.stages, newStageTwiddles(span))
+		stages = append(stages, newStageTwiddles(span))
 	}
-	p.vec = hasAVX
-	return p, nil
+	return post, rev, stages
 }
 
 // newStageTwiddles precomputes the sequential twiddle table for a
@@ -144,6 +156,41 @@ func newStageTwiddlesVec(w []float64, span int) []float64 {
 	return wv
 }
 
+// newStageTwiddlesQuad re-lays a stage's scalar twiddle table for the
+// AVX-512 kernel: per butterfly quad (i .. i+3) and twiddle power p in
+// 1..3, the real parts duplicated across each complex lane followed by
+// the imaginary parts likewise,
+//
+//	[cp_i cp_i cp_{i+1} cp_{i+1} cp_{i+2} cp_{i+2} cp_{i+3} cp_{i+3}]
+//	[dp_i dp_i dp_{i+1} dp_{i+1} dp_{i+2} dp_{i+2} dp_{i+3} dp_{i+3}]
+//
+// 48 floats (384 bytes) per quad, matching the fixed offsets the kernel
+// reads. Values are copied from the scalar table, so all kernels
+// multiply by bit-identical factors. Returns nil when the butterfly
+// count is not a multiple of four, which the kernel cannot group. Only
+// BatchPlan builds these tables; per-frame plans stay at the pair
+// layout so pooled sessions carry no unused state.
+func newStageTwiddlesQuad(w []float64, span int) []float64 {
+	q := span / 4
+	if q%4 != 0 {
+		return nil
+	}
+	zv := make([]float64, 0, 48*(q/4))
+	for i := 0; i < q; i += 4 {
+		for p := 0; p < 3; p++ {
+			for lane := 0; lane < 4; lane++ {
+				c := w[6*(i+lane)+2*p]
+				zv = append(zv, c, c)
+			}
+			for lane := 0; lane < 4; lane++ {
+				d := w[6*(i+lane)+2*p+1]
+				zv = append(zv, d, d)
+			}
+		}
+	}
+	return zv
+}
+
 // Size reports the real frame length the plan was built for.
 func (p *RFFTPlan) Size() int { return p.n }
 
@@ -186,48 +233,11 @@ func (p *RFFTPlan) transformHalf(frame, win []float64) error {
 func (p *RFFTPlan) forwardDIF(z []complex128) {
 	m := p.m
 	for _, st := range p.stages {
-		span := st.span
-		q := span / 4
-		tw := st.w
 		if p.vec && st.wv != nil {
-			difStageAVX(z, st.wv, span)
+			difStageAVX(z, st.wv, st.span)
 			continue
 		}
-		if span == 4 {
-			// Every twiddle of the span-4 stage is 1 (q = 1 ⇒ i = 0), so
-			// the whole pass is multiplication-free.
-			for base := 0; base+3 < m; base += 4 {
-				a, b, c, d := z[base], z[base+1], z[base+2], z[base+3]
-				t0, t1 := a+c, a-c
-				t2 := b + d
-				t3 := complex(imag(b)-imag(d), real(d)-real(b)) // (b-d)·(-i)
-				z[base] = t0 + t2
-				z[base+1] = t1 + t3
-				z[base+2] = t0 - t2
-				z[base+3] = t1 - t3
-			}
-			continue
-		}
-		for base := 0; base < m; base += span {
-			za := z[base : base+q : base+q]
-			zb := z[base+q : base+2*q : base+2*q]
-			zc := z[base+2*q : base+3*q : base+3*q]
-			zd := z[base+3*q : base+span : base+span]
-			for i := range za {
-				w := tw[6*i : 6*i+6 : 6*i+6]
-				a, b, c, d := za[i], zb[i], zc[i], zd[i]
-				t0, t1 := a+c, a-c
-				t2 := b + d
-				t3r, t3i := imag(b)-imag(d), real(d)-real(b) // (b-d)·(-i)
-				za[i] = t0 + t2
-				u1r, u1i := real(t1)+t3r, imag(t1)+t3i
-				u2r, u2i := real(t0)-real(t2), imag(t0)-imag(t2)
-				u3r, u3i := real(t1)-t3r, imag(t1)-t3i
-				zb[i] = complex(u1r*w[0]-u1i*w[1], u1r*w[1]+u1i*w[0])
-				zc[i] = complex(u2r*w[2]-u2i*w[3], u2r*w[3]+u2i*w[2])
-				zd[i] = complex(u3r*w[4]-u3i*w[5], u3r*w[5]+u3i*w[4])
-			}
-		}
+		difStageScalar(z, st)
 	}
 	// Final radix-2 stage when log2(m) is odd (span 2, twiddle 1).
 	if m >= 2 && trailingRadix2(m) {
@@ -235,6 +245,56 @@ func (p *RFFTPlan) forwardDIF(z []complex128) {
 			a, b := z[j], z[j+1]
 			z[j] = a + b
 			z[j+1] = a - b
+		}
+	}
+}
+
+// difStageScalar runs one radix-4 DIF stage over z (a whole plane or an
+// aligned tile whose length is a multiple of the span) with the plain
+// scalar loops — the reference the vector kernels are pinned against,
+// and the fallback tier shared by RFFTPlan and BatchPlan. The four
+// quarters of each block are re-sliced to equal lengths so the compiler
+// can prove every access in bounds and drop the checks from the inner
+// loop.
+//
+// ew:hotpath — the butterfly network is the dominant per-column cost.
+func difStageScalar(z []complex128, st stageTwiddles) {
+	span := st.span
+	q := span / 4
+	tw := st.w
+	if span == 4 {
+		// Every twiddle of the span-4 stage is 1 (q = 1 ⇒ i = 0), so
+		// the whole pass is multiplication-free.
+		for base := 0; base+3 < len(z); base += 4 {
+			a, b, c, d := z[base], z[base+1], z[base+2], z[base+3]
+			t0, t1 := a+c, a-c
+			t2 := b + d
+			t3 := complex(imag(b)-imag(d), real(d)-real(b)) // (b-d)·(-i)
+			z[base] = t0 + t2
+			z[base+1] = t1 + t3
+			z[base+2] = t0 - t2
+			z[base+3] = t1 - t3
+		}
+		return
+	}
+	for base := 0; base < len(z); base += span {
+		za := z[base : base+q : base+q]
+		zb := z[base+q : base+2*q : base+2*q]
+		zc := z[base+2*q : base+3*q : base+3*q]
+		zd := z[base+3*q : base+span : base+span]
+		for i := range za {
+			w := tw[6*i : 6*i+6 : 6*i+6]
+			a, b, c, d := za[i], zb[i], zc[i], zd[i]
+			t0, t1 := a+c, a-c
+			t2 := b + d
+			t3r, t3i := imag(b)-imag(d), real(d)-real(b) // (b-d)·(-i)
+			za[i] = t0 + t2
+			u1r, u1i := real(t1)+t3r, imag(t1)+t3i
+			u2r, u2i := real(t0)-real(t2), imag(t0)-imag(t2)
+			u3r, u3i := real(t1)-t3r, imag(t1)-t3i
+			zb[i] = complex(u1r*w[0]-u1i*w[1], u1r*w[1]+u1i*w[0])
+			zc[i] = complex(u2r*w[2]-u2i*w[3], u2r*w[3]+u2i*w[2])
+			zd[i] = complex(u3r*w[4]-u3i*w[5], u3r*w[5]+u3i*w[4])
 		}
 	}
 }

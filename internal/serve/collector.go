@@ -1,0 +1,232 @@
+package serve
+
+import (
+	"time"
+
+	"repro/internal/dsp"
+	"repro/internal/pipeline"
+)
+
+// collector is the per-manager batch-STFT drain loop enabled by
+// Config.STFTBatch: instead of one worker goroutine per Feed, a single
+// goroutine drains up to STFTBatch ready sessions from the ingest queue
+// each cycle, copies their pending FFT frames out under each session's
+// lock, computes every column through one shared dsp.BatchSTFT pass
+// with no locks held, then commits columns and runs each session's
+// detection pass under its own lock again. The shared plan's twiddle
+// tables and scratch stay cache-hot across the whole batch, which is
+// where the cross-session throughput win comes from (BenchmarkSTFTBatch
+// measures it).
+//
+// Correctness contract, kept identical to the worker path:
+//   - Per-session serialization: only the collector processes jobs, and
+//     any job for a session already touched this cycle is deferred and
+//     run strictly after the batch commit, in arrival order.
+//   - Flush jobs and over-long feeds never batch; they run through the
+//     same sequential code as the worker path.
+//   - Columns are bit-identical to Stream.Feed's per-frame path (pinned
+//     by the dsp differential tests and the stress equivalence test),
+//     so detection transcripts do not change when batching is enabled.
+//   - A session closed between copy-out and commit is detected under
+//     its lock at commit time; its freed stream is never touched.
+type collector struct {
+	m *Manager
+	k int // lanes per cycle (Config.STFTBatch)
+
+	// bs and scratch are built lazily from the first batched session's
+	// engine config (engines are uniform per manager: one factory).
+	bs      *dsp.BatchSTFT
+	scratch [][]float64 // k frame copies, each FFTSize samples
+	views   [][]float64 // reused header over scratch for Columns
+	dsts    [][]float64 // reused header over entry columns for Columns
+
+	used     int // scratch lanes filled this cycle
+	entries  []batchEntry
+	deferred []*job
+	touched  map[*session]bool
+}
+
+// batchEntry is one session's share of a batch cycle: the job, its
+// latency clock, and the freshly allocated columns (lane..lane+n) the
+// commit phase hands over to the stream.
+type batchEntry struct {
+	j     *job
+	start time.Time
+	n     int
+	cols  [][]float64
+}
+
+// collectorLoop runs on the manager's single collector goroutine when
+// STFTBatch is enabled, replacing the worker pool.
+func (m *Manager) collectorLoop() {
+	defer m.wg.Done()
+	c := &collector{m: m, k: m.cfg.STFTBatch, touched: make(map[*session]bool)}
+	for {
+		select {
+		case j := <-m.jobs:
+			c.cycle(j)
+		case <-m.quit:
+			return
+		}
+	}
+}
+
+// cycle processes one drain of the ingest queue: the blocking first job
+// plus whatever else is already queued, up to k jobs.
+func (c *collector) cycle(first *job) {
+	c.used = 0
+	c.entries = c.entries[:0]
+	c.deferred = c.deferred[:0]
+	clear(c.touched)
+
+	c.admit(first)
+drain:
+	for n := 1; n < c.k; n++ {
+		select {
+		case j := <-c.m.jobs:
+			c.admit(j)
+		default:
+			break drain
+		}
+	}
+	share, computeErr := c.compute()
+	c.commit(share, computeErr)
+	// Deferred jobs (flushes, and later jobs of sessions already touched
+	// this cycle) run after the batch commit, in arrival order, through
+	// the exact worker-path code.
+	for _, j := range c.deferred {
+		c.m.runJob(j)
+	}
+}
+
+// admit routes one job: defer it if it cannot join this batch, finish
+// it inline if its frames don't fit, otherwise copy its pending frames
+// into the batch under the session lock (phase A).
+func (c *collector) admit(j *job) {
+	sess := j.sess
+	if j.flush || c.touched[sess] {
+		c.touched[sess] = true
+		c.deferred = append(c.deferred, j)
+		return
+	}
+	c.touched[sess] = true
+	m := c.m
+	if m.testJobStart != nil {
+		m.testJobStart()
+	}
+	if m.cfg.JobStartHook != nil {
+		m.cfg.JobStartHook(sess.id)
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.closed || sess.stream == nil {
+		// ew:allow lockhold: reply has capacity 1 and exactly one writer
+		// per job, so this send never blocks.
+		j.reply <- jobResult{err: ErrUnknownSession}
+		return
+	}
+	start := time.Now()
+	if err := sess.stream.Accumulate(j.chunk); err != nil {
+		m.finishJob(j, start, nil, err)
+		return
+	}
+	if c.bs == nil {
+		c.init(sess.stream.Engine().Config().STFT)
+	}
+	n := sess.stream.PendingFrames()
+	if n == 0 || c.used+n > c.k || c.bs == nil {
+		// Nothing to batch (quiet chunk), no lane space left, or the
+		// engine config has no batchable shape — finish the feed inline:
+		// the chunk is already accumulated, so an empty Feed runs the
+		// in-stream hop loop and detection pass, identically to the
+		// worker path.
+		//
+		// ew:allow lockhold: per-session serialization, as in runJob.
+		dets, err := sess.stream.Feed(nil)
+		m.finishJob(j, start, dets, err)
+		return
+	}
+	for i := 0; i < n; i++ {
+		copy(c.scratch[c.used+i], sess.stream.PendingFrame(i))
+	}
+	c.used += n
+	cols := make([][]float64, n)
+	for i := range cols {
+		// Freshly allocated per column: AcceptColumns hands ownership to
+		// the stream's spectrogram window, exactly like FrameColumn's
+		// per-column allocation on the worker path.
+		cols[i] = make([]float64, c.bs.Bins())
+	}
+	c.entries = append(c.entries, batchEntry{j: j, start: start, n: n, cols: cols})
+}
+
+// init builds the shared BatchSTFT and frame scratch from the engine
+// config; engines are uniform per manager, so the first session's
+// config stands for all. A config NewBatchSTFT rejects cannot occur for
+// a pool-built engine (its STFT validated the same config), but if it
+// does, bs stays nil and every feed runs inline.
+func (c *collector) init(cfg dsp.STFTConfig) {
+	bs, err := dsp.NewBatchSTFT(cfg, c.k)
+	if err != nil {
+		return
+	}
+	c.bs = bs
+	c.scratch = make([][]float64, c.k)
+	for i := range c.scratch {
+		c.scratch[i] = make([]float64, bs.Config().FFTSize)
+	}
+	c.views = make([][]float64, 0, c.k)
+	c.dsts = make([][]float64, 0, c.k)
+}
+
+// compute runs the shared batch pass over all copied frames with no
+// session locks held (phase B), returning the per-lane share of the
+// pass for stage attribution.
+func (c *collector) compute() (share time.Duration, err error) {
+	if c.used == 0 {
+		return 0, nil
+	}
+	c.views = c.views[:0]
+	for i := 0; i < c.used; i++ {
+		c.views = append(c.views, c.scratch[i])
+	}
+	c.dsts = c.dsts[:0]
+	for _, e := range c.entries {
+		c.dsts = append(c.dsts, e.cols...)
+	}
+	t0 := time.Now()
+	err = c.bs.Columns(c.views, c.dsts)
+	return time.Since(t0) / time.Duration(c.used), err
+}
+
+// commit hands each session its columns and runs its detection pass
+// under its own lock (phase C). A session that closed since phase A
+// (Close, eviction, shutdown — its stream is already reset and back in
+// the pool) is detected here and its job fails with ErrUnknownSession,
+// the same answer the worker path gives a feed racing a close.
+func (c *collector) commit(share time.Duration, computeErr error) {
+	m := c.m
+	for i := range c.entries {
+		e := &c.entries[i]
+		sess := e.j.sess
+		sess.mu.Lock()
+		if sess.closed || sess.stream == nil {
+			// ew:allow lockhold: reply has capacity 1 and exactly one
+			// writer per job, so this send never blocks.
+			e.j.reply <- jobResult{err: ErrUnknownSession}
+			sess.mu.Unlock()
+			continue
+		}
+		var dets []pipeline.Detection
+		err := computeErr
+		if err == nil {
+			err = sess.stream.AcceptColumns(e.cols)
+		}
+		if err == nil {
+			sess.stream.AccrueSTFT(share * time.Duration(e.n))
+			dets, err = sess.stream.Detect()
+		}
+		m.finishJob(e.j, e.start, dets, err)
+		sess.mu.Unlock()
+	}
+}

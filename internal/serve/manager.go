@@ -62,6 +62,16 @@ type Config struct {
 	// MaxWindow bounds each session's retained spectrogram columns
 	// (default 0: the stream's own 1024-frame default).
 	MaxWindow int
+	// STFTBatch, when positive, replaces the worker pool with a single
+	// batch collector per manager: each cycle drains up to STFTBatch
+	// ready sessions from the ingest queue, computes all their pending
+	// STFT columns through one shared dsp.BatchSTFT pass, then runs each
+	// session's detection pass under its own lock. Per-session
+	// serialization, backpressure, and the reply contract are unchanged;
+	// detections are bit-identical to the per-worker path. Zero disables
+	// batching (the default: one Feed per worker). Workers still sizes
+	// the queue-depth default and is reported in stats.
+	STFTBatch int
 	// Clock supplies time for idle accounting (default time.Now); tests
 	// inject a fake.
 	Clock func() time.Time
@@ -137,6 +147,7 @@ type Manager struct {
 	detections atomic.Uint64
 	rejected   atomic.Uint64
 	evictions  atomic.Uint64
+	feedErrors atomic.Uint64
 	stages     ewruntime.SharedBreakdown
 
 	latMu sync.Mutex
@@ -207,9 +218,14 @@ func NewManager(cfg Config) (*Manager, error) {
 		lat:      lat,
 		latHist:  hist,
 	}
-	m.wg.Add(cfg.Workers)
-	for i := 0; i < cfg.Workers; i++ {
-		go m.worker()
+	if cfg.STFTBatch > 0 {
+		m.wg.Add(1)
+		go m.collectorLoop()
+	} else {
+		m.wg.Add(cfg.Workers)
+		for i := 0; i < cfg.Workers; i++ {
+			go m.worker()
+		}
 	}
 	return m, nil
 }
@@ -481,16 +497,33 @@ func (m *Manager) runJob(j *job) {
 		// ew:allow lockhold: same per-session serialization as Flush.
 		dets, err = sess.stream.Feed(j.chunk)
 	}
+	m.finishJob(j, start, dets, err)
+}
+
+// finishJob is the accounting and reply tail every processed job goes
+// through, worker and batch-collector paths alike. Latency and stage
+// deltas are recorded on the error branch too: a failed feed has
+// already spent real pipeline time (the stream accrues its hop-loop
+// cost on every exit), and hiding it made error storms look free on
+// /metricsz while their cost bled into the next successful feed's
+// attribution. Successful-chunk and detection counters stay
+// success-only; errors land in feedErrors (echowrite_feed_errors_total).
+//
+// ew:holds sess.mu — callers invoke this with the job's session locked.
+func (m *Manager) finishJob(j *job, start time.Time, dets []pipeline.Detection, err error) {
+	sess := j.sess
+	m.recordLatency(time.Since(start))
+	m.accountStages(sess, len(dets))
 	if err == nil {
 		m.chunks.Add(1)
-		m.recordLatency(time.Since(start))
-		m.accountStages(sess, len(dets))
 		for _, d := range dets {
 			sess.seq = append(sess.seq, d.Stroke)
 		}
 		if len(dets) > 0 {
 			m.detections.Add(uint64(len(dets)))
 		}
+	} else {
+		m.feedErrors.Add(1)
 	}
 	sess.lastActive.Store(m.cfg.Clock().UnixNano())
 	// ew:allow lockhold: reply has capacity 1 and exactly one writer per
@@ -566,6 +599,7 @@ type ShardStats struct {
 	Chunks         uint64 `json:"chunks_processed"`
 	Detections     uint64 `json:"detections"`
 	Backpressure   uint64 `json:"backpressure_rejects"`
+	FeedErrors     uint64 `json:"feed_errors"`
 	Evictions      uint64 `json:"idle_evictions"`
 }
 
@@ -584,6 +618,7 @@ type Stats struct {
 	Chunks         uint64                 `json:"chunks_processed"`
 	Detections     uint64                 `json:"detections"`
 	Backpressure   uint64                 `json:"backpressure_rejects"`
+	FeedErrors     uint64                 `json:"feed_errors"`
 	Evictions      uint64                 `json:"idle_evictions"`
 	FeedLatencyMs  metrics.LatencySummary `json:"feed_latency_ms"`
 	PerStroke      StageMillis            `json:"per_stroke_ms"`
@@ -605,6 +640,7 @@ func (m *Manager) Snapshot() Stats {
 		Chunks:         sv.Chunks,
 		Detections:     sv.Detections,
 		Backpressure:   sv.Backpressure,
+		FeedErrors:     sv.FeedErrors,
 		Evictions:      sv.Evictions,
 		FeedLatencyMs:  summarizeFeedLatency(m.latencySamples()),
 		PerStroke:      stageMillis(m.stages.Snapshot()),
@@ -626,6 +662,7 @@ func (m *Manager) shardView() ShardStats {
 		Chunks:         m.chunks.Load(),
 		Detections:     m.detections.Load(),
 		Backpressure:   m.rejected.Load(),
+		FeedErrors:     m.feedErrors.Load(),
 		Evictions:      m.evictions.Load(),
 	}
 }

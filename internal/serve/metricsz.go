@@ -70,6 +70,8 @@ func newServiceRegistry(ms metricsSource) *expose.Registry {
 		expose.KindCounter, func(s ShardStats) float64 { return float64(s.Detections) })
 	perShard("echowrite_backpressure_rejects_total", "Feeds shed with 429 because the shard's queue was full.",
 		expose.KindCounter, func(s ShardStats) float64 { return float64(s.Backpressure) })
+	perShard("echowrite_feed_errors_total", "Feeds that failed inside the pipeline after admission (e.g. oversized chunks); their latency and stage time are still recorded.",
+		expose.KindCounter, func(s ShardStats) float64 { return float64(s.FeedErrors) })
 	perShard("echowrite_idle_evictions_total", "Sessions reclaimed after IdleTimeout.",
 		expose.KindCounter, func(s ShardStats) float64 { return float64(s.Evictions) })
 

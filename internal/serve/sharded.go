@@ -180,6 +180,7 @@ func (sm *ShardedManager) Snapshot() Stats {
 		agg.Chunks += sv.Chunks
 		agg.Detections += sv.Detections
 		agg.Backpressure += sv.Backpressure
+		agg.FeedErrors += sv.FeedErrors
 		agg.Evictions += sv.Evictions
 		stages.Merge(m.stages.Snapshot())
 		latency = append(latency, m.latencySamples())

@@ -1,0 +1,152 @@
+package stress
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/pipeline"
+	"repro/internal/serve"
+
+	"repro/internal/testutil/leak"
+)
+
+// feedTranscript streams one signal into a session and returns the full
+// detection transcript — every Detection struct verbatim, including the
+// per-template distance and likelihood vectors, so two services can be
+// compared byte for byte rather than just by stroke label.
+func feedTranscript(svc serve.Service, id string, samples []float64, chunk int) ([]pipeline.Detection, error) {
+	var got []pipeline.Detection
+	for off := 0; off < len(samples); off += chunk {
+		end := min(off+chunk, len(samples))
+		for {
+			dets, err := svc.Feed(id, samples[off:end])
+			if errors.Is(err, serve.ErrBackpressure) {
+				continue
+			}
+			if err != nil {
+				return nil, err
+			}
+			got = append(got, dets...)
+			break
+		}
+	}
+	for {
+		dets, _, err := svc.Flush(id)
+		if errors.Is(err, serve.ErrBackpressure) {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		return append(got, dets...), nil
+	}
+}
+
+// TestBatchedEquivalentToWorkers is the batching tentpole's determinism
+// gate: with STFTBatch enabled, concurrent sessions multiplexed through
+// the per-shard batch collectors must produce detection transcripts
+// byte-identical to the per-worker path fed sequentially — batching,
+// cycle boundaries, lane packing and collector interleavings must never
+// leak into recognition results.
+func TestBatchedEquivalentToWorkers(t *testing.T) {
+	leak.Check(t)
+	words := []string{"on", "to", "it"}
+	signals := synthWords(t, words, 47)
+
+	sessions := scale(10, 32)
+	// Chunk sizes straddle the hop and frame sizes so cycles see zero,
+	// one and several pending frames per session.
+	chunkOf := func(i int) int { return []int{2048, 4096, 8192, 3001}[i%4] }
+
+	// Reference: the per-worker path, fed sequentially.
+	workers, err := serve.NewManager(serve.Config{
+		MaxSessions: sessions, Workers: 2, QueueDepth: 64, Prewarm: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer workers.Shutdown()
+	want := make([][]pipeline.Detection, sessions)
+	for i := 0; i < sessions; i++ {
+		id, err := workers.Open()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := feedTranscript(workers, id, signals[i%len(signals)].Samples, chunkOf(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tr) == 0 {
+			t.Fatalf("reference session %d produced no detections; premise broken", i)
+		}
+		want[i] = tr
+		if err := workers.Close(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Batched: per-shard collectors, all sessions concurrent so cycles
+	// actually multiplex frames from different sessions into one pass.
+	sm, err := serve.NewShardedManager(serve.Config{
+		MaxSessions: sessions, Workers: 8, QueueDepth: 64, Prewarm: 4,
+		STFTBatch: 16,
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sm.Shutdown()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, sessions)
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id, err := sm.Open()
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer sm.Close(id)
+			got, err := feedTranscript(sm, id, signals[i%len(signals)].Samples, chunkOf(i))
+			if err != nil {
+				errCh <- err
+				return
+			}
+			if len(got) != len(want[i]) {
+				errCh <- fmt.Errorf("session %s: batched emitted %d detections, workers %d",
+					id, len(got), len(want[i]))
+				return
+			}
+			for d := range got {
+				if got[d] != want[i][d] {
+					errCh <- fmt.Errorf("session %s detection %d differs:\nbatched: %+v\nworkers: %+v",
+						id, d, got[d], want[i][d])
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+
+	st := sm.Snapshot()
+	if st.ActiveSessions != 0 {
+		t.Errorf("sessions left open: %d", st.ActiveSessions)
+	}
+	if st.FeedErrors != 0 {
+		t.Errorf("batched run recorded %d feed errors, want 0", st.FeedErrors)
+	}
+	var wantDets uint64
+	for i := range want {
+		wantDets += uint64(len(want[i]))
+	}
+	if st.Detections != wantDets {
+		t.Errorf("aggregate detections = %d, want %d", st.Detections, wantDets)
+	}
+}
